@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+// The bench CLI is exercised end to end at tiny scale: every experiment
+// id must run to completion.
+func TestBenchExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests are slow")
+	}
+	base := []string{"-workloads", "kernel", "-scale", "2", "-versions", "4", "-container", "262144"}
+	for _, exp := range []string{"table1", "fig3", "fig9", "fig10", "fig12", "deletion"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			t.Parallel()
+			if err := run(append([]string{"-exp", exp}, base...)); err != nil {
+				t.Fatalf("bench -exp %s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestBenchHeavyExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests are slow")
+	}
+	base := []string{"-workloads", "kernel", "-scale", "2", "-versions", "4", "-container", "262144"}
+	for _, exp := range []string{"fig8", "fig11"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			t.Parallel()
+			if err := run(append([]string{"-exp", exp}, base...)); err != nil {
+				t.Fatalf("bench -exp %s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestBenchCSVFormat(t *testing.T) {
+	base := []string{"-workloads", "kernel", "-scale", "2", "-versions", "3",
+		"-container", "262144", "-format", "csv"}
+	for _, exp := range []string{"fig9", "fig10"} {
+		if err := run(append([]string{"-exp", exp}, base...)); err != nil {
+			t.Fatalf("bench -exp %s -format csv: %v", exp, err)
+		}
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if err := run([]string{"-exp", "table1", "-workloads", "bogus"}); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChunkstatPreset(t *testing.T) {
+	if err := run([]string{"-preset", "kernel", "-scale", "2", "-versions", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkstatFiles(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	base := make([]byte, 64<<10)
+	rng.Read(base)
+	v1 := filepath.Join(dir, "v1.bin")
+	v2 := filepath.Join(dir, "v2.bin")
+	if err := os.WriteFile(v1, base, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]byte{}, base...)
+	rng.Read(mutated[:8<<10])
+	if err := os.WriteFile(v2, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkstatErrors(t *testing.T) {
+	if err := run([]string{"-preset", "bogus"}); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+	if err := run([]string{"only-one-file"}); err == nil {
+		t.Fatal("fewer than two files should fail")
+	}
+	if err := run([]string{"/no/such/a", "/no/such/b"}); err == nil {
+		t.Fatal("missing files should fail")
+	}
+}

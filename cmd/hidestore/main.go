@@ -1,0 +1,321 @@
+// Command hidestore is a small backup tool over the HiDeStore library.
+//
+// Usage:
+//
+//	hidestore -dir /backups backup  <file|->       # back up a stream
+//	hidestore -dir /backups backup-dir <directory> # back up a directory tree
+//	hidestore -dir /backups restore <version> [-o out]
+//	hidestore -dir /backups restore-dir <version> <destination>
+//	hidestore -dir /backups delete  <version>
+//	hidestore -dir /backups versions
+//	hidestore -dir /backups stats
+//
+// Directory backups serialize the tree (sorted walk, path+size headers +
+// file contents) into one stream, so adjacent snapshots of the same tree
+// deduplicate chunk-by-chunk; restore-dir reverses the framing.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hidestore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hidestore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hidestore", flag.ContinueOnError)
+	var (
+		dir      = fs.String("dir", "", "storage directory (required)")
+		out      = fs.String("o", "", "restore output file (default stdout)")
+		window   = fs.Int("window", 1, "fingerprint-cache window in versions")
+		alg      = fs.String("chunker", "tttd", "chunking algorithm: tttd|rabin|fastcdc|ae|fixed")
+		ctnSize  = fs.Int("container", 4<<20, "container size in bytes")
+		cache    = fs.String("restore-cache", "faa", "restore cache: faa|alacc|container-lru|chunk-lru|opt")
+		compress = fs.Bool("compress", false, "DEFLATE-compress containers at rest")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats> [args]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return errors.New("missing command")
+	}
+	if *dir == "" {
+		return errors.New("-dir is required")
+	}
+	sys, err := hidestore.Open(hidestore.Config{
+		Dir:           *dir,
+		Window:        *window,
+		Chunker:       *alg,
+		ContainerSize: *ctnSize,
+		RestoreCache:  *cache,
+		Compress:      *compress,
+	})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	switch cmd := rest[0]; cmd {
+	case "backup":
+		if len(rest) != 2 {
+			return errors.New("backup needs exactly one source (file or -)")
+		}
+		var in io.Reader = os.Stdin
+		if rest[1] != "-" {
+			f, err := os.Open(rest[1])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		rep, err := sys.Backup(ctx, in)
+		if err != nil {
+			return err
+		}
+		printBackupReport(rep)
+	case "backup-dir":
+		if len(rest) != 2 {
+			return errors.New("backup-dir needs exactly one directory")
+		}
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(writeTree(pw, rest[1])) }()
+		rep, err := sys.Backup(ctx, pr)
+		if err != nil {
+			return err
+		}
+		printBackupReport(rep)
+	case "restore":
+		version, err := parseVersion(rest)
+		if err != nil {
+			return err
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		rep, err := sys.Restore(ctx, version, w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "restored v%d: %d bytes, %d container reads, speed factor %.2f MB/read\n",
+			rep.Version, rep.BytesRestored, rep.ContainerReads, rep.SpeedFactor)
+	case "restore-dir":
+		if len(rest) != 3 {
+			return errors.New("restore-dir needs a version and a destination")
+		}
+		version, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad version %q", rest[1])
+		}
+		pr, pw := io.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- readTree(pr, rest[2]) }()
+		rep, err := sys.Restore(ctx, version, pw)
+		pw.CloseWithError(err)
+		if unpackErr := <-done; err == nil && unpackErr != nil {
+			return unpackErr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "restored v%d into %s (%d bytes, %d container reads)\n",
+			rep.Version, rest[2], rep.BytesRestored, rep.ContainerReads)
+	case "delete":
+		version, err := parseVersion(rest)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Delete(version)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted v%d: %d containers dropped, %d bytes reclaimed in %s\n",
+			rep.Version, rep.ContainersDeleted, rep.BytesReclaimed, rep.Duration)
+	case "versions":
+		for _, v := range sys.Versions() {
+			fmt.Println(v)
+		}
+	case "flatten":
+		if len(rest) != 1 {
+			return errors.New("flatten takes no arguments")
+		}
+		rep, err := sys.Flatten()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flattened recipe chains across %d versions in %s\n", rep.Versions, rep.Duration)
+	case "verify":
+		version, err := parseVersion(rest)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.VerifyRestore(ctx, version, io.Discard)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verified v%d: %d bytes, every fetched chunk matched its fingerprint\n",
+			rep.Version, rep.BytesRestored)
+	case "fsck":
+		rep, err := sys.Fsck()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checked %d containers (%d chunks), %d recipes (%d references)\n",
+			rep.Containers, rep.StoredChunks, rep.Versions, rep.Chunks)
+		if !rep.OK() {
+			for _, p := range rep.Problems {
+				fmt.Println("PROBLEM:", p)
+			}
+			return fmt.Errorf("%d problems found", len(rep.Problems))
+		}
+		fmt.Println("store is healthy")
+	case "stats":
+		st := sys.Stats()
+		fmt.Printf("versions:          %d\n", st.Versions)
+		fmt.Printf("logical bytes:     %d\n", st.LogicalBytes)
+		fmt.Printf("stored bytes:      %d\n", st.StoredBytes)
+		fmt.Printf("dedup ratio:       %.2f%%\n", st.DedupRatio*100)
+		fmt.Printf("containers:        %d\n", st.Containers)
+		fmt.Printf("index memory:      %dB\n", st.IndexMemoryBytes)
+		fmt.Printf("disk index reads:  %d\n", st.DiskIndexLookups)
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func parseVersion(rest []string) (int, error) {
+	if len(rest) != 2 {
+		return 0, errors.New("need exactly one version number")
+	}
+	v, err := strconv.Atoi(rest[1])
+	if err != nil {
+		return 0, fmt.Errorf("bad version %q", rest[1])
+	}
+	return v, nil
+}
+
+func printBackupReport(rep hidestore.BackupReport) {
+	fmt.Printf("backed up v%d: %d bytes, %d chunks (%d unique), dedup ratio %.2f%%, %s\n",
+		rep.Version, rep.LogicalBytes, rep.Chunks, rep.UniqueChunks,
+		rep.DedupRatio*100, rep.Duration)
+}
+
+// writeTree serializes a directory: for each regular file in sorted walk
+// order, a header (path length u32, path, size u64) followed by contents.
+func writeTree(w io.Writer, root string) error {
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		var hdr [12]byte
+		binary.BigEndian.PutUint32(hdr[0:], uint32(len(rel)))
+		binary.BigEndian.PutUint64(hdr[4:], uint64(info.Size()))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, rel); err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(w, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readTree reverses writeTree into dest.
+func readTree(r io.Reader, dest string) error {
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		pathLen := binary.BigEndian.Uint32(hdr[0:])
+		size := binary.BigEndian.Uint64(hdr[4:])
+		if pathLen == 0 || pathLen > 1<<16 {
+			return fmt.Errorf("corrupt tree stream: path length %d", pathLen)
+		}
+		nameBuf := make([]byte, pathLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return err
+		}
+		rel := filepath.FromSlash(string(nameBuf))
+		if strings.Contains(rel, "..") || filepath.IsAbs(rel) {
+			return fmt.Errorf("corrupt tree stream: unsafe path %q", rel)
+		}
+		target := filepath.Join(dest, rel)
+		if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.CopyN(f, r, int64(size)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randBytes(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestCLIFullCycle(t *testing.T) {
+	store := t.TempDir()
+	src := t.TempDir()
+	writeFile(t, filepath.Join(src, "a.txt"), randBytes(1, 50<<10))
+	writeFile(t, filepath.Join(src, "sub", "b.bin"), randBytes(2, 80<<10))
+
+	run1 := []string{"-dir", store, "backup-dir", src}
+	if err := run(run1); err != nil {
+		t.Fatalf("backup-dir: %v", err)
+	}
+	// Mutate and back up again (a fresh process would behave identically;
+	// run() constructs a new System each call, which exercises the state
+	// reload path).
+	writeFile(t, filepath.Join(src, "a.txt"), append(randBytes(1, 50<<10), "more"...))
+	if err := run(run1); err != nil {
+		t.Fatalf("second backup-dir: %v", err)
+	}
+	if err := run([]string{"-dir", store, "versions"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", store, "stats"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", store, "fsck"}); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if err := run([]string{"-dir", store, "verify", "2"}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := run([]string{"-dir", store, "flatten"}); err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	// Restore v2 into a fresh directory and compare trees.
+	dest := t.TempDir()
+	if err := run([]string{"-dir", store, "restore-dir", "2", dest}); err != nil {
+		t.Fatalf("restore-dir: %v", err)
+	}
+	for _, rel := range []string{"a.txt", filepath.Join("sub", "b.bin")} {
+		want, err := os.ReadFile(filepath.Join(src, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dest, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s differs after restore", rel)
+		}
+	}
+}
+
+func TestCLISingleFileBackupRestore(t *testing.T) {
+	store := t.TempDir()
+	srcFile := filepath.Join(t.TempDir(), "data.bin")
+	payload := randBytes(3, 100<<10)
+	writeFile(t, srcFile, payload)
+	if err := run([]string{"-dir", store, "backup", srcFile}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "restored.bin")
+	if err := run([]string{"-dir", store, "-o", out, "restore", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("restored file differs")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	store := t.TempDir()
+	tests := [][]string{
+		{},                                    // no command
+		{"-dir", store},                       // still no command
+		{"-dir", store, "bogus"},              // unknown command
+		{"backup", "x"},                       // missing -dir
+		{"-dir", store, "restore", "nope"},    // bad version
+		{"-dir", store, "restore", "9"},       // missing version
+		{"-dir", store, "delete", "9"},        // missing version
+		{"-dir", store, "backup"},             // missing source
+		{"-dir", store, "backup", "/no/such"}, // missing file
+		{"-dir", store, "restore-dir", "1"},   // missing destination
+		{"-dir", store, "verify", "7"},        // missing version
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestTreeStreamRejectsUnsafePaths(t *testing.T) {
+	// Craft a stream with a path-traversal entry; readTree must refuse it.
+	var buf bytes.Buffer
+	evil := "../escape.txt"
+	hdr := make([]byte, 12)
+	hdr[3] = byte(len(evil))
+	hdr[11] = 4
+	buf.Write(hdr)
+	buf.WriteString(evil)
+	buf.WriteString("boom")
+	if err := readTree(&buf, t.TempDir()); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+}
+
+func TestTreeRoundTripEmptyDir(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeTree(&buf, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty tree should serialize to nothing")
+	}
+	if err := readTree(&buf, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTracegenWritesFiles(t *testing.T) {
+	out := t.TempDir()
+	err := run([]string{"-preset", "kernel", "-scale", "2", "-versions", "3", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 3; v++ {
+		path := filepath.Join(out, "v"+string(rune('0'+v))+".bin")
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+func TestTracegenStats(t *testing.T) {
+	if err := run([]string{"-preset", "macos", "-scale", "2", "-versions", "3", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracegenSeedOverride(t *testing.T) {
+	if err := run([]string{"-preset", "gcc", "-scale", "2", "-versions", "2", "-seed", "99", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracegenErrors(t *testing.T) {
+	if err := run([]string{"-preset", "bogus", "-stats"}); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+	if err := run([]string{"-preset", "kernel"}); err == nil {
+		t.Fatal("missing -out and -stats should fail")
+	}
+}

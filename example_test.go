@@ -1,0 +1,53 @@
+package hidestore_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"hidestore"
+)
+
+// Example shows the full lifecycle: three backups, a byte-exact restore,
+// and expiring the oldest version.
+func Example() {
+	sys, err := hidestore.Open(hidestore.Config{}) // in-memory
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	base := strings.Repeat("backup me, please. ", 8192)
+	versions := []string{
+		base,
+		base + strings.Repeat("version two adds this. ", 2048),
+		base + strings.Repeat("version two adds this. ", 2048) + strings.Repeat("and three, this. ", 2048),
+	}
+	for _, v := range versions {
+		rep, err := sys.Backup(ctx, strings.NewReader(v))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("v%d: dedup ratio %.0f%%\n", rep.Version, rep.DedupRatio*100)
+	}
+
+	var buf bytes.Buffer
+	if _, err := sys.Restore(ctx, 2, &buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("v2 restored exactly:", buf.String() == versions[1])
+
+	if _, err := sys.Delete(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("versions left:", len(sys.Versions()))
+
+	// Output:
+	// v1: dedup ratio 0%
+	// v2: dedup ratio 73%
+	// v3: dedup ratio 83%
+	// v2 restored exactly: true
+	// versions left: 2
+}

@@ -1,0 +1,66 @@
+// Retention: run a keep-last-N backup policy. Every day one new version
+// arrives and the oldest expires. HiDeStore's deletion is just dropping
+// the expired version's archival containers — no reference counting, no
+// mark-and-sweep (paper §4.5, §5.5).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hidestore"
+	"hidestore/internal/workload"
+)
+
+func main() {
+	const (
+		totalDays = 20
+		keepLast  = 7
+	)
+	cfg, err := workload.Preset("fslhomes", 4) // homedir-snapshot-like
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Versions = totalDays
+
+	sys, err := hidestore.Open(hidestore.Config{ContainerSize: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	gen, err := workload.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("daily snapshots, keep-last-%d policy\n\n", keepLast)
+	fmt.Println("day  stored-versions  containers  dedup%   expired        reclaimed")
+	for day := 1; day <= totalDays; day++ {
+		r, err := gen.NextVersion()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Backup(ctx, r); err != nil {
+			log.Fatal(err)
+		}
+		expired := "-"
+		reclaimed := "-"
+		if vs := sys.Versions(); len(vs) > keepLast {
+			oldest := vs[0]
+			rep, err := sys.Delete(oldest)
+			if err != nil {
+				log.Fatal(err)
+			}
+			expired = fmt.Sprintf("v%d in %s", oldest, rep.Duration.Round(1000))
+			reclaimed = fmt.Sprintf("%.2f MB", float64(rep.BytesReclaimed)/(1<<20))
+		}
+		st := sys.Stats()
+		fmt.Printf("%3d  %15d  %10d  %5.1f%%  %-13s  %s\n",
+			day, st.Versions, st.Containers, st.DedupRatio*100, expired, reclaimed)
+	}
+
+	fmt.Println("\nnote: deletion latency stays flat as data accumulates — the expired")
+	fmt.Println("version's exclusive chunks already live in their own archival")
+	fmt.Println("containers, so expiry is a container drop, not a garbage collection.")
+}

@@ -1,0 +1,72 @@
+// Versionchain: the paper's core claim, live. Back up 30 versions of a
+// kernel-like evolving source tree, then restore every version and watch
+// the speed factor: HiDeStore keeps new versions fast because their chunks
+// stay physically together, while old versions pay for their exile to
+// archival containers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+
+	"hidestore"
+	"hidestore/internal/workload"
+)
+
+func main() {
+	const versions = 30
+	cfg, err := workload.Preset("kernel", 4) // ~4 MB per version
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Versions = versions
+
+	sys, err := hidestore.Open(hidestore.Config{
+		ContainerSize: 1 << 20, // 1 MB containers at this scale
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	gen, err := workload.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("backing up 30 versions of an evolving source tree...")
+	for gen.HasNext() {
+		r, err := gen.NextVersion()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Backup(ctx, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Version%10 == 0 || rep.Version == 1 {
+			fmt.Printf("  v%-3d %5.1f MB, dedup ratio %5.1f%%, maintenance %s\n",
+				rep.Version, float64(rep.LogicalBytes)/(1<<20),
+				rep.DedupRatio*100, rep.MaintenanceDuration)
+		}
+	}
+
+	fmt.Println("\nrestore speed factor per version (MB per container read):")
+	fmt.Println("  version   speed-factor   container-reads")
+	for v := 1; v <= versions; v++ {
+		rep, err := sys.Restore(ctx, v, io.Discard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := ""
+		for i := 0; i < int(rep.SpeedFactor*40); i++ {
+			bar += "#"
+		}
+		if v%3 == 0 || v == 1 || v == versions {
+			fmt.Printf("  v%-7d %8.3f       %5d  %s\n", v, rep.SpeedFactor, rep.ContainerReads, bar)
+		}
+	}
+	fmt.Println("\nnew versions sit at the top of the chart: that is the physical")
+	fmt.Println("locality HiDeStore buys by construction (paper Figure 11).")
+}

@@ -1,0 +1,3 @@
+module hidestore
+
+go 1.22

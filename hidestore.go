@@ -1,0 +1,479 @@
+// Package hidestore is a deduplicating backup library with high restore
+// performance, reproducing "Improving the Restore Performance via
+// Physical-Locality Middleware for Backup Systems" (MIDDLEWARE 2020).
+//
+// HiDeStore modifies the deduplication phase rather than the restore
+// phase: chunks are deduplicated only against the previous backup
+// version(s) through an in-memory double-hash fingerprint cache, unique
+// and still-hot chunks live together in *active* containers, and chunks
+// that stop appearing in new versions are exiled to *archival* containers.
+// New versions therefore stay physically contiguous — restoring them reads
+// few containers — without rewriting duplicates or keeping any on-disk
+// fingerprint index.
+//
+// # Quick start
+//
+//	sys, err := hidestore.Open(hidestore.Config{Dir: "/var/backups/repo"})
+//	if err != nil { ... }
+//	rep, err := sys.Backup(ctx, dataStream)       // version 1, 2, 3, ...
+//	_, err = sys.Restore(ctx, rep.Version, out)   // byte-exact restore
+//	_, err = sys.Delete(1)                        // expire the oldest version
+//
+// Leave Config.Dir empty for an in-memory system (tests, experiments).
+//
+// For side-by-side comparisons with the paper's baselines (DDFS, Sparse
+// Indexing, SiLo indexing; capping/CBR/CFL/FBW/HAR rewriting; LRU, FAA and
+// ALACC restore caches), see OpenBaseline. The full experiment harness
+// that regenerates the paper's tables and figures lives in cmd/bench.
+package hidestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hidestore/internal/backup"
+	"hidestore/internal/chunker"
+	"hidestore/internal/container"
+	"hidestore/internal/core"
+	"hidestore/internal/dedup"
+	"hidestore/internal/index"
+	"hidestore/internal/index/ddfs"
+	"hidestore/internal/index/extbin"
+	"hidestore/internal/index/silo"
+	"hidestore/internal/index/sparse"
+	"hidestore/internal/recipe"
+	"hidestore/internal/restorecache"
+	"hidestore/internal/rewrite"
+)
+
+// Config configures a HiDeStore system.
+type Config struct {
+	// Dir is the storage root; containers and recipes are kept in
+	// subdirectories. Empty means fully in-memory (useful for tests and
+	// experiments).
+	Dir string
+	// Window is the fingerprint-cache window in backup versions: 1 (the
+	// default) deduplicates against the previous version, 2 suits
+	// macos-like workloads whose changes straddle two versions.
+	Window int
+	// Chunker selects the chunking algorithm: "tttd" (default, as in the
+	// paper), "rabin", "fastcdc", "ae" or "fixed".
+	Chunker string
+	// MinChunk/AvgChunk/MaxChunk bound chunk sizes in bytes (defaults
+	// 2 KB / 4 KB / 16 KB, the paper's configuration).
+	MinChunk, AvgChunk, MaxChunk int
+	// ContainerSize in bytes (default 4 MB, the paper's).
+	ContainerSize int
+	// RestoreCache selects the restore strategy: "faa" (default),
+	// "alacc", "container-lru", "chunk-lru" or "opt".
+	RestoreCache string
+	// MergeUtilization is the active-container utilization below which
+	// containers are merged after each version (default 0.5).
+	MergeUtilization float64
+	// Compress enables DEFLATE compression of containers at rest.
+	// Compression composes with deduplication: dedup removes repeated
+	// chunks, compression shrinks what remains.
+	Compress bool
+}
+
+func (c Config) chunkParams() chunker.Params {
+	p := chunker.DefaultParams()
+	if c.MinChunk > 0 {
+		p.Min = c.MinChunk
+	}
+	if c.AvgChunk > 0 {
+		p.Avg = c.AvgChunk
+	}
+	if c.MaxChunk > 0 {
+		p.Max = c.MaxChunk
+	}
+	return p
+}
+
+func (c Config) stores() (container.Store, recipe.Store, error) {
+	var cs container.Store
+	var rs recipe.Store
+	if c.Dir == "" {
+		cs, rs = container.NewMemStore(), recipe.NewMemStore()
+	} else {
+		fcs, err := container.NewFileStore(filepath.Join(c.Dir, "containers"))
+		if err != nil {
+			return nil, nil, err
+		}
+		frs, err := recipe.NewFileStore(filepath.Join(c.Dir, "recipes"))
+		if err != nil {
+			return nil, nil, err
+		}
+		cs, rs = fcs, frs
+	}
+	if c.Compress {
+		ccs, err := container.NewCompressedStore(cs, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		cs = ccs
+	}
+	return cs, rs, nil
+}
+
+func (c Config) chunkerAlg() (chunker.Algorithm, error) {
+	if c.Chunker == "" {
+		return chunker.TTTD, nil
+	}
+	return chunker.ParseAlgorithm(c.Chunker)
+}
+
+func (c Config) restoreCache() (restorecache.Cache, error) {
+	if c.RestoreCache == "" {
+		return restorecache.NewFAA(0), nil
+	}
+	return restorecache.New(c.RestoreCache)
+}
+
+// BackupReport summarizes one backed-up version.
+type BackupReport struct {
+	// Version is the sequential version number, starting at 1.
+	Version int
+	// LogicalBytes is the size of the backed-up stream.
+	LogicalBytes uint64
+	// StoredBytes is the new payload written (unique chunks).
+	StoredBytes uint64
+	// Chunks and UniqueChunks count the stream's chunks and the stored
+	// subset.
+	Chunks       int
+	UniqueChunks int
+	// DedupRatio is eliminated bytes over logical bytes for this version.
+	DedupRatio float64
+	// Duration covers the dedup phase; MaintenanceDuration the
+	// post-version cold-chunk migration and recipe update.
+	Duration            time.Duration
+	MaintenanceDuration time.Duration
+}
+
+// RestoreReport summarizes one restore.
+type RestoreReport struct {
+	Version int
+	// BytesRestored is the logical stream size written out.
+	BytesRestored uint64
+	// ContainerReads counts container fetches — the paper's restore cost.
+	ContainerReads uint64
+	// SpeedFactor is MB restored per container read (higher is better).
+	SpeedFactor float64
+	Duration    time.Duration
+}
+
+// DeleteReport summarizes removing an expired version.
+type DeleteReport struct {
+	Version           int
+	ContainersDeleted int
+	BytesReclaimed    uint64
+	Duration          time.Duration
+}
+
+// Stats is a system-wide snapshot.
+type Stats struct {
+	Versions     int
+	LogicalBytes uint64
+	StoredBytes  uint64
+	// DedupRatio is cumulative eliminated bytes over logical bytes.
+	DedupRatio float64
+	Containers int
+	// IndexMemoryBytes is the persistent fingerprint-index footprint
+	// (always 0 for HiDeStore; grows with data for baselines).
+	IndexMemoryBytes int64
+	// DiskIndexLookups counts on-disk index lookups (always 0 for
+	// HiDeStore).
+	DiskIndexLookups uint64
+}
+
+// System is a deduplicating backup system. Methods are safe for
+// concurrent use; operations are serialized internally (the underlying
+// engines are single-writer by design, like the paper's prototype).
+type System struct {
+	mu     sync.Mutex
+	engine backup.Engine
+}
+
+// Open creates or reopens a HiDeStore system. With a non-empty Dir the
+// full state — containers, recipes, and the engine's fingerprint-cache
+// bookkeeping — persists on disk, so reopening resumes the version history
+// exactly where the previous process stopped. (The Window must match the
+// one the directory was created with.)
+func Open(cfg Config) (*System, error) {
+	cs, rs, err := cfg.stores()
+	if err != nil {
+		return nil, err
+	}
+	alg, err := cfg.chunkerAlg()
+	if err != nil {
+		return nil, err
+	}
+	rc, err := cfg.restoreCache()
+	if err != nil {
+		return nil, err
+	}
+	statePath := ""
+	if cfg.Dir != "" {
+		statePath = filepath.Join(cfg.Dir, "state.hds")
+	}
+	e, err := core.New(core.Config{
+		Chunker:           alg,
+		ChunkParams:       cfg.chunkParams(),
+		Store:             cs,
+		Recipes:           rs,
+		ContainerCapacity: cfg.ContainerSize,
+		Window:            cfg.Window,
+		MergeUtilization:  cfg.MergeUtilization,
+		RestoreCache:      rc,
+		StatePath:         statePath,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: e}, nil
+}
+
+// BaselineConfig configures a destor-style baseline system for
+// comparisons.
+type BaselineConfig struct {
+	// Config supplies chunking, container and restore-cache settings
+	// (Window and MergeUtilization are ignored).
+	Config
+	// Index selects the fingerprint index: "ddfs" (default), "sparse",
+	// "silo" or "extbin".
+	Index string
+	// Rewriter selects duplicate rewriting: "none" (default), "capping",
+	// "cbr", "cfl", "fbw" or "har".
+	Rewriter string
+}
+
+// OpenBaseline creates a traditional deduplication system — the kind the
+// paper compares HiDeStore against.
+func OpenBaseline(cfg BaselineConfig) (*System, error) {
+	cs, rs, err := cfg.stores()
+	if err != nil {
+		return nil, err
+	}
+	alg, err := cfg.chunkerAlg()
+	if err != nil {
+		return nil, err
+	}
+	rc, err := cfg.restoreCache()
+	if err != nil {
+		return nil, err
+	}
+	var ix index.Index
+	switch cfg.Index {
+	case "", "ddfs":
+		ix, err = ddfs.New(ddfs.Options{})
+	case "sparse":
+		ix, err = sparse.New(sparse.Options{})
+	case "silo":
+		ix, err = silo.New(silo.Options{})
+	case "extbin":
+		ix, err = extbin.New(extbin.Options{})
+	default:
+		err = fmt.Errorf("hidestore: unknown index %q", cfg.Index)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rw, err := rewrite.New(cfg.Rewriter)
+	if err != nil {
+		return nil, err
+	}
+	e, err := dedup.New(dedup.Config{
+		Chunker:           alg,
+		ChunkParams:       cfg.chunkParams(),
+		Index:             ix,
+		Rewriter:          rw,
+		RestoreCache:      rc,
+		Store:             cs,
+		Recipes:           rs,
+		ContainerCapacity: cfg.ContainerSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: e}, nil
+}
+
+// ErrNilReader reports a nil backup source.
+var ErrNilReader = errors.New("hidestore: nil reader")
+
+// Backup deduplicates and stores one version stream; versions are
+// numbered sequentially from 1.
+func (s *System) Backup(ctx context.Context, r io.Reader) (BackupReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r == nil {
+		return BackupReport{}, ErrNilReader
+	}
+	rep, err := s.engine.Backup(ctx, r)
+	if err != nil {
+		return BackupReport{}, err
+	}
+	return BackupReport{
+		Version:             rep.Version,
+		LogicalBytes:        rep.LogicalBytes,
+		StoredBytes:         rep.StoredBytes,
+		Chunks:              rep.Chunks,
+		UniqueChunks:        rep.UniqueChunks,
+		DedupRatio:          rep.DedupRatio(),
+		Duration:            rep.Duration,
+		MaintenanceDuration: rep.MaintenanceDuration,
+	}, nil
+}
+
+// Restore writes the exact bytes of a stored version to w.
+func (s *System) Restore(ctx context.Context, version int, w io.Writer) (RestoreReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.engine.Restore(ctx, version, w)
+	if err != nil {
+		return RestoreReport{}, err
+	}
+	return RestoreReport{
+		Version:        rep.Version,
+		BytesRestored:  rep.Stats.BytesRestored,
+		ContainerReads: rep.Stats.ContainerReads,
+		SpeedFactor:    rep.Stats.SpeedFactor(),
+		Duration:       rep.Duration,
+	}, nil
+}
+
+// Delete expires a version. HiDeStore systems require oldest-first
+// deletion (and versions must have left the fingerprint-cache window);
+// baseline systems accept any version at garbage-collection cost.
+func (s *System) Delete(version int) (DeleteReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.engine.Delete(version)
+	if err != nil {
+		return DeleteReport{}, err
+	}
+	return DeleteReport{
+		Version:           rep.Version,
+		ContainersDeleted: rep.ContainersDeleted,
+		BytesReclaimed:    rep.BytesReclaimed,
+		Duration:          rep.Duration,
+	}, nil
+}
+
+// FsckReport summarizes an integrity check of the whole store.
+type FsckReport struct {
+	// Versions and Chunks count the recipes walked and entries resolved.
+	Versions int
+	Chunks   int
+	// Containers and StoredChunks count the container images verified.
+	Containers   int
+	StoredChunks int
+	// Problems lists every inconsistency found; empty means healthy.
+	Problems []string
+}
+
+// OK reports whether the check found no problems.
+func (r FsckReport) OK() bool { return len(r.Problems) == 0 }
+
+// Fsck verifies store integrity offline: every container decodes, every
+// chunk's content hashes to its fingerprint, and every recipe entry is
+// resolvable to a stored chunk. Read-only.
+func (s *System) Fsck() (FsckReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	checker, ok := s.engine.(backup.Checker)
+	if !ok {
+		return FsckReport{}, errors.New("hidestore: engine does not support integrity checks")
+	}
+	rep, err := checker.Check()
+	if err != nil {
+		return FsckReport{}, err
+	}
+	return FsckReport{
+		Versions:     rep.Versions,
+		Chunks:       rep.Chunks,
+		Containers:   rep.Containers,
+		StoredChunks: rep.StoredChunks,
+		Problems:     rep.Problems,
+	}, nil
+}
+
+// FlattenReport summarizes an offline recipe-chain flattening pass.
+type FlattenReport struct {
+	// Versions is the number of stored versions whose recipes were walked.
+	Versions int
+	Duration time.Duration
+}
+
+// Flatten runs the paper's Algorithm 1 offline: it collapses recipe
+// forward-pointer chains so later restores of old versions skip the
+// chain walk. Only HiDeStore systems support it. It is safe to run at any
+// time; restores invoke it lazily when needed.
+func (s *System) Flatten() (FlattenReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.engine.(*core.Engine)
+	if !ok {
+		return FlattenReport{}, errors.New("hidestore: flatten requires a HiDeStore engine")
+	}
+	start := time.Now()
+	versions := e.Versions()
+	if len(versions) == 0 {
+		return FlattenReport{}, nil
+	}
+	if err := e.FlattenRecipes(versions[0]); err != nil {
+		return FlattenReport{}, err
+	}
+	return FlattenReport{Versions: len(versions), Duration: time.Since(start)}, nil
+}
+
+// VerifyRestore restores a version into w while recomputing every fetched
+// chunk's fingerprint — a scrub-on-read. Only HiDeStore systems support
+// it; baseline systems return an error.
+func (s *System) VerifyRestore(ctx context.Context, version int, w io.Writer) (RestoreReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.engine.(*core.Engine)
+	if !ok {
+		return RestoreReport{}, errors.New("hidestore: verified restore requires a HiDeStore engine")
+	}
+	rep, err := e.VerifyRestore(ctx, version, w)
+	if err != nil {
+		return RestoreReport{}, err
+	}
+	return RestoreReport{
+		Version:        rep.Version,
+		BytesRestored:  rep.Stats.BytesRestored,
+		ContainerReads: rep.Stats.ContainerReads,
+		SpeedFactor:    rep.Stats.SpeedFactor(),
+		Duration:       rep.Duration,
+	}, nil
+}
+
+// Versions lists stored version numbers in ascending order.
+func (s *System) Versions() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Versions()
+}
+
+// Stats returns a system-wide snapshot.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.engine.Stats()
+	return Stats{
+		Versions:         st.Versions,
+		LogicalBytes:     st.LogicalBytes,
+		StoredBytes:      st.StoredBytes,
+		DedupRatio:       st.DedupRatio(),
+		Containers:       st.Containers,
+		IndexMemoryBytes: st.IndexMemBytes,
+		DiskIndexLookups: st.IndexStats.DiskLookups,
+	}
+}

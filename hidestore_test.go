@@ -1,0 +1,289 @@
+package hidestore
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hidestore/internal/workload"
+)
+
+func testVersions(t *testing.T, n int) [][]byte {
+	t.Helper()
+	g, err := workload.New(workload.Config{
+		Name: "api-test", Versions: n, Files: 16, BlocksPerFile: 10,
+		BlockSize: 4096, ModifyRate: 0.08, InsertRate: 0.005,
+		DeleteRate: 0.003, FileChurn: 0.02, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for g.HasNext() {
+		r, err := g.NextVersion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+func TestOpenDefaults(t *testing.T) {
+	sys, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil {
+		t.Fatal("nil system")
+	}
+}
+
+func TestOpenBadOptions(t *testing.T) {
+	if _, err := Open(Config{Chunker: "nope"}); err == nil {
+		t.Fatal("bad chunker should fail")
+	}
+	if _, err := Open(Config{RestoreCache: "nope"}); err == nil {
+		t.Fatal("bad restore cache should fail")
+	}
+	if _, err := OpenBaseline(BaselineConfig{Index: "nope"}); err == nil {
+		t.Fatal("bad index should fail")
+	}
+	if _, err := OpenBaseline(BaselineConfig{Rewriter: "nope"}); err == nil {
+		t.Fatal("bad rewriter should fail")
+	}
+}
+
+func TestBackupRestoreCycle(t *testing.T) {
+	sys, err := Open(Config{ContainerSize: 64 << 10, MinChunk: 1024, AvgChunk: 2048, MaxChunk: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := testVersions(t, 6)
+	ctx := context.Background()
+	for i, data := range versions {
+		rep, err := sys.Backup(ctx, bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Version != i+1 || rep.LogicalBytes != uint64(len(data)) {
+			t.Fatalf("report %+v", rep)
+		}
+		if i > 0 && rep.DedupRatio < 0.5 {
+			t.Fatalf("version %d dedup ratio %.2f too low", i+1, rep.DedupRatio)
+		}
+	}
+	for i, want := range versions {
+		var buf bytes.Buffer
+		rep, err := sys.Restore(ctx, i+1, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("version %d corrupted", i+1)
+		}
+		if rep.BytesRestored != uint64(len(want)) || rep.SpeedFactor <= 0 {
+			t.Fatalf("restore report %+v", rep)
+		}
+	}
+	st := sys.Stats()
+	if st.Versions != 6 || st.DedupRatio <= 0 || st.DiskIndexLookups != 0 || st.IndexMemoryBytes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := sys.Versions(); len(got) != 6 {
+		t.Fatalf("Versions = %v", got)
+	}
+}
+
+func TestDeleteCycle(t *testing.T) {
+	sys, err := Open(Config{ContainerSize: 64 << 10, MinChunk: 1024, AvgChunk: 2048, MaxChunk: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := testVersions(t, 5)
+	ctx := context.Background()
+	for _, data := range versions {
+		if _, err := sys.Backup(ctx, bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sys.Delete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesReclaimed == 0 {
+		t.Fatal("nothing reclaimed")
+	}
+	var buf bytes.Buffer
+	if _, err := sys.Restore(ctx, 5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), versions[4]) {
+		t.Fatal("latest version corrupted after delete")
+	}
+}
+
+func TestFileBackedSystem(t *testing.T) {
+	sys, err := Open(Config{
+		Dir:           t.TempDir(),
+		ContainerSize: 64 << 10, MinChunk: 1024, AvgChunk: 2048, MaxChunk: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := testVersions(t, 3)
+	ctx := context.Background()
+	for _, data := range versions {
+		if _, err := sys.Backup(ctx, bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range versions {
+		var buf bytes.Buffer
+		if _, err := sys.Restore(ctx, i+1, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("version %d corrupted", i+1)
+		}
+	}
+}
+
+func TestBaselineSystem(t *testing.T) {
+	for _, ix := range []string{"ddfs", "sparse", "silo", "extbin"} {
+		sys, err := OpenBaseline(BaselineConfig{
+			Config: Config{ContainerSize: 64 << 10, MinChunk: 1024, AvgChunk: 2048, MaxChunk: 8192},
+			Index:  ix, Rewriter: "capping",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions := testVersions(t, 4)
+		ctx := context.Background()
+		for _, data := range versions {
+			if _, err := sys.Backup(ctx, bytes.NewReader(data)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, want := range versions {
+			var buf bytes.Buffer
+			if _, err := sys.Restore(ctx, i+1, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s: version %d corrupted", ix, i+1)
+			}
+		}
+		// The baseline can delete any version.
+		if _, err := sys.Delete(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNilReader(t *testing.T) {
+	sys, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Backup(context.Background(), nil); err == nil {
+		t.Fatal("nil reader should fail")
+	}
+}
+
+func TestFlattenAndVerifyRestore(t *testing.T) {
+	sys, err := Open(Config{ContainerSize: 64 << 10, MinChunk: 1024, AvgChunk: 2048, MaxChunk: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := testVersions(t, 5)
+	ctx := context.Background()
+	for _, data := range versions {
+		if _, err := sys.Backup(ctx, bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sys.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Versions != 5 {
+		t.Fatalf("Flatten report %+v", rep)
+	}
+	var buf bytes.Buffer
+	vrep, err := sys.VerifyRestore(ctx, 3, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), versions[2]) || vrep.BytesRestored == 0 {
+		t.Fatal("verified restore wrong")
+	}
+	// Baseline systems refuse both.
+	base, err := OpenBaseline(BaselineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Flatten(); err == nil {
+		t.Fatal("baseline Flatten should fail")
+	}
+	if _, err := base.VerifyRestore(ctx, 1, io.Discard); err == nil {
+		t.Fatal("baseline VerifyRestore should fail")
+	}
+}
+
+// TestCompressedSystem runs the full cycle with at-rest compression and
+// verifies the on-disk footprint shrinks versus uncompressed.
+func TestCompressedSystem(t *testing.T) {
+	versions := testVersions(t, 4)
+	ctx := context.Background()
+	run := func(compress bool, dir string) uint64 {
+		sys, err := Open(Config{
+			Dir: dir, Compress: compress,
+			ContainerSize: 64 << 10, MinChunk: 1024, AvgChunk: 2048, MaxChunk: 8192,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, data := range versions {
+			if _, err := sys.Backup(ctx, bytes.NewReader(data)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, want := range versions {
+			var buf bytes.Buffer
+			if _, err := sys.Restore(ctx, i+1, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("compress=%v: version %d corrupted", compress, i+1)
+			}
+		}
+		var total uint64
+		dirents, err := os.ReadDir(filepath.Join(dir, "containers"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, de := range dirents {
+			info, err := de.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += uint64(info.Size())
+		}
+		return total
+	}
+	plain := run(false, t.TempDir())
+	packed := run(true, t.TempDir())
+	// Workload content is random (nearly incompressible), but headers and
+	// any slack still shave something; at minimum it must not grow much.
+	if packed > plain+plain/10 {
+		t.Fatalf("compressed store uses %d bytes vs plain %d", packed, plain)
+	}
+}

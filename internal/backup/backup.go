@@ -1,0 +1,147 @@
+// Package backup defines the engine abstraction shared by the baseline
+// destor-style engine (internal/dedup) and the HiDeStore engine
+// (internal/core): backing up version streams, restoring them, deleting
+// expired versions, and reporting the metrics the paper's evaluation is
+// built from.
+package backup
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"hidestore/internal/index"
+	"hidestore/internal/restorecache"
+	"hidestore/internal/rewrite"
+)
+
+// BackupReport summarizes one version's deduplication.
+type BackupReport struct {
+	// Version is the version number assigned (1-based, sequential).
+	Version int
+	// LogicalBytes is the size of the incoming stream.
+	LogicalBytes uint64
+	// StoredBytes is the payload newly written to containers (unique +
+	// rewritten chunks).
+	StoredBytes uint64
+	// Chunks and UniqueChunks count the stream's chunks and how many were
+	// stored.
+	Chunks       int
+	UniqueChunks int
+	// IndexStats snapshots the index counters for this version alone.
+	IndexStats index.Stats
+	// RewriteStats snapshots rewriting counters for this version alone
+	// (zero-valued for engines that never rewrite).
+	RewriteStats rewrite.Stats
+	// Duration is the wall time of the dedup phase.
+	Duration time.Duration
+	// MaintenanceDuration is HiDeStore's post-version work: migrating
+	// cold chunks, merging sparse containers and updating the previous
+	// recipe (§5.4, Figure 12). Zero for the baseline engine.
+	MaintenanceDuration time.Duration
+	// MigrateDuration is the move-chunks + merge-sparse-containers part
+	// of maintenance (Figure 12's "moving chunks" series).
+	MigrateDuration time.Duration
+	// RecipeUpdateDuration is the previous-recipe rewrite part of
+	// maintenance (Figure 12's "updating recipes" series).
+	RecipeUpdateDuration time.Duration
+}
+
+// DedupRatio is eliminated bytes over logical bytes for this version.
+func (r BackupReport) DedupRatio() float64 {
+	if r.LogicalBytes == 0 {
+		return 0
+	}
+	return float64(r.LogicalBytes-r.StoredBytes) / float64(r.LogicalBytes)
+}
+
+// RestoreReport summarizes one restore run.
+type RestoreReport struct {
+	Version int
+	Stats   restorecache.Stats
+	// Duration includes any recipe flattening needed before reading.
+	Duration time.Duration
+	// RecipeUpdateDuration is the offline Algorithm 1 time (HiDeStore
+	// only; zero for the baseline engine).
+	RecipeUpdateDuration time.Duration
+}
+
+// DeleteReport summarizes removing an expired version.
+type DeleteReport struct {
+	Version int
+	// ContainersDeleted counts containers removed outright.
+	ContainersDeleted int
+	// ContainersRewritten counts containers compacted in place (baseline
+	// garbage collection; always zero for HiDeStore, §5.5).
+	ContainersRewritten int
+	// ChunksScanned is the reference-detection effort: how many chunk
+	// references had to be examined to decide what was garbage.
+	ChunksScanned int
+	// BytesReclaimed is the payload space freed.
+	BytesReclaimed uint64
+	Duration       time.Duration
+}
+
+// Stats is an engine-wide snapshot.
+type Stats struct {
+	Versions      int
+	LogicalBytes  uint64
+	StoredBytes   uint64
+	Containers    int
+	IndexStats    index.Stats
+	IndexMemBytes int64
+	RewriteStats  rewrite.Stats
+}
+
+// DedupRatio is the cumulative eliminated-bytes ratio (the paper's
+// Figure 8 metric: eliminated size / dataset size).
+func (s Stats) DedupRatio() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes-s.StoredBytes) / float64(s.LogicalBytes)
+}
+
+// CheckReport summarizes an integrity check (fsck) of a backup store.
+type CheckReport struct {
+	// Versions and Chunks are the recipes walked and entries resolved.
+	Versions int
+	Chunks   int
+	// Containers and StoredChunks are the container images verified.
+	Containers   int
+	StoredChunks int
+	// Problems lists every inconsistency found, in discovery order.
+	Problems []string
+}
+
+// OK reports whether the check found no problems.
+func (r CheckReport) OK() bool { return len(r.Problems) == 0 }
+
+// Problemf appends a formatted problem.
+func (r *CheckReport) Problemf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Checker is implemented by engines that support offline integrity
+// verification.
+type Checker interface {
+	// Check verifies containers, chunk contents and recipe resolvability
+	// without mutating anything.
+	Check() (CheckReport, error)
+}
+
+// Engine is a deduplicating backup system.
+type Engine interface {
+	// Backup deduplicates one version stream and persists it. Versions
+	// are numbered sequentially from 1.
+	Backup(ctx context.Context, version io.Reader) (BackupReport, error)
+	// Restore reassembles a stored version into w.
+	Restore(ctx context.Context, version int, w io.Writer) (RestoreReport, error)
+	// Delete removes an expired version and reclaims its exclusive space.
+	Delete(version int) (DeleteReport, error)
+	// Versions lists stored version numbers in ascending order.
+	Versions() []int
+	// Stats returns an engine-wide snapshot.
+	Stats() Stats
+}

@@ -1,0 +1,61 @@
+package backup
+
+import (
+	"testing"
+
+	"hidestore/internal/restorecache"
+)
+
+func TestBackupReportDedupRatio(t *testing.T) {
+	tests := []struct {
+		name string
+		rep  BackupReport
+		want float64
+	}{
+		{"empty", BackupReport{}, 0},
+		{"all unique", BackupReport{LogicalBytes: 100, StoredBytes: 100}, 0},
+		{"all duplicate", BackupReport{LogicalBytes: 100, StoredBytes: 0}, 1},
+		{"half", BackupReport{LogicalBytes: 100, StoredBytes: 50}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.rep.DedupRatio(); got != tt.want {
+				t.Fatalf("DedupRatio = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStatsDedupRatio(t *testing.T) {
+	if got := (Stats{}).DedupRatio(); got != 0 {
+		t.Fatalf("empty Stats ratio = %v", got)
+	}
+	st := Stats{LogicalBytes: 1000, StoredBytes: 85}
+	if got := st.DedupRatio(); got != 0.915 {
+		t.Fatalf("ratio = %v, want 0.915", got)
+	}
+}
+
+func TestCheckReport(t *testing.T) {
+	var rep CheckReport
+	if !rep.OK() {
+		t.Fatal("empty report should be OK")
+	}
+	rep.Problemf("container %d is sad", 7)
+	if rep.OK() {
+		t.Fatal("report with problems should not be OK")
+	}
+	if rep.Problems[0] != "container 7 is sad" {
+		t.Fatalf("Problemf formatting: %q", rep.Problems[0])
+	}
+}
+
+func TestRestoreReportCarriesStats(t *testing.T) {
+	rep := RestoreReport{
+		Version: 3,
+		Stats:   restorecache.Stats{BytesRestored: 4 << 20, ContainerReads: 2},
+	}
+	if got := rep.Stats.SpeedFactor(); got != 2.0 {
+		t.Fatalf("SpeedFactor = %v", got)
+	}
+}

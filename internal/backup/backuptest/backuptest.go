@@ -1,0 +1,110 @@
+// Package backuptest provides shared helpers for exercising backup.Engine
+// implementations (the baseline engine and HiDeStore) against synthetic
+// version chains: back up every version, then prove each one restores to
+// the exact original bytes.
+package backuptest
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"hidestore/internal/backup"
+	"hidestore/internal/workload"
+)
+
+// SmallWorkload returns a laptop-instant workload configuration with the
+// given number of versions and flap rate (0 for kernel-like, >0 for
+// macos-like).
+func SmallWorkload(versions int, flapRate float64) workload.Config {
+	return workload.Config{
+		Name:          "enginetest",
+		Versions:      versions,
+		Files:         12,
+		BlocksPerFile: 10,
+		BlockSize:     4096,
+		ModifyRate:    0.08,
+		InsertRate:    0.005,
+		DeleteRate:    0.003,
+		FileChurn:     0.02,
+		FlapRate:      flapRate,
+		Seed:          1234,
+	}
+}
+
+// Materialize generates every version of cfg as a byte slice.
+func Materialize(t testing.TB, cfg workload.Config) [][]byte {
+	t.Helper()
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for g.HasNext() {
+		r, err := g.NextVersion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+// BackupAll feeds every version into the engine and returns the reports.
+func BackupAll(t testing.TB, e backup.Engine, versions [][]byte) []backup.BackupReport {
+	t.Helper()
+	reports := make([]backup.BackupReport, 0, len(versions))
+	for i, data := range versions {
+		rep, err := e.Backup(context.Background(), bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("backup of version %d: %v", i+1, err)
+		}
+		if rep.Version != i+1 {
+			t.Fatalf("version numbering: got %d, want %d", rep.Version, i+1)
+		}
+		if rep.LogicalBytes != uint64(len(data)) {
+			t.Fatalf("version %d logical bytes %d, want %d", i+1, rep.LogicalBytes, len(data))
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// CheckRestoreAll restores every version and compares it byte-for-byte
+// with the original stream.
+func CheckRestoreAll(t testing.TB, e backup.Engine, versions [][]byte) []backup.RestoreReport {
+	t.Helper()
+	reports := make([]backup.RestoreReport, 0, len(versions))
+	for i, want := range versions {
+		var buf bytes.Buffer
+		rep, err := e.Restore(context.Background(), i+1, &buf)
+		if err != nil {
+			t.Fatalf("restore of version %d: %v", i+1, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("version %d: restored %d bytes differ from original %d bytes",
+				i+1, buf.Len(), len(want))
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// CheckRestoreOne restores a single version and compares bytes.
+func CheckRestoreOne(t testing.TB, e backup.Engine, version int, want []byte) backup.RestoreReport {
+	t.Helper()
+	var buf bytes.Buffer
+	rep, err := e.Restore(context.Background(), version, &buf)
+	if err != nil {
+		t.Fatalf("restore of version %d: %v", version, err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("version %d: restored bytes differ from original", version)
+	}
+	return rep
+}

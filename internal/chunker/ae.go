@@ -1,0 +1,58 @@
+package chunker
+
+import "io"
+
+// ae implements the Asymmetric Extremum algorithm (Zhang et al.,
+// INFOCOM'15). A cut is declared when a local-maximum byte value is
+// followed by a full window of w bytes none of which exceeds it. AE needs
+// no rolling hash and touches each byte once; byte values are mixed through
+// the gear table so that low-entropy data (runs of equal bytes) still
+// produces well-distributed extrema.
+//
+// The expected chunk size of pure AE is roughly w·(e−1)/1 ≈ 1.72·w; we
+// derive w from Params.Avg accordingly and additionally enforce the
+// Min/Max bounds for parity with the other chunkers.
+type ae struct {
+	s      *scanner
+	p      Params
+	window int
+}
+
+func newAE(r io.Reader, p Params) *ae {
+	w := int(float64(p.Avg) / 1.72)
+	if w < 1 {
+		w = 1
+	}
+	return &ae{s: newScanner(r, p.Max), p: p, window: w}
+}
+
+func (c *ae) Next() ([]byte, error) {
+	win := c.s.window(c.p.Max)
+	if err := c.s.failed(); err != nil {
+		return nil, err
+	}
+	if len(win) == 0 {
+		return nil, io.EOF
+	}
+	if len(win) <= c.p.Min {
+		return c.s.take(len(win)), nil
+	}
+	maxVal := uint64(0)
+	maxPos := -1
+	cut := len(win)
+	for i := 0; i < len(win); i++ {
+		v := _gear[win[i]]
+		if i+1 < c.p.Min {
+			continue
+		}
+		if maxPos < 0 || v > maxVal {
+			maxVal, maxPos = v, i
+			continue
+		}
+		if i-maxPos >= c.window {
+			cut = i + 1
+			break
+		}
+	}
+	return c.s.take(cut), nil
+}

@@ -1,0 +1,383 @@
+package chunker
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/iotest"
+	"testing/quick"
+)
+
+var _allAlgs = []Algorithm{Fixed, Rabin, TTTD, FastCDC, AE}
+
+func testParams() Params {
+	return Params{Min: 512, Avg: 1024, Max: 4096}
+}
+
+func randomData(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestAlgorithmStringRoundTrip(t *testing.T) {
+	for _, alg := range _allAlgs {
+		got, err := ParseAlgorithm(alg.String())
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%s): %v", alg, err)
+		}
+		if got != alg {
+			t.Fatalf("round trip %v -> %v", alg, got)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Fatal("ParseAlgorithm(bogus) should fail")
+	}
+	if s := Algorithm(99).String(); s != "Algorithm(99)" {
+		t.Fatalf("unknown String() = %q", s)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"default", DefaultParams(), false},
+		{"zero", Params{}, true},
+		{"negative", Params{Min: -1, Avg: 2, Max: 3}, true},
+		{"min>avg", Params{Min: 10, Avg: 5, Max: 20}, true},
+		{"avg>max", Params{Min: 1, Avg: 30, Max: 20}, true},
+		{"equal", Params{Min: 8, Avg: 8, Max: 8}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(Rabin, bytes.NewReader(nil), Params{}); err == nil {
+		t.Fatal("New with zero params should fail")
+	}
+	if _, err := New(Algorithm(42), bytes.NewReader(nil), testParams()); err == nil {
+		t.Fatal("New with unknown algorithm should fail")
+	}
+}
+
+// TestReassembly checks that concatenating the chunks reproduces the input
+// exactly, for every algorithm and several stream sizes including edge
+// cases around the min/max bounds.
+func TestReassembly(t *testing.T) {
+	p := testParams()
+	sizes := []int{0, 1, p.Min - 1, p.Min, p.Min + 1, p.Avg, p.Max, p.Max + 1, 3*p.Max + 17, 256 * 1024}
+	for _, alg := range _allAlgs {
+		for _, n := range sizes {
+			data := randomData(int64(n)+7, n)
+			chunks, err := Split(alg, data, p)
+			if err != nil {
+				t.Fatalf("%s size %d: %v", alg, n, err)
+			}
+			var joined []byte
+			for _, c := range chunks {
+				joined = append(joined, c...)
+			}
+			if !bytes.Equal(joined, data) {
+				t.Fatalf("%s size %d: reassembly mismatch (%d chunks)", alg, n, len(chunks))
+			}
+		}
+	}
+}
+
+// TestBounds checks that all chunks except the last respect Min and that
+// no chunk exceeds Max.
+func TestBounds(t *testing.T) {
+	p := testParams()
+	data := randomData(42, 512*1024)
+	for _, alg := range _allAlgs {
+		chunks, err := Split(alg, data, p)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for i, c := range chunks {
+			if len(c) > p.Max {
+				t.Fatalf("%s: chunk %d size %d exceeds max %d", alg, i, len(c), p.Max)
+			}
+			if i < len(chunks)-1 && len(c) < p.Min {
+				t.Fatalf("%s: chunk %d size %d below min %d", alg, i, len(c), p.Min)
+			}
+		}
+	}
+}
+
+// TestDeterminism verifies identical input yields identical chunking.
+func TestDeterminism(t *testing.T) {
+	p := testParams()
+	data := randomData(7, 200*1024)
+	for _, alg := range _allAlgs {
+		a, err := Split(alg, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Split(alg, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: chunk count differs: %d vs %d", alg, len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("%s: chunk %d differs", alg, i)
+			}
+		}
+	}
+}
+
+// TestSmallReads runs each chunker over a one-byte-at-a-time reader to
+// exercise the scanner's refill path.
+func TestSmallReads(t *testing.T) {
+	p := testParams()
+	data := randomData(3, 64*1024)
+	for _, alg := range _allAlgs {
+		want, err := Split(alg, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(alg, iotest.OneByteReader(bytes.NewReader(data)), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		for {
+			chunk, err := c.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, chunk)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: one-byte reader yields %d chunks, want %d", alg, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("%s: chunk %d differs under small reads", alg, i)
+			}
+		}
+	}
+}
+
+// TestReaderError propagates a mid-stream reader failure.
+func TestReaderError(t *testing.T) {
+	p := testParams()
+	boom := errors.New("boom")
+	for _, alg := range _allAlgs {
+		r := io.MultiReader(bytes.NewReader(randomData(1, 8192)), iotest.ErrReader(boom))
+		c, err := New(alg, r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, err := c.Next()
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, boom) {
+				t.Fatalf("%s: got %v, want boom", alg, err)
+			}
+			break
+		}
+	}
+}
+
+// TestContentDefinedLocality checks the core CDC property: appending a
+// prefix to the stream does not change chunk boundaries far from the edit.
+// The tail chunks (content-defined ones) must re-synchronize.
+func TestContentDefinedLocality(t *testing.T) {
+	p := testParams()
+	base := randomData(11, 128*1024)
+	shifted := append(randomData(13, 777), base...) // insert 777 bytes at front
+	for _, alg := range _allAlgs {
+		if alg == Fixed {
+			continue // fixed-size chunking has no such property
+		}
+		a, err := Split(alg, base, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Split(alg, shifted, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count how many trailing chunks match exactly.
+		match := 0
+		for i, j := len(a)-1, len(b)-1; i >= 0 && j >= 0; i, j = i-1, j-1 {
+			if !bytes.Equal(a[i], b[j]) {
+				break
+			}
+			match++
+		}
+		if match < len(a)/2 {
+			t.Errorf("%s: only %d/%d trailing chunks re-synchronized after prefix insert", alg, match, len(a))
+		}
+	}
+}
+
+// TestAverageSize sanity-checks that content-defined chunkers land within
+// a loose factor of the configured average on random data.
+func TestAverageSize(t *testing.T) {
+	p := testParams()
+	data := randomData(21, 1024*1024)
+	for _, alg := range _allAlgs {
+		chunks, err := Split(alg, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := float64(len(data)) / float64(len(chunks))
+		if mean < float64(p.Min) || mean > float64(p.Max) {
+			t.Errorf("%s: mean chunk size %.0f outside [min,max] = [%d,%d]", alg, mean, p.Min, p.Max)
+		}
+		if alg != Fixed && (mean < 0.3*float64(p.Avg) || mean > 3*float64(p.Avg)) {
+			t.Errorf("%s: mean chunk size %.0f too far from avg %d", alg, mean, p.Avg)
+		}
+	}
+}
+
+// TestQuickReassembly is a property-based test: for arbitrary byte slices,
+// chunking then joining is the identity, under every algorithm.
+func TestQuickReassembly(t *testing.T) {
+	p := Params{Min: 64, Avg: 128, Max: 512}
+	for _, alg := range _allAlgs {
+		alg := alg
+		f := func(data []byte) bool {
+			chunks, err := Split(alg, data, p)
+			if err != nil {
+				return false
+			}
+			var joined []byte
+			for _, c := range chunks {
+				joined = append(joined, c...)
+			}
+			return bytes.Equal(joined, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+// TestQuickBounds property-tests the size bounds for arbitrary inputs.
+func TestQuickBounds(t *testing.T) {
+	p := Params{Min: 64, Avg: 128, Max: 512}
+	for _, alg := range _allAlgs {
+		alg := alg
+		f := func(data []byte) bool {
+			chunks, err := Split(alg, data, p)
+			if err != nil {
+				return false
+			}
+			for i, c := range chunks {
+				if len(c) > p.Max {
+					return false
+				}
+				if i < len(chunks)-1 && len(c) < p.Min && alg != Fixed {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestFixedChunkSizes(t *testing.T) {
+	p := Params{Min: 100, Avg: 100, Max: 100}
+	data := randomData(5, 1050)
+	chunks, err := Split(Fixed, data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 11 {
+		t.Fatalf("got %d chunks, want 11", len(chunks))
+	}
+	for i := 0; i < 10; i++ {
+		if len(chunks[i]) != 100 {
+			t.Fatalf("chunk %d size %d, want 100", i, len(chunks[i]))
+		}
+	}
+	if len(chunks[10]) != 50 {
+		t.Fatalf("last chunk size %d, want 50", len(chunks[10]))
+	}
+}
+
+func TestPolyMod(t *testing.T) {
+	// x^4+x+1 mod x^2+1: (10011) mod (101).
+	got := polyMod(0b10011, 0b101)
+	if polyDeg(got) >= polyDeg(0b101) {
+		t.Fatalf("polyMod left degree %d >= divisor degree", polyDeg(got))
+	}
+	if polyDeg(Poly(0)) != -1 {
+		t.Fatal("deg(0) should be -1")
+	}
+	if polyDeg(Poly(1)) != 0 {
+		t.Fatal("deg(1) should be 0")
+	}
+	if polyDeg(_rabinPoly) != 53 {
+		t.Fatalf("deg(rabinPoly) = %d, want 53", polyDeg(_rabinPoly))
+	}
+}
+
+func TestGearTableStable(t *testing.T) {
+	a := makeGear(0x9E3779B97F4A7C15)
+	b := makeGear(0x9E3779B97F4A7C15)
+	if a != b {
+		t.Fatal("gear table must be deterministic")
+	}
+	// All entries distinct (splitmix64 is a bijection over the counter).
+	seen := make(map[uint64]bool, 256)
+	for _, v := range a {
+		if seen[v] {
+			t.Fatal("gear table has duplicate entries")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitEmptyInput(t *testing.T) {
+	for _, alg := range _allAlgs {
+		chunks, err := Split(alg, nil, testParams())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(chunks) != 0 {
+			t.Fatalf("%s: empty input produced %d chunks", alg, len(chunks))
+		}
+	}
+}
+
+func BenchmarkChunkers(b *testing.B) {
+	data := randomData(99, 4*1024*1024)
+	p := DefaultParams()
+	for _, alg := range _allAlgs {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Split(alg, data, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package chunker
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSplitReassembly checks, for every algorithm on arbitrary input:
+// chunks concatenate back to the input, and bounds hold.
+func FuzzSplitReassembly(f *testing.F) {
+	f.Add([]byte("hello world"))
+	f.Add(bytes.Repeat([]byte{0}, 5000))
+	f.Add(bytes.Repeat([]byte("abcdef"), 1000))
+	f.Add([]byte{})
+	p := Params{Min: 64, Avg: 256, Max: 1024}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, alg := range []Algorithm{Fixed, Rabin, TTTD, FastCDC, AE} {
+			chunks, err := Split(alg, data, p)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			var joined []byte
+			for i, c := range chunks {
+				joined = append(joined, c...)
+				if len(c) > p.Max {
+					t.Fatalf("%s: chunk %d exceeds max", alg, i)
+				}
+				if len(c) == 0 {
+					t.Fatalf("%s: empty chunk %d", alg, i)
+				}
+			}
+			if !bytes.Equal(joined, data) {
+				t.Fatalf("%s: reassembly mismatch", alg)
+			}
+		}
+	})
+}

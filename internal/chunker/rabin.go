@@ -1,0 +1,144 @@
+package chunker
+
+import (
+	"io"
+	"math/bits"
+)
+
+// Poly is a polynomial over GF(2), bit i representing the coefficient of x^i.
+type Poly uint64
+
+// _rabinPoly is an irreducible polynomial of degree 53, the same default
+// used by well-known Rabin chunker implementations. Irreducibility makes
+// the rolling fingerprint behave like a uniform hash of the window.
+const _rabinPoly Poly = 0x3DA3358B4DC173
+
+// _rabinWindow is the number of bytes the rolling fingerprint covers.
+// 48 bytes is the classic choice (LBFS and descendants).
+const _rabinWindow = 48
+
+func polyDeg(p Poly) int {
+	if p == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(p))
+}
+
+func polyMod(x, p Poly) Poly {
+	dp := polyDeg(p)
+	for d := polyDeg(x); d >= dp; d = polyDeg(x) {
+		x ^= p << uint(d-dp)
+	}
+	return x
+}
+
+// appendByte folds one byte into hash, reducing modulo pol.
+func appendByte(hash Poly, b byte, pol Poly) Poly {
+	hash <<= 8
+	hash |= Poly(b)
+	return polyMod(hash, pol)
+}
+
+// rabinTables holds the precomputed shift-out and reduction tables for a
+// given polynomial and window size.
+type rabinTables struct {
+	out   [256]Poly // contribution of the byte leaving the window
+	mod   [256]Poly // reduction values for the rolling append
+	shift uint      // digest bits above which reduction applies
+}
+
+func calcRabinTables(pol Poly, window int) *rabinTables {
+	t := &rabinTables{shift: uint(polyDeg(pol) - 8)}
+	for b := 0; b < 256; b++ {
+		var h Poly
+		h = appendByte(h, byte(b), pol)
+		for i := 0; i < window-1; i++ {
+			h = appendByte(h, 0, pol)
+		}
+		t.out[b] = h
+	}
+	k := uint(polyDeg(pol))
+	for b := 0; b < 256; b++ {
+		t.mod[b] = polyMod(Poly(b)<<k, pol) | Poly(b)<<k
+	}
+	return t
+}
+
+// _rabinTab is shared by all rabin chunkers; the polynomial and window are
+// fixed so the table is computed once.
+var _rabinTab = calcRabinTables(_rabinPoly, _rabinWindow)
+
+// rabinHash is a rolling Rabin fingerprint over a fixed-size window.
+type rabinHash struct {
+	tab    *rabinTables
+	window [_rabinWindow]byte
+	wpos   int
+	digest Poly
+}
+
+func (h *rabinHash) reset() {
+	h.window = [_rabinWindow]byte{}
+	h.wpos = 0
+	h.digest = 0
+	// Feed a single 1-byte so an all-zero window does not yield digest 0
+	// (which would match any mask immediately).
+	h.slide(1)
+}
+
+func (h *rabinHash) slide(b byte) {
+	out := h.window[h.wpos]
+	h.window[h.wpos] = b
+	h.digest ^= h.tab.out[out]
+	h.wpos++
+	if h.wpos >= _rabinWindow {
+		h.wpos = 0
+	}
+	index := byte(h.digest >> h.tab.shift)
+	h.digest <<= 8
+	h.digest |= Poly(b)
+	h.digest ^= h.tab.mod[index]
+}
+
+// rabin is the Rabin-based content-defined chunker.
+type rabin struct {
+	s    *scanner
+	h    rabinHash
+	p    Params
+	mask Poly
+}
+
+func newRabin(r io.Reader, p Params) *rabin {
+	c := &rabin{
+		s:    newScanner(r, p.Max),
+		p:    p,
+		mask: Poly(nextPow2(p.Avg) - 1),
+	}
+	c.h.tab = _rabinTab
+	return c
+}
+
+func (c *rabin) Next() ([]byte, error) {
+	win := c.s.window(c.p.Max)
+	if err := c.s.failed(); err != nil {
+		return nil, err
+	}
+	if len(win) == 0 {
+		return nil, io.EOF
+	}
+	if len(win) <= c.p.Min {
+		return c.s.take(len(win)), nil
+	}
+	c.h.reset()
+	cut := len(win)
+	for i := 0; i < len(win); i++ {
+		c.h.slide(win[i])
+		if i+1 < c.p.Min {
+			continue
+		}
+		if c.h.digest&c.mask == c.mask {
+			cut = i + 1
+			break
+		}
+	}
+	return c.s.take(cut), nil
+}

@@ -1,0 +1,70 @@
+package chunker
+
+import "io"
+
+// tttd implements the Two Thresholds, Two Divisors algorithm (Eshghi &
+// Tang, HP Labs), the chunker HiDeStore's prototype uses (§5.1). It scans
+// with a rolling Rabin fingerprint and keeps two divisors: the main divisor
+// D yields the target average size; the backup divisor D' = D/2 fires twice
+// as often and records a fallback cut point. If no main cut appears before
+// the maximum threshold, the most recent backup cut is used, which keeps
+// forced cuts content-defined instead of positional.
+type tttd struct {
+	s       *scanner
+	h       rabinHash
+	p       Params
+	mainDiv Poly
+	backDiv Poly
+}
+
+func newTTTD(r io.Reader, p Params) *tttd {
+	// Divisors derived from the target average: with min-size skipping, the
+	// expected chunk size is roughly Min + D, so choose D = Avg - Min
+	// (rounded to a power of two for cheap masking).
+	d := nextPow2(p.Avg - p.Min)
+	if d < 2 {
+		d = 2
+	}
+	c := &tttd{
+		s:       newScanner(r, p.Max),
+		p:       p,
+		mainDiv: Poly(d - 1),
+		backDiv: Poly(d/2 - 1),
+	}
+	c.h.tab = _rabinTab
+	return c
+}
+
+func (c *tttd) Next() ([]byte, error) {
+	win := c.s.window(c.p.Max)
+	if err := c.s.failed(); err != nil {
+		return nil, err
+	}
+	if len(win) == 0 {
+		return nil, io.EOF
+	}
+	if len(win) <= c.p.Min {
+		return c.s.take(len(win)), nil
+	}
+	c.h.reset()
+	backup := 0
+	cut := len(win) // forced cut at max (or end of stream)
+	for i := 0; i < len(win); i++ {
+		c.h.slide(win[i])
+		if i+1 < c.p.Min {
+			continue
+		}
+		if c.h.digest&c.backDiv == c.backDiv {
+			backup = i + 1
+		}
+		if c.h.digest&c.mainDiv == c.mainDiv {
+			cut = i + 1
+			backup = 0
+			break
+		}
+	}
+	if cut == len(win) && len(win) == c.p.Max && backup > 0 {
+		cut = backup
+	}
+	return c.s.take(cut), nil
+}

@@ -1,0 +1,158 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FileStore is a Store backed by one file per container in a directory,
+// named c_<id>.ctn. Writes go through a temp file + rename so a crash
+// never leaves a half-written container visible.
+type FileStore struct {
+	dir   string
+	mu    sync.Mutex
+	stats StoreStats
+}
+
+var _ Store = (*FileStore)(nil)
+
+const _fileExt = ".ctn"
+
+// NewFileStore opens (creating if needed) a file-backed store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("container: create store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+func (s *FileStore) path(id ID) string {
+	return filepath.Join(s.dir, "c_"+strconv.FormatUint(uint64(id), 10)+_fileExt)
+}
+
+// Put implements Store.
+func (s *FileStore) Put(c *Container) error {
+	if c == nil {
+		return fmt.Errorf("container: Put nil container")
+	}
+	if c.ID() == 0 {
+		return fmt.Errorf("container: Put container with reserved ID 0")
+	}
+	buf, err := c.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("container: marshal %d: %w", c.ID(), err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("container: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("container: write %d: %w", c.ID(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("container: close %d: %w", c.ID(), err)
+	}
+	if err := os.Rename(tmpName, s.path(c.ID())); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("container: rename %d: %w", c.ID(), err)
+	}
+	s.mu.Lock()
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(c.LiveSize())
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id ID) (*Container, error) {
+	buf, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: container %d", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("container: read %d: %w", id, err)
+	}
+	c, err := UnmarshalBinary(buf)
+	if err != nil {
+		return nil, fmt.Errorf("container %d: %w", id, err)
+	}
+	s.mu.Lock()
+	s.stats.Reads++
+	s.stats.BytesRead += uint64(c.LiveSize())
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id ID) error {
+	err := os.Remove(s.path(id))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: container %d", ErrNotFound, id)
+		}
+		return fmt.Errorf("container: delete %d: %w", id, err)
+	}
+	s.mu.Lock()
+	s.stats.Deletes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Has implements Store.
+func (s *FileStore) Has(id ID) bool {
+	_, err := os.Stat(s.path(id))
+	return err == nil
+}
+
+// IDs implements Store.
+func (s *FileStore) IDs() []ID {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	ids := make([]ID, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "c_") || !strings.HasSuffix(name, _fileExt) {
+			continue
+		}
+		n, err := strconv.ParseUint(name[2:len(name)-len(_fileExt)], 10, 32)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, ID(n))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len implements Store.
+func (s *FileStore) Len() int { return len(s.IDs()) }
+
+// Stats implements Store.
+func (s *FileStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats implements Store.
+func (s *FileStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = StoreStats{}
+}

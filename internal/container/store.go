@@ -1,0 +1,151 @@
+package container
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// StoreStats counts I/O operations against a container store. Reads are
+// the quantity that matters for the paper's evaluation: the restore speed
+// factor (§5.3) is MB restored per container read.
+type StoreStats struct {
+	Reads        uint64
+	Writes       uint64
+	Deletes      uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Store persists containers. Implementations must be safe for concurrent
+// use. Put transfers ownership of the container to the store; the caller
+// must not mutate it afterwards. Get returns a container the caller must
+// treat as read-only (file-backed stores return fresh decodes; the memory
+// store returns the shared image).
+type Store interface {
+	// Put writes or overwrites the container under its ID.
+	Put(c *Container) error
+	// Get reads a container by ID, counting one container read.
+	Get(id ID) (*Container, error)
+	// Delete removes a container. Deleting a missing ID is an error.
+	Delete(id ID) error
+	// Has reports whether the ID exists, without counting a read.
+	Has(id ID) bool
+	// IDs returns all stored IDs in ascending order.
+	IDs() []ID
+	// Len returns the number of stored containers.
+	Len() int
+	// Stats returns cumulative I/O counters.
+	Stats() StoreStats
+	// ResetStats zeroes the I/O counters (between experiment phases).
+	ResetStats()
+}
+
+// MemStore is an in-memory Store, used by experiments where only I/O
+// *counts* matter and by tests.
+type MemStore struct {
+	mu         sync.Mutex
+	containers map[ID]*Container
+	stats      StoreStats
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{containers: make(map[ID]*Container)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(c *Container) error {
+	if c == nil {
+		return fmt.Errorf("container: Put nil container")
+	}
+	if c.ID() == 0 {
+		return fmt.Errorf("container: Put container with reserved ID 0")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.containers[c.ID()] = c
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(c.LiveSize())
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id ID) (*Container, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: container %d", ErrNotFound, id)
+	}
+	s.stats.Reads++
+	s.stats.BytesRead += uint64(c.LiveSize())
+	return c, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.containers[id]; !ok {
+		return fmt.Errorf("%w: container %d", ErrNotFound, id)
+	}
+	delete(s.containers, id)
+	s.stats.Deletes++
+	return nil
+}
+
+// Has implements Store.
+func (s *MemStore) Has(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.containers[id]
+	return ok
+}
+
+// IDs implements Store.
+func (s *MemStore) IDs() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]ID, 0, len(s.containers))
+	for id := range s.containers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.containers)
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats implements Store.
+func (s *MemStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = StoreStats{}
+}
+
+// TotalLiveBytes sums the live payload across all stored containers —
+// the "space actually consumed" figure used for deduplication ratios.
+func (s *MemStore) TotalLiveBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, c := range s.containers {
+		total += uint64(c.LiveSize())
+	}
+	return total
+}

@@ -1,0 +1,252 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"hidestore/internal/fp"
+)
+
+// storeUnderTest builds each Store implementation for the shared suite.
+func storesUnderTest(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":  NewMemStore(),
+		"file": fs,
+	}
+}
+
+func fillContainer(t *testing.T, id ID, n int) *Container {
+	t.Helper()
+	c := NewWithCapacity(id, DefaultCapacity)
+	for i := 0; i < n; i++ {
+		d := []byte("chunk-" + strconv.Itoa(int(id)) + "-" + strconv.Itoa(i))
+		if err := c.Add(fp.Of(d), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestStorePutGet(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			orig := fillContainer(t, 3, 10)
+			wantChunk, err := orig.Get(orig.Fingerprints()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			firstFP := orig.Fingerprints()[0]
+			if err := s.Put(orig); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ID() != 3 || got.Len() != 10 {
+				t.Fatalf("got id=%d len=%d", got.ID(), got.Len())
+			}
+			have, err := got.Get(firstFP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(have, wantChunk) {
+				t.Fatal("chunk corrupted through store")
+			}
+		})
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get(99); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("got %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put(fillContainer(t, 1, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(1); err != nil {
+				t.Fatal(err)
+			}
+			if s.Has(1) {
+				t.Fatal("container survives Delete")
+			}
+			if err := s.Delete(1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete: got %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreIDsSorted(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, id := range []ID{5, 1, 3} {
+				if err := s.Put(fillContainer(t, id, 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ids := s.IDs()
+			want := []ID{1, 3, 5}
+			if len(ids) != len(want) {
+				t.Fatalf("IDs = %v, want %v", ids, want)
+			}
+			for i := range want {
+				if ids[i] != want[i] {
+					t.Fatalf("IDs = %v, want %v", ids, want)
+				}
+			}
+			if s.Len() != 3 {
+				t.Fatalf("Len = %d, want 3", s.Len())
+			}
+		})
+	}
+}
+
+func TestStoreStatsCounting(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put(fillContainer(t, 1, 3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(fillContainer(t, 2, 3)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := s.Get(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := s.Stats()
+			if st.Writes != 2 {
+				t.Fatalf("Writes = %d, want 2", st.Writes)
+			}
+			if st.Reads != 5 {
+				t.Fatalf("Reads = %d, want 5", st.Reads)
+			}
+			if st.BytesRead == 0 || st.BytesWritten == 0 {
+				t.Fatal("byte counters should be non-zero")
+			}
+			s.ResetStats()
+			if got := s.Stats(); got != (StoreStats{}) {
+				t.Fatalf("stats after reset = %+v", got)
+			}
+		})
+	}
+}
+
+func TestStorePutValidation(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put(nil); err == nil {
+				t.Fatal("Put(nil) should fail")
+			}
+			if err := s.Put(New(0)); err == nil {
+				t.Fatal("Put(ID 0) should fail")
+			}
+		})
+	}
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := fillContainer(t, 7, 4)
+	fps := orig.Fingerprints()
+	if err := s1.Put(orig); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open the directory as a fresh store: data must persist.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 || !got.Has(fps[0]) {
+		t.Fatal("container not persisted across reopen")
+	}
+}
+
+func TestFileStoreCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fillContainer(t, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a data byte on disk; Get must detect the corruption via CRC.
+	path := filepath.Join(dir, "c_1.ctn")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "c_notanum.ctn"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fillContainer(t, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ids := s.IDs()
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("IDs = %v, want [2]", ids)
+	}
+}
+
+func TestMemStoreTotalLiveBytes(t *testing.T) {
+	s := NewMemStore()
+	c1 := fillContainer(t, 1, 2)
+	c2 := fillContainer(t, 2, 3)
+	want := uint64(c1.LiveSize() + c2.LiveSize())
+	if err := s.Put(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(c2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalLiveBytes(); got != want {
+		t.Fatalf("TotalLiveBytes = %d, want %d", got, want)
+	}
+}

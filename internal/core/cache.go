@@ -1,0 +1,173 @@
+// Package core implements HiDeStore, the paper's contribution: a
+// deduplication backup engine that preserves physical locality for new
+// backup versions by construction.
+//
+// The pieces map onto the paper's design sections:
+//
+//   - the double-hash fingerprint cache (§4.1, Figure 5): the previous
+//     version's chunks (T1) and the current version's chunks (T2); chunks
+//     are deduplicated against the cache alone, never against an on-disk
+//     index;
+//   - the chunk filter (§4.2, Figure 6): unique chunks go to mutable
+//     *active* containers; after each version, chunks left in T1 (cold —
+//     absent from the version just processed) migrate to immutable
+//     *archival* containers, and sparse active containers are merged;
+//   - recipe updating (§4.3, Figure 7, Algorithm 1): only the recipe
+//     leaving the cache window is rewritten per version; entries point
+//     into archival containers or chain forward to newer recipes;
+//   - restore (§4.4) resolves the three CID kinds and streams through a
+//     restore cache;
+//   - deletion (§4.5): expired versions drop whole archival containers —
+//     no reference counting, no garbage collection.
+package core
+
+import (
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+)
+
+// EntryBytes is the in-memory footprint the paper assigns to one
+// fingerprint-cache entry: 20-byte fingerprint + 4-byte container ID +
+// 4-byte size (§4.1).
+const EntryBytes = fp.Size + 4 + 4
+
+// IndexView is HiDeStore's fingerprint cache exposed through the common
+// index.Index interface, so the lookup-overhead and index-memory
+// experiments (Figures 9 and 10) can compare it directly against DDFS,
+// Sparse Indexing and SiLo on identical chunk streams.
+//
+// Internally the two (or, with Window > 1, N+1) hash tables of Figure 5
+// are represented as one map plus a last-seen version per chunk: a chunk
+// with lastSeen == current version is in T2; lastSeen == current-1 is in
+// T1; anything older has been evicted (migrated to archival containers by
+// the full engine). The set of reachable chunks is identical to the
+// paper's construction; only the bookkeeping differs.
+type IndexView struct {
+	// window is how many previous versions the cache covers (1 for most
+	// workloads; 2 for macos-like workloads, §4.1).
+	window   int
+	version  int
+	active   map[fp.FP]container.ID
+	lastSeen map[fp.FP]int
+	stats    index.Stats
+}
+
+var _ index.Index = (*IndexView)(nil)
+
+// NewIndexView creates a HiDeStore fingerprint cache with the given
+// window (0 means the default of 1).
+func NewIndexView(window int) *IndexView {
+	if window <= 0 {
+		window = 1
+	}
+	return &IndexView{
+		window:   window,
+		active:   make(map[fp.FP]container.ID),
+		lastSeen: make(map[fp.FP]int),
+	}
+}
+
+// Name implements index.Index.
+func (v *IndexView) Name() string { return "hidestore" }
+
+// Dedup implements index.Index: chunks are matched against the fingerprint
+// cache only — there is no full index and therefore never a disk lookup,
+// which is the whole point of Figure 9.
+func (v *IndexView) Dedup(seg []index.ChunkRef) []index.Result {
+	results := make([]index.Result, len(seg))
+	cur := v.version + 1
+	for i, c := range seg {
+		v.stats.Lookups++
+		if cid, ok := v.active[c.FP]; ok {
+			results[i] = index.Result{Duplicate: true, CID: cid}
+			v.lastSeen[c.FP] = cur // T1 hit moves the chunk into T2
+			v.stats.CacheHits++
+			v.stats.Duplicates++
+			v.stats.DuplicateBytes += uint64(c.Size)
+			continue
+		}
+		v.stats.Uniques++
+		v.stats.UniqueBytes += uint64(c.Size)
+	}
+	return results
+}
+
+// Commit implements index.Index: newly stored chunks enter T2.
+func (v *IndexView) Commit(seg []index.ChunkRef, cids []container.ID) {
+	cur := v.version + 1
+	for i, c := range seg {
+		if i >= len(cids) || cids[i] == 0 {
+			continue
+		}
+		if _, ok := v.active[c.FP]; !ok {
+			v.active[c.FP] = cids[i]
+		}
+		v.lastSeen[c.FP] = cur
+	}
+}
+
+// EndVersion implements index.Index: T1's leftovers (chunks not seen
+// within the window) are evicted — in the full engine this is the moment
+// they migrate to archival containers.
+func (v *IndexView) EndVersion() {
+	v.version++
+	for f, seen := range v.lastSeen {
+		if seen <= v.version-v.window {
+			delete(v.active, f)
+			delete(v.lastSeen, f)
+		}
+	}
+}
+
+// Evicted returns the fingerprints that would leave the cache if the
+// version ended now (the cold set). Used by tests.
+func (v *IndexView) Evicted() []fp.FP {
+	var out []fp.FP
+	for f, seen := range v.lastSeen {
+		if seen <= v.version+1-v.window {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// lookupOne classifies a single chunk without the slice plumbing of
+// Dedup — the engine's per-chunk hot path.
+func (v *IndexView) lookupOne(f fp.FP, size uint32) (container.ID, bool) {
+	v.stats.Lookups++
+	if cid, ok := v.active[f]; ok {
+		v.lastSeen[f] = v.version + 1
+		v.stats.CacheHits++
+		v.stats.Duplicates++
+		v.stats.DuplicateBytes += uint64(size)
+		return cid, true
+	}
+	v.stats.Uniques++
+	v.stats.UniqueBytes += uint64(size)
+	return 0, false
+}
+
+// commitOne records a single newly stored chunk.
+func (v *IndexView) commitOne(f fp.FP, cid container.ID) {
+	if _, ok := v.active[f]; !ok {
+		v.active[f] = cid
+	}
+	v.lastSeen[f] = v.version + 1
+}
+
+// Stats implements index.Index.
+func (v *IndexView) Stats() index.Stats { return v.stats }
+
+// MemoryBytes implements index.Index. HiDeStore keeps no persistent index
+// table: the fingerprint cache is rebuilt from the previous version's
+// recipe, so its persistent overhead is zero (§5.2.3, Figure 10). The
+// transient cache size is reported by TransientBytes.
+func (v *IndexView) MemoryBytes() int64 { return 0 }
+
+// TransientBytes is the current fingerprint-cache footprint — bounded by
+// the size of one window of backup versions (§4.1's ~100 MB macos
+// example), not by the dataset.
+func (v *IndexView) TransientBytes() int64 {
+	return int64(len(v.active)) * EntryBytes
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+)
+
+func refs(prefix string, n int) []index.ChunkRef {
+	out := make([]index.ChunkRef, n)
+	for i := range out {
+		out[i] = index.ChunkRef{FP: fp.Of([]byte(prefix + strconv.Itoa(i))), Size: 4096}
+	}
+	return out
+}
+
+func commit(v *IndexView, seg []index.ChunkRef, res []index.Result, next *container.ID) {
+	cids := make([]container.ID, len(seg))
+	for i, r := range res {
+		if r.Duplicate {
+			cids[i] = r.CID
+			continue
+		}
+		*next++
+		cids[i] = *next
+	}
+	v.Commit(seg, cids)
+}
+
+func TestIndexViewFigure5Cases(t *testing.T) {
+	v := NewIndexView(1)
+	var next container.ID
+
+	// Version 1: all unique (case one).
+	seg := refs("a", 10)
+	res := v.Dedup(seg)
+	for i, r := range res {
+		if r.Duplicate {
+			t.Fatalf("chunk %d should be unique", i)
+		}
+	}
+	commit(v, seg, res, &next)
+	v.EndVersion()
+
+	// Version 2: same chunks hit T1 and move to T2 (case two); a repeat
+	// within the version hits T2 (case three).
+	res = v.Dedup(seg)
+	for i, r := range res {
+		if !r.Duplicate || r.CID == 0 {
+			t.Fatalf("chunk %d: %+v, want duplicate with location", i, r)
+		}
+	}
+	res2 := v.Dedup(seg) // T2 hits
+	for i, r := range res2 {
+		if !r.Duplicate {
+			t.Fatalf("repeat chunk %d should hit T2", i)
+		}
+	}
+	commit(v, seg, res, &next)
+	v.EndVersion()
+	if got := v.Stats().DiskLookups; got != 0 {
+		t.Fatalf("DiskLookups = %d, want 0", got)
+	}
+}
+
+// TestIndexViewEviction: chunks absent from a version are evicted at its
+// end (window 1), so re-presenting them later classifies as unique — the
+// deliberate trade the paper makes because such returns are rare.
+func TestIndexViewEviction(t *testing.T) {
+	v := NewIndexView(1)
+	var next container.ID
+	seg := refs("x", 5)
+	res := v.Dedup(seg)
+	commit(v, seg, res, &next)
+	v.EndVersion()
+
+	// Version 2 contains none of version 1's chunks.
+	other := refs("y", 5)
+	res = v.Dedup(other)
+	commit(v, other, res, &next)
+	v.EndVersion()
+
+	// Version 3 re-presents version 1's chunks: they were evicted.
+	res = v.Dedup(seg)
+	for i, r := range res {
+		if r.Duplicate {
+			t.Fatalf("evicted chunk %d still classified duplicate", i)
+		}
+	}
+}
+
+// TestIndexViewWindow2 keeps chunks alive across one absent version.
+func TestIndexViewWindow2(t *testing.T) {
+	v := NewIndexView(2)
+	var next container.ID
+	seg := refs("flap", 5)
+	res := v.Dedup(seg)
+	commit(v, seg, res, &next)
+	v.EndVersion()
+
+	other := refs("other", 5)
+	res = v.Dedup(other)
+	commit(v, other, res, &next)
+	v.EndVersion()
+
+	// The flapping chunks return after skipping one version: still hot.
+	res = v.Dedup(seg)
+	for i, r := range res {
+		if !r.Duplicate {
+			t.Fatalf("window-2 chunk %d evicted too early", i)
+		}
+	}
+}
+
+func TestIndexViewTransientBounded(t *testing.T) {
+	v := NewIndexView(1)
+	var next container.ID
+	// Ten versions of disjoint chunks: the cache must stay bounded by one
+	// window's worth, not grow with the dataset.
+	perVersion := 100
+	for ver := 0; ver < 10; ver++ {
+		seg := refs("v"+strconv.Itoa(ver)+"-", perVersion)
+		res := v.Dedup(seg)
+		commit(v, seg, res, &next)
+		v.EndVersion()
+	}
+	if got, want := v.TransientBytes(), int64(perVersion)*EntryBytes; got > want {
+		t.Fatalf("TransientBytes = %d, want ≤ %d (window-bounded)", got, want)
+	}
+	if v.MemoryBytes() != 0 {
+		t.Fatal("persistent MemoryBytes must be 0")
+	}
+}
+
+func TestIndexViewName(t *testing.T) {
+	if NewIndexView(0).Name() != "hidestore" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestIndexViewEvictedPreview(t *testing.T) {
+	v := NewIndexView(1)
+	var next container.ID
+	seg := refs("e", 3)
+	res := v.Dedup(seg)
+	commit(v, seg, res, &next)
+	v.EndVersion()
+	other := refs("f", 3)
+	res = v.Dedup(other)
+	commit(v, other, res, &next)
+	// Before EndVersion, the would-be-cold set is version 1's chunks.
+	if got := len(v.Evicted()); got != 3 {
+		t.Fatalf("Evicted preview = %d chunks, want 3", got)
+	}
+}
+
+func TestLookupOneMatchesDedup(t *testing.T) {
+	// The single-chunk fast path must agree with the batch path.
+	a := NewIndexView(1)
+	b := NewIndexView(1)
+	var next container.ID
+	seg := refs("agree", 50)
+	resBatch := a.Dedup(seg)
+	commit(a, seg, resBatch, &next)
+	a.EndVersion()
+	for _, c := range seg {
+		if _, dup := b.lookupOne(c.FP, c.Size); dup {
+			t.Fatal("fresh cache claimed a duplicate")
+		}
+		next++
+		b.commitOne(c.FP, next)
+	}
+	b.EndVersion()
+	// Second version: both must classify every chunk as duplicate.
+	resBatch = a.Dedup(seg)
+	for i, c := range seg {
+		cid, dup := b.lookupOne(c.FP, c.Size)
+		if dup != resBatch[i].Duplicate {
+			t.Fatalf("chunk %d: paths disagree", i)
+		}
+		if !dup || cid == 0 {
+			t.Fatalf("chunk %d: not found by fast path", i)
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Duplicates != sb.Duplicates || sa.Uniques != sb.Uniques {
+		t.Fatalf("stats diverge: %+v vs %+v", sa, sb)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"hidestore/internal/backup"
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/recipe"
+)
+
+var _ backup.Checker = (*Engine)(nil)
+
+// Check verifies the integrity of everything the engine stores:
+//
+//   - every container decodes and every stored chunk's content hashes to
+//     its fingerprint (file-backed stores additionally CRC-check the
+//     container image on read);
+//   - every recipe entry is resolvable: archival CIDs point at containers
+//     that hold the chunk; active and forward entries terminate at a hot
+//     chunk or at an archival location via the recipe chain;
+//   - the engine's fingerprint-cache bookkeeping agrees with the
+//     containers: every hot chunk's recorded location actually holds it.
+//
+// Check is read-only and reports problems instead of failing fast, so one
+// run inventories all damage.
+func (e *Engine) Check() (backup.CheckReport, error) {
+	var report backup.CheckReport
+
+	// Pass 1: containers and chunk content.
+	chunkAt := make(map[fp.FP]map[container.ID]struct{})
+	for _, cid := range e.cfg.Store.IDs() {
+		ctn, err := e.cfg.Store.Get(cid)
+		if err != nil {
+			report.Problemf("container %d: %v", cid, err)
+			continue
+		}
+		report.Containers++
+		for _, f := range ctn.Fingerprints() {
+			data, err := ctn.Get(f)
+			if err != nil {
+				report.Problemf("container %d chunk %s: %v", cid, f.Short(), err)
+				continue
+			}
+			report.StoredChunks++
+			if got := fp.Of(data); got != f {
+				report.Problemf("container %d chunk %s: content hashes to %s", cid, f.Short(), got.Short())
+				continue
+			}
+			locs, ok := chunkAt[f]
+			if !ok {
+				locs = make(map[container.ID]struct{}, 1)
+				chunkAt[f] = locs
+			}
+			locs[cid] = struct{}{}
+		}
+	}
+
+	// Pass 2: the fingerprint cache's locations are real.
+	for f, cid := range e.activeByFP {
+		if _, ok := chunkAt[f][cid]; !ok {
+			report.Problemf("hot chunk %s: recorded in active container %d but absent", f.Short(), cid)
+		}
+	}
+
+	// Pass 3: every recipe entry resolves to a stored chunk. Forward
+	// pointers are chased through newer recipes without mutating anything.
+	recipes := make(map[int]*recipe.Recipe)
+	versions := e.cfg.Recipes.Versions()
+	for _, v := range versions {
+		rec, err := e.cfg.Recipes.Get(v)
+		if err != nil {
+			report.Problemf("recipe v%d: %v", v, err)
+			continue
+		}
+		recipes[v] = rec
+	}
+	referenced := make(map[container.ID]struct{})
+	for _, v := range versions {
+		rec, ok := recipes[v]
+		if !ok {
+			continue
+		}
+		report.Versions++
+		for i, entry := range rec.Entries {
+			report.Chunks++
+			if entry.CID > 0 {
+				referenced[container.ID(entry.CID)] = struct{}{}
+			}
+			if !e.checkEntry(entry, recipes, chunkAt) {
+				report.Problemf("recipe v%d entry %d (%s, CID %d): unresolvable",
+					v, i, entry.FP.Short(), entry.CID)
+			}
+		}
+	}
+
+	// Pass 4: orphan detection. A container neither active nor referenced
+	// by any recipe is unreachable — typically debris from a crash between
+	// a store write and the state write. Orphans are harmless (they waste
+	// space, not correctness) but worth surfacing.
+	for _, cid := range e.cfg.Store.IDs() {
+		if _, isActive := e.activeContainers[cid]; isActive {
+			continue
+		}
+		if _, isReferenced := referenced[cid]; isReferenced {
+			continue
+		}
+		if e.batchOwns(cid) {
+			// Owned by a deletion batch whose recipes still chain to it
+			// through forward pointers rather than direct CIDs.
+			continue
+		}
+		report.Problemf("container %d: orphaned (not active, not referenced by any recipe)", cid)
+	}
+	return report, nil
+}
+
+// batchOwns reports whether any recorded archival batch owns cid.
+func (e *Engine) batchOwns(cid container.ID) bool {
+	for _, batch := range e.batches {
+		for _, id := range batch.containers {
+			if id == cid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkEntry resolves one recipe entry against the store, following
+// forward pointers.
+func (e *Engine) checkEntry(entry recipe.Entry, recipes map[int]*recipe.Recipe,
+	chunkAt map[fp.FP]map[container.ID]struct{}) bool {
+	for hops := 0; hops < len(recipes)+2; hops++ {
+		switch {
+		case entry.CID > 0:
+			_, ok := chunkAt[entry.FP][container.ID(entry.CID)]
+			return ok
+		case entry.CID == 0:
+			cid, hot := e.activeByFP[entry.FP]
+			if !hot {
+				return false
+			}
+			_, ok := chunkAt[entry.FP][cid]
+			return ok
+		default:
+			next, ok := recipes[int(-entry.CID)]
+			if !ok {
+				return false
+			}
+			found := false
+			for _, cand := range next.Entries {
+				if cand.FP == entry.FP {
+					entry = cand
+					found = true
+					break
+				}
+			}
+			if !found {
+				// The chunk is not listed in the forwarded recipe; it may
+				// still be hot (the chain's terminal case).
+				cid, hot := e.activeByFP[entry.FP]
+				if !hot {
+					return false
+				}
+				_, ok := chunkAt[entry.FP][cid]
+				return ok
+			}
+		}
+	}
+	return false // cycle — corrupt chain
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hidestore/internal/backup/backuptest"
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+)
+
+func TestCheckHealthyStore(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(6, 0))
+	backuptest.BackupAll(t, e, versions)
+	rep, err := e.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("healthy store reported problems: %v", rep.Problems)
+	}
+	if rep.Versions != 6 || rep.Containers == 0 || rep.Chunks == 0 || rep.StoredChunks == 0 {
+		t.Fatalf("report %+v under-counts", rep)
+	}
+}
+
+func TestCheckAfterDeleteAndFlatten(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(7, 0))
+	backuptest.BackupAll(t, e, versions)
+	if err := e.FlattenRecipes(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store unhealthy after delete+flatten: %v", rep.Problems)
+	}
+}
+
+func TestCheckDetectsMissingContainer(t *testing.T) {
+	e, store, _ := newTestEngine(t, 1)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(5, 0))
+	backuptest.BackupAll(t, e, versions)
+	// Remove an archival container behind the engine's back.
+	var victim container.ID
+	for _, id := range store.IDs() {
+		if _, isActive := e.activeContainers[id]; !isActive {
+			victim = id
+			break
+		}
+	}
+	if victim == 0 {
+		t.Skip("no archival container at this scale")
+	}
+	if err := store.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("missing container went undetected")
+	}
+}
+
+func TestCheckDetectsCorruptChunk(t *testing.T) {
+	dir := t.TempDir()
+	e := newPersistentEngine(t, dir, 1)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(4, 0))
+	backuptest.BackupAll(t, e, versions)
+	// Corrupt one container file on disk (CRC will catch it at read).
+	matches, err := filepath.Glob(filepath.Join(dir, "containers", "c_*.ctn"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no container files: %v", err)
+	}
+	buf, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF
+	if err := os.WriteFile(matches[0], buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("corrupt container went undetected")
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "container") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems don't mention the container: %v", rep.Problems)
+	}
+}
+
+func TestVerifyRestore(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(4, 0))
+	backuptest.BackupAll(t, e, versions)
+	var buf bytes.Buffer
+	rep, err := e.VerifyRestore(context.Background(), 4, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), versions[3]) {
+		t.Fatal("verified restore corrupted bytes")
+	}
+	if rep.Stats.BytesRestored != uint64(len(versions[3])) {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestCheckDetectsOrphanContainer(t *testing.T) {
+	e, store, _ := newTestEngine(t, 1)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(4, 0))
+	backuptest.BackupAll(t, e, versions)
+	// Plant an orphan: a container no recipe or active map knows about.
+	orphan := container.NewWithCapacity(9999, 64<<10)
+	data := []byte("debris from a simulated crash")
+	if err := orphan.Add(fpOf(data), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(orphan); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "orphan") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("orphan container not flagged: %v", rep.Problems)
+	}
+}
+
+func fpOf(b []byte) fp.FP { return fp.Of(b) }

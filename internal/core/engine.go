@@ -1,0 +1,627 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hidestore/internal/backup"
+	"hidestore/internal/chunker"
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+	"hidestore/internal/pipeline"
+	"hidestore/internal/recipe"
+	"hidestore/internal/restorecache"
+)
+
+// Config assembles a HiDeStore engine. Store and Recipes are required.
+type Config struct {
+	// Chunking algorithm and bounds. Defaults to TTTD with the paper's
+	// 2/4/16 KB parameters (§5.1).
+	Chunker     chunker.Algorithm
+	ChunkParams chunker.Params
+	// Store persists containers, both active and archival (required).
+	Store container.Store
+	// Recipes persists recipes (required).
+	Recipes recipe.Store
+	// ContainerCapacity in bytes (default container.DefaultCapacity).
+	ContainerCapacity int
+	// Window is the fingerprint-cache window in versions: 1 deduplicates
+	// against the previous version (the default), 2 against the previous
+	// two (the macos case, §4.1).
+	Window int
+	// MergeUtilization is the active-container utilization below which
+	// containers are merged after each version (§4.2). Default 0.5.
+	MergeUtilization float64
+	// RestoreCache drives restores after CID resolution (default FAA).
+	RestoreCache restorecache.Cache
+	// HashWorkers parallelize fingerprinting (default 4).
+	HashWorkers int
+	// StatePath, when set, persists the engine's resumable state (the
+	// fingerprint cache, active-container locations and deletion batches)
+	// after every Backup and Delete, and restores it at New — so a
+	// process restart continues the version history where it stopped.
+	StatePath string
+}
+
+func (c *Config) setDefaults() error {
+	if c.Store == nil {
+		return errors.New("core: Config.Store is required")
+	}
+	if c.Recipes == nil {
+		return errors.New("core: Config.Recipes is required")
+	}
+	if c.Chunker == 0 {
+		c.Chunker = chunker.TTTD
+	}
+	if c.ChunkParams == (chunker.Params{}) {
+		c.ChunkParams = chunker.DefaultParams()
+	}
+	if err := c.ChunkParams.Validate(); err != nil {
+		return err
+	}
+	if c.ContainerCapacity <= 0 {
+		c.ContainerCapacity = container.DefaultCapacity
+	}
+	if c.Window <= 0 {
+		c.Window = 1
+	}
+	if c.MergeUtilization <= 0 || c.MergeUtilization > 1 {
+		c.MergeUtilization = 0.5
+	}
+	if c.RestoreCache == nil {
+		c.RestoreCache = restorecache.NewFAA(0)
+	}
+	if c.HashWorkers <= 0 {
+		c.HashWorkers = 4
+	}
+	return nil
+}
+
+// archivalBatch records the archival containers created when one
+// version's exclusive chunks went cold — the unit of §4.5 deletion.
+type archivalBatch struct {
+	containers []container.ID
+	bytes      uint64
+}
+
+// Engine is the HiDeStore backup engine. Not safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	version int
+	nextCID container.ID
+
+	// cache is the double-hash fingerprint cache (T1 ∪ T2 content).
+	cache *IndexView
+	// activeByFP locates each hot chunk's active container.
+	activeByFP map[fp.FP]container.ID
+	// activeContainers holds the mutable active container images.
+	activeContainers map[container.ID]*container.Container
+	openActive       *container.Container
+
+	// batches[v] are the archival containers holding chunks whose last
+	// appearance was version v.
+	batches map[int]*archivalBatch
+
+	logicalBytes uint64
+	storedBytes  uint64
+}
+
+var _ backup.Engine = (*Engine)(nil)
+
+// New creates a HiDeStore engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:              cfg,
+		cache:            NewIndexView(cfg.Window),
+		activeByFP:       make(map[fp.FP]container.ID),
+		activeContainers: make(map[container.ID]*container.Container),
+		batches:          make(map[int]*archivalBatch),
+	}
+	if err := e.loadState(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// hashedChunk is one chunk flowing through the backup pipeline.
+type hashedChunk struct {
+	seq  int
+	fp   fp.FP
+	data []byte
+}
+
+// Backup implements backup.Engine.
+//
+// The dedup phase is Figure 5's three cases: a chunk matching the cache is
+// a duplicate (T1 hits move to T2); everything else is unique and goes to
+// the active containers. The recipe records CID 0 for every chunk — their
+// physical locations live in the fingerprint cache until the chunks either
+// go cold (archival CID patched into the recipe) or stay hot (forward
+// pointer patched in).
+func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupReport, error) {
+	start := time.Now()
+	v := e.version + 1
+	statsBefore := e.cache.Stats()
+	rec := recipe.New(v)
+	var logical, stored uint64
+	var chunks, unique int
+
+	ch, err := chunker.New(e.cfg.Chunker, version, e.cfg.ChunkParams)
+	if err != nil {
+		return backup.BackupReport{}, err
+	}
+	g, _ := pipeline.WithContext(ctx)
+	raw := pipeline.Produce(g, 64, func(emit func(hashedChunk) bool) error {
+		for seq := 0; ; seq++ {
+			data, err := ch.Next()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("core: chunking: %w", err)
+			}
+			if !emit(hashedChunk{seq: seq, data: data}) {
+				return nil
+			}
+		}
+	})
+	hashed := pipeline.Transform(g, e.cfg.HashWorkers, 64, raw, func(c hashedChunk) (hashedChunk, error) {
+		c.fp = fp.Of(c.data)
+		return c, nil
+	})
+	process := func(item hashedChunk) error {
+		logical += uint64(len(item.data))
+		chunks++
+		if _, dup := e.cache.lookupOne(item.fp, uint32(len(item.data))); !dup {
+			cid, err := e.storeActive(item.fp, item.data)
+			if err != nil {
+				return err
+			}
+			e.cache.commitOne(item.fp, cid)
+			e.activeByFP[item.fp] = cid
+			stored += uint64(len(item.data))
+			unique++
+		}
+		rec.Append(item.fp, uint32(len(item.data)), 0)
+		return nil
+	}
+	reorder := make(map[int]hashedChunk)
+	next := 0
+	pipeline.Sink(g, hashed, func(c hashedChunk) error {
+		reorder[c.seq] = c
+		for {
+			item, ok := reorder[next]
+			if !ok {
+				return nil
+			}
+			delete(reorder, next)
+			next++
+			if err := process(item); err != nil {
+				return err
+			}
+		}
+	})
+	if err := g.Wait(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	if err := e.sealOpenActive(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	if err := e.cfg.Recipes.Put(rec); err != nil {
+		return backup.BackupReport{}, err
+	}
+
+	// Post-version maintenance: classify cold chunks, migrate them to
+	// archival containers, merge sparse active containers, and patch the
+	// recipe leaving the window (§4.2, §4.3).
+	migrateStart := time.Now()
+	e.cache.EndVersion() // evicts the cold set from the cache
+	e.version = v
+	coldLocs, err := e.migrateCold(v)
+	if err != nil {
+		return backup.BackupReport{}, err
+	}
+	if err := e.mergeSparseActives(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	migrateDur := time.Since(migrateStart)
+
+	recipeStart := time.Now()
+	if err := e.patchDepartingRecipe(v, coldLocs); err != nil {
+		return backup.BackupReport{}, err
+	}
+	recipeDur := time.Since(recipeStart)
+
+	e.logicalBytes += logical
+	e.storedBytes += stored
+	if err := e.saveState(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	statsAfter := e.cache.Stats()
+	return backup.BackupReport{
+		Version:      v,
+		LogicalBytes: logical,
+		StoredBytes:  stored,
+		Chunks:       chunks,
+		UniqueChunks: unique,
+		IndexStats: index.Stats{
+			Lookups:        statsAfter.Lookups - statsBefore.Lookups,
+			DiskLookups:    0,
+			CacheHits:      statsAfter.CacheHits - statsBefore.CacheHits,
+			Duplicates:     statsAfter.Duplicates - statsBefore.Duplicates,
+			Uniques:        statsAfter.Uniques - statsBefore.Uniques,
+			DuplicateBytes: statsAfter.DuplicateBytes - statsBefore.DuplicateBytes,
+			UniqueBytes:    statsAfter.UniqueBytes - statsBefore.UniqueBytes,
+		},
+		Duration:             time.Since(start),
+		MaintenanceDuration:  migrateDur + recipeDur,
+		MigrateDuration:      migrateDur,
+		RecipeUpdateDuration: recipeDur,
+	}, nil
+}
+
+// storeActive appends a unique chunk to the open active container.
+func (e *Engine) storeActive(f fp.FP, data []byte) (container.ID, error) {
+	if e.openActive != nil && !e.openActive.HasRoom(len(data)) {
+		if err := e.sealOpenActive(); err != nil {
+			return 0, err
+		}
+	}
+	if e.openActive == nil {
+		e.nextCID++
+		e.openActive = container.NewWithCapacity(e.nextCID, e.cfg.ContainerCapacity)
+	}
+	if err := e.openActive.Add(f, data); err != nil {
+		return 0, err
+	}
+	return e.openActive.ID(), nil
+}
+
+func (e *Engine) sealOpenActive() error {
+	if e.openActive == nil {
+		return nil
+	}
+	if e.openActive.Len() == 0 {
+		e.openActive = nil
+		return nil
+	}
+	e.activeContainers[e.openActive.ID()] = e.openActive
+	if err := e.cfg.Store.Put(e.openActive); err != nil {
+		return err
+	}
+	e.openActive = nil
+	return nil
+}
+
+// migrateCold moves every chunk evicted from the fingerprint cache out of
+// the active containers into fresh archival containers, preserving the
+// active containers' internal order. It returns the cold chunks' new
+// archival locations and registers the batch for §4.5 deletion. The cold
+// set after version v is exactly the chunks last seen in version v−Window.
+func (e *Engine) migrateCold(v int) (map[fp.FP]container.ID, error) {
+	coldVersion := v - e.cfg.Window
+	cold := make(map[fp.FP]container.ID) // fp → archival location
+	if coldVersion < 1 {
+		return cold, nil
+	}
+	// The cache has already evicted cold fingerprints; anything still in
+	// activeByFP but no longer in the cache is cold.
+	type coldChunk struct {
+		f    fp.FP
+		from container.ID
+	}
+	var victims []coldChunk
+	for f, cid := range e.activeByFP {
+		if _, hot := e.cache.active[f]; !hot {
+			victims = append(victims, coldChunk{f: f, from: cid})
+		}
+	}
+	if len(victims) == 0 {
+		return cold, nil
+	}
+	// Stable order: by source container, then by offset within it, so
+	// archival containers inherit the old versions' physical order.
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].from != victims[j].from {
+			return victims[i].from < victims[j].from
+		}
+		ei, _ := e.activeContainers[victims[i].from].Entry(victims[i].f)
+		ej, _ := e.activeContainers[victims[j].from].Entry(victims[j].f)
+		return ei.Offset < ej.Offset
+	})
+	batch := &archivalBatch{}
+	var archival *container.Container
+	seal := func() error {
+		if archival == nil || archival.Len() == 0 {
+			return nil
+		}
+		if err := e.cfg.Store.Put(archival); err != nil {
+			return err
+		}
+		batch.containers = append(batch.containers, archival.ID())
+		batch.bytes += uint64(archival.LiveSize())
+		archival = nil
+		return nil
+	}
+	dirty := make(map[container.ID]struct{})
+	for _, vc := range victims {
+		src, ok := e.activeContainers[vc.from]
+		if !ok {
+			return nil, fmt.Errorf("core: cold chunk %s references unknown active container %d", vc.f.Short(), vc.from)
+		}
+		data, err := src.Get(vc.f)
+		if err != nil {
+			return nil, fmt.Errorf("core: migrate %s: %w", vc.f.Short(), err)
+		}
+		if archival != nil && !archival.HasRoom(len(data)) {
+			if err := seal(); err != nil {
+				return nil, err
+			}
+		}
+		if archival == nil {
+			e.nextCID++
+			archival = container.NewWithCapacity(e.nextCID, e.cfg.ContainerCapacity)
+		}
+		if err := archival.Add(vc.f, data); err != nil {
+			return nil, err
+		}
+		if err := src.Remove(vc.f); err != nil {
+			return nil, err
+		}
+		dirty[vc.from] = struct{}{}
+		cold[vc.f] = archival.ID()
+		delete(e.activeByFP, vc.f)
+	}
+	if err := seal(); err != nil {
+		return nil, err
+	}
+	// Re-persist mutated active containers (dropping emptied ones).
+	for cid := range dirty {
+		src := e.activeContainers[cid]
+		if src.Len() == 0 {
+			delete(e.activeContainers, cid)
+			if err := e.cfg.Store.Delete(cid); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.cfg.Store.Put(src); err != nil {
+			return nil, err
+		}
+	}
+	e.batches[coldVersion] = batch
+	return cold, nil
+}
+
+// mergeSparseActives compacts active containers whose utilization fell
+// below the merge threshold, packing their live chunks into fresh
+// containers (§4.2, Figure 6) and updating the fingerprint cache's
+// locations. Recipes are unaffected: active chunks are recorded as CID 0
+// and resolve through the cache.
+func (e *Engine) mergeSparseActives() error {
+	var sparse []*container.Container
+	for _, c := range e.activeContainers {
+		if c.Utilization() < e.cfg.MergeUtilization {
+			sparse = append(sparse, c)
+		}
+	}
+	if len(sparse) < 2 {
+		return nil
+	}
+	sort.Slice(sparse, func(i, j int) bool { return sparse[i].ID() < sparse[j].ID() })
+	var merged *container.Container
+	seal := func() error {
+		if merged == nil || merged.Len() == 0 {
+			return nil
+		}
+		e.activeContainers[merged.ID()] = merged
+		if err := e.cfg.Store.Put(merged); err != nil {
+			return err
+		}
+		merged = nil
+		return nil
+	}
+	for _, src := range sparse {
+		for _, f := range src.Fingerprints() {
+			data, err := src.Get(f)
+			if err != nil {
+				return err
+			}
+			if merged != nil && !merged.HasRoom(len(data)) {
+				if err := seal(); err != nil {
+					return err
+				}
+			}
+			if merged == nil {
+				e.nextCID++
+				merged = container.NewWithCapacity(e.nextCID, e.cfg.ContainerCapacity)
+			}
+			if err := merged.Add(f, data); err != nil {
+				return err
+			}
+			e.activeByFP[f] = merged.ID()
+			e.cache.active[f] = merged.ID()
+		}
+		delete(e.activeContainers, src.ID())
+		if err := e.cfg.Store.Delete(src.ID()); err != nil {
+			return err
+		}
+	}
+	return seal()
+}
+
+// patchDepartingRecipe rewrites the recipe of the version leaving the
+// cache window (§4.3, Figure 7): cold chunks get their archival container
+// ID; still-hot chunks get a forward pointer to the most recent version
+// containing them. Only this one recipe is touched per backup — the
+// bounded update cost Figure 12 measures.
+func (e *Engine) patchDepartingRecipe(v int, coldLocs map[fp.FP]container.ID) error {
+	departing := v - e.cfg.Window
+	if departing < 1 || !e.cfg.Recipes.Has(departing) {
+		return nil
+	}
+	rec, err := e.cfg.Recipes.Get(departing)
+	if err != nil {
+		return err
+	}
+	changed := false
+	for i := range rec.Entries {
+		entry := &rec.Entries[i]
+		if entry.CID != 0 {
+			continue
+		}
+		if cid, ok := coldLocs[entry.FP]; ok {
+			entry.CID = int32(cid)
+			changed = true
+			continue
+		}
+		if seen, ok := e.cache.lastSeen[entry.FP]; ok {
+			entry.CID = -int32(seen)
+			changed = true
+			continue
+		}
+		return fmt.Errorf("core: recipe v%d chunk %s neither cold nor hot", departing, entry.FP.Short())
+	}
+	if !changed {
+		return nil
+	}
+	return e.cfg.Recipes.Put(rec)
+}
+
+// Restore implements backup.Engine (§4.4). Negative CIDs are resolved by
+// flattening the recipe chain (Algorithm 1, timed separately); CID-0 and
+// forward-pointing entries that end at hot chunks resolve through the
+// fingerprint cache into active containers.
+func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.RestoreReport, error) {
+	return e.restoreWith(ctx, version, w, e.cfg.Store)
+}
+
+// restoreWith is Restore with an explicit chunk source, letting
+// VerifyRestore interpose integrity checking.
+func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetch restorecache.Fetcher) (backup.RestoreReport, error) {
+	_ = ctx
+	start := time.Now()
+	rec, err := e.cfg.Recipes.Get(version)
+	if err != nil {
+		return backup.RestoreReport{}, err
+	}
+	var flattenDur time.Duration
+	if hasForward(rec) {
+		flattenStart := time.Now()
+		if err := e.FlattenRecipes(version); err != nil {
+			return backup.RestoreReport{}, err
+		}
+		flattenDur = time.Since(flattenStart)
+		rec, err = e.cfg.Recipes.Get(version)
+		if err != nil {
+			return backup.RestoreReport{}, err
+		}
+	}
+	resolved := make([]recipe.Entry, len(rec.Entries))
+	for i, entry := range rec.Entries {
+		if entry.CID > 0 {
+			resolved[i] = entry
+			continue
+		}
+		// CID 0 or a forward pointer that still ends on a hot chunk: the
+		// chunk lives in an active container.
+		cid, ok := e.activeByFP[entry.FP]
+		if !ok {
+			return backup.RestoreReport{}, fmt.Errorf(
+				"core: restore v%d: chunk %s unresolved (CID %d)", version, entry.FP.Short(), entry.CID)
+		}
+		resolved[i] = recipe.Entry{FP: entry.FP, Size: entry.Size, CID: int32(cid)}
+	}
+	stats, err := e.cfg.RestoreCache.Restore(resolved, fetch, w)
+	if err != nil {
+		return backup.RestoreReport{}, err
+	}
+	return backup.RestoreReport{
+		Version:              version,
+		Stats:                stats,
+		Duration:             time.Since(start),
+		RecipeUpdateDuration: flattenDur,
+	}, nil
+}
+
+// VerifyRestore restores a version into w while recomputing every fetched
+// chunk's fingerprint (a scrub-on-read). It costs one hash per stored
+// chunk of every container touched, on top of the normal restore.
+func (e *Engine) VerifyRestore(ctx context.Context, version int, w io.Writer) (backup.RestoreReport, error) {
+	return e.restoreWith(ctx, version, w, restorecache.NewVerifyingFetcher(e.cfg.Store))
+}
+
+func hasForward(rec *recipe.Recipe) bool {
+	for _, entry := range rec.Entries {
+		if entry.CID < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete implements backup.Engine (§4.5). Expired versions must be
+// deleted oldest-first; the chunks exclusive to the expired version are
+// exactly the archival batch recorded when they went cold, so deletion is
+// dropping those containers plus the recipe — no reference counting, no
+// chunk detection, no garbage collection.
+func (e *Engine) Delete(version int) (backup.DeleteReport, error) {
+	start := time.Now()
+	report := backup.DeleteReport{Version: version}
+	versions := e.cfg.Recipes.Versions()
+	if len(versions) == 0 || versions[0] != version {
+		return report, fmt.Errorf("core: delete v%d: only the oldest version (%v) can expire", version, versions)
+	}
+	if version > e.version-e.cfg.Window {
+		return report, fmt.Errorf("core: delete v%d: version still inside the cache window", version)
+	}
+	if batch, ok := e.batches[version]; ok {
+		for _, cid := range batch.containers {
+			if err := e.cfg.Store.Delete(cid); err != nil {
+				return report, err
+			}
+			report.ContainersDeleted++
+		}
+		report.BytesReclaimed = batch.bytes
+		e.storedBytes -= batch.bytes
+		delete(e.batches, version)
+	}
+	if err := e.cfg.Recipes.Delete(version); err != nil {
+		return report, err
+	}
+	if err := e.saveState(); err != nil {
+		return report, err
+	}
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// Versions implements backup.Engine.
+func (e *Engine) Versions() []int { return e.cfg.Recipes.Versions() }
+
+// Stats implements backup.Engine.
+func (e *Engine) Stats() backup.Stats {
+	return backup.Stats{
+		Versions:      len(e.cfg.Recipes.Versions()),
+		LogicalBytes:  e.logicalBytes,
+		StoredBytes:   e.storedBytes,
+		Containers:    e.cfg.Store.Len(),
+		IndexStats:    e.cache.Stats(),
+		IndexMemBytes: e.cache.MemoryBytes(),
+	}
+}
+
+// TransientCacheBytes reports the current fingerprint-cache footprint.
+func (e *Engine) TransientCacheBytes() int64 { return e.cache.TransientBytes() }
+
+// ActiveContainers returns the number of active containers (test hook).
+func (e *Engine) ActiveContainers() int { return len(e.activeContainers) }

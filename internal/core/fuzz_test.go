@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"hidestore/internal/backup/backuptest"
+	"hidestore/internal/chunker"
+	"hidestore/internal/container"
+	"hidestore/internal/recipe"
+)
+
+// FuzzUnmarshalState hardens the engine-state decoder: arbitrary bytes
+// must never panic and must either be rejected or produce a loadable
+// state.
+func FuzzUnmarshalState(f *testing.F) {
+	store := container.NewMemStore()
+	recipes := recipe.NewMemStore()
+	e, err := New(Config{
+		Store:             store,
+		Recipes:           recipes,
+		ContainerCapacity: 64 << 10,
+		ChunkParams:       chunker.Params{Min: 1024, Avg: 2048, Max: 8192},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	versions := backuptest.Materialize(f, backuptest.SmallWorkload(3, 0))
+	backuptest.BackupAll(f, e, versions)
+	f.Add(e.marshalState())
+	f.Add([]byte{})
+	f.Add(e.marshalState()[:16])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		twin, err := New(Config{
+			Store:             store,
+			Recipes:           recipes,
+			ContainerCapacity: 64 << 10,
+			ChunkParams:       chunker.Params{Min: 1024, Avg: 2048, Max: 8192},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.unmarshalState(data); err != nil {
+			return
+		}
+		// Accepted state must re-marshal without panicking.
+		_ = twin.marshalState()
+	})
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"hidestore/internal/backup/backuptest"
+	"hidestore/internal/recipe"
+)
+
+// block returns deterministic pseudo-random content for hand-built
+// version streams.
+func block(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// backupBytes backs up a hand-built stream.
+func backupBytes(t *testing.T, e *Engine, data []byte) {
+	t.Helper()
+	if _, err := e.Backup(context.Background(), bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReturningChunkStoredTwice: a chunk that leaves the stream and
+// returns after the window was migrated to an archival container; its
+// return must be re-stored (the paper's accepted dedup loss) and all
+// versions must restore exactly.
+func TestReturningChunkStoredTwice(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	a := block(1, 20<<10)
+	b := block(2, 20<<10)
+	c := block(3, 20<<10)
+	v1 := append(append([]byte{}, a...), b...) // A B
+	v2 := append(append([]byte{}, a...), c...) // A C   (B leaves)
+	v3 := append(append([]byte{}, a...), b...) // A B   (B returns)
+	backupBytes(t, e, v1)
+	backupBytes(t, e, v2)
+	storedBefore := e.Stats().StoredBytes
+	backupBytes(t, e, v3)
+	storedAfter := e.Stats().StoredBytes
+	if storedAfter == storedBefore {
+		t.Fatal("returning chunk should be re-stored (it was archived)")
+	}
+	for i, want := range [][]byte{v1, v2, v3} {
+		backuptest.CheckRestoreOne(t, e, i+1, want)
+	}
+	rep, err := e.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store unhealthy: %v", rep.Problems)
+	}
+}
+
+// TestLongForwardChain: a chunk alive across many versions builds a chain
+// R1→R2→...→Rn; when it finally goes cold, every recipe must resolve
+// through the chain to the archival location.
+func TestLongForwardChain(t *testing.T) {
+	e, _, recipes := newTestEngine(t, 1)
+	shared := block(10, 30<<10)
+	for v := 1; v <= 6; v++ {
+		stream := append(append([]byte{}, shared...), block(int64(100+v), 10<<10)...)
+		backupBytes(t, e, stream)
+	}
+	// Version 7 drops the shared prefix: it goes cold at v8.
+	backupBytes(t, e, block(200, 10<<10))
+	backupBytes(t, e, block(201, 10<<10))
+
+	// R1's entries for the shared chunk should now resolve via the chain.
+	if err := e.FlattenRecipes(1); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := recipes.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := 0
+	for _, entry := range r1.Entries {
+		if entry.CID > 0 {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("no R1 entries resolved to archival containers after the chain collapsed")
+	}
+	// And the restore must be exact.
+	v1 := append(append([]byte{}, shared...), block(101, 10<<10)...)
+	backuptest.CheckRestoreOne(t, e, 1, v1)
+}
+
+// TestDeleteVersionWithAlmostNoExclusiveChunks: v1's content is a strict
+// prefix of v2 and v3, so only v1's content-defined tail chunk (which in
+// v2 continues into new data and re-chunks differently) is exclusive.
+// Deletion reclaims at most that boundary chunk and later versions stay
+// intact.
+func TestDeleteVersionWithAlmostNoExclusiveChunks(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	a := block(1, 30<<10)
+	v2 := append(append([]byte{}, a...), block(2, 10<<10)...)
+	v3 := append(append([]byte{}, v2...), block(3, 10<<10)...)
+	backupBytes(t, e, a)
+	backupBytes(t, e, v2)
+	backupBytes(t, e, v3)
+	rep, err := e.Delete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesReclaimed > uint64(e.cfg.ChunkParams.Max) {
+		t.Fatalf("reclaimed %d bytes; only the EOF boundary chunk should be exclusive", rep.BytesReclaimed)
+	}
+	backuptest.CheckRestoreOne(t, e, 2, v2)
+	backuptest.CheckRestoreOne(t, e, 3, v3)
+}
+
+// TestBackupContinuesAfterDelete: the version counter and dedup state
+// survive expiring old versions.
+func TestBackupContinuesAfterDelete(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(6, 0))
+	backuptest.BackupAll(t, e, versions[:4])
+	if _, err := e.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	// Continue the chain: numbering resumes at 5 and dedup still works.
+	rep, err := e.Backup(context.Background(), bytes.NewReader(versions[4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 5 {
+		t.Fatalf("version = %d, want 5", rep.Version)
+	}
+	if rep.DedupRatio() < 0.5 {
+		t.Fatalf("dedup ratio %.2f after deletes", rep.DedupRatio())
+	}
+	for v := 3; v <= 5; v++ {
+		backuptest.CheckRestoreOne(t, e, v, versions[v-1])
+	}
+}
+
+// TestIdenticalVersions: backing up the same bytes repeatedly stores them
+// once, keeps speed factors constant and leaves nothing to migrate.
+func TestIdenticalVersions(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	data := block(42, 100<<10)
+	for v := 1; v <= 5; v++ {
+		backupBytes(t, e, data)
+	}
+	st := e.Stats()
+	if st.StoredBytes != uint64(len(data)) {
+		t.Fatalf("stored %d bytes, want exactly one copy (%d)", st.StoredBytes, len(data))
+	}
+	// No chunk ever goes cold, so no archival containers exist.
+	if got := len(e.batches); got != 0 {
+		for v, b := range e.batches {
+			if len(b.containers) > 0 {
+				t.Fatalf("batch for v%d has %d archival containers; identical versions have no cold chunks",
+					v, len(b.containers))
+			}
+		}
+	}
+	for v := 1; v <= 5; v++ {
+		backuptest.CheckRestoreOne(t, e, v, data)
+	}
+}
+
+// TestRecipeZeroInvariantInsideWindow: with window 2, both of the two
+// newest recipes keep zero CIDs (their chunks are still protected).
+func TestRecipeZeroInvariantInsideWindow(t *testing.T) {
+	e, _, recipes := newTestEngine(t, 2)
+	versions := backuptest.Materialize(t, backuptest.SmallWorkload(5, 0.05))
+	backuptest.BackupAll(t, e, versions)
+	for _, v := range []int{4, 5} {
+		rec, err := recipes.Get(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, entry := range rec.Entries {
+			if entry.CID != 0 {
+				t.Fatalf("recipe v%d entry %d has CID %d inside the window", v, i, entry.CID)
+			}
+		}
+	}
+	// Recipes 1..3 have left the window: no zeros remain.
+	for v := 1; v <= 3; v++ {
+		rec, err := recipes.Get(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, entry := range rec.Entries {
+			if entry.CID == 0 {
+				t.Fatalf("recipe v%d entry %d still zero outside the window", v, i)
+			}
+		}
+	}
+}
+
+var _ = recipe.EntrySize // document dependency for the chain test

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sort"
+
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+)
+
+// The engine's dedup decisions live in memory: the fingerprint cache, the
+// active-container locations, last-seen versions, and the §4.5 deletion
+// batches. The paper's prototype rebuilds the cache from the previous
+// recipe at startup; this implementation persists the equivalent state in
+// one small file so a process restart resumes the version history exactly
+// (the CLI depends on this).
+
+const (
+	_stateMagic   = 0x48445354 // "HDST"
+	_stateVersion = 1
+)
+
+// ErrStateCorrupt reports an unreadable state file.
+var ErrStateCorrupt = errors.New("core: corrupt state file")
+
+// marshalState encodes the engine's resumable state.
+func (e *Engine) marshalState() []byte {
+	// Collect hot-chunk records in deterministic order.
+	type hot struct {
+		f    fp.FP
+		cid  container.ID
+		seen int
+	}
+	hots := make([]hot, 0, len(e.activeByFP))
+	for f, cid := range e.activeByFP {
+		hots = append(hots, hot{f: f, cid: cid, seen: e.cache.lastSeen[f]})
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].f.Less(hots[j].f) })
+	batchVersions := make([]int, 0, len(e.batches))
+	for v := range e.batches {
+		batchVersions = append(batchVersions, v)
+	}
+	sort.Ints(batchVersions)
+	activeIDs := make([]container.ID, 0, len(e.activeContainers))
+	for id := range e.activeContainers {
+		activeIDs = append(activeIDs, id)
+	}
+	sort.Slice(activeIDs, func(i, j int) bool { return activeIDs[i] < activeIDs[j] })
+
+	size := 24 // header
+	size += 4 + len(hots)*(fp.Size+4+4)
+	size += 4
+	for _, v := range batchVersions {
+		size += 4 + 8 + 4 + len(e.batches[v].containers)*4
+	}
+	size += 8 + 8
+	size += 4 + len(activeIDs)*4
+
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf[0:], _stateMagic)
+	binary.BigEndian.PutUint16(buf[4:], _stateVersion)
+	binary.BigEndian.PutUint32(buf[8:], uint32(e.cfg.Window))
+	binary.BigEndian.PutUint32(buf[12:], uint32(e.version))
+	binary.BigEndian.PutUint32(buf[16:], uint32(e.nextCID))
+	// buf[20:24] = crc, filled last.
+	off := 24
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(hots)))
+	off += 4
+	for _, h := range hots {
+		copy(buf[off:], h.f[:])
+		binary.BigEndian.PutUint32(buf[off+fp.Size:], uint32(h.cid))
+		binary.BigEndian.PutUint32(buf[off+fp.Size+4:], uint32(h.seen))
+		off += fp.Size + 8
+	}
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(batchVersions)))
+	off += 4
+	for _, v := range batchVersions {
+		b := e.batches[v]
+		binary.BigEndian.PutUint32(buf[off:], uint32(v))
+		binary.BigEndian.PutUint64(buf[off+4:], b.bytes)
+		binary.BigEndian.PutUint32(buf[off+12:], uint32(len(b.containers)))
+		off += 16
+		for _, id := range b.containers {
+			binary.BigEndian.PutUint32(buf[off:], uint32(id))
+			off += 4
+		}
+	}
+	binary.BigEndian.PutUint64(buf[off:], e.logicalBytes)
+	binary.BigEndian.PutUint64(buf[off+8:], e.storedBytes)
+	off += 16
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(activeIDs)))
+	off += 4
+	for _, id := range activeIDs {
+		binary.BigEndian.PutUint32(buf[off:], uint32(id))
+		off += 4
+	}
+	binary.BigEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(buf[24:]))
+	return buf
+}
+
+// unmarshalState restores the resumable state and reloads active
+// container images from the store.
+func (e *Engine) unmarshalState(buf []byte) error {
+	if len(buf) < 24 {
+		return fmt.Errorf("%w: short header", ErrStateCorrupt)
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != _stateMagic {
+		return fmt.Errorf("%w: bad magic", ErrStateCorrupt)
+	}
+	if v := binary.BigEndian.Uint16(buf[4:]); v != _stateVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrStateCorrupt, v)
+	}
+	if w := int(binary.BigEndian.Uint32(buf[8:])); w != e.cfg.Window {
+		return fmt.Errorf("core: state window %d does not match configured %d", w, e.cfg.Window)
+	}
+	if crc32.ChecksumIEEE(buf[24:]) != binary.BigEndian.Uint32(buf[20:]) {
+		return fmt.Errorf("%w: checksum mismatch", ErrStateCorrupt)
+	}
+	e.version = int(binary.BigEndian.Uint32(buf[12:]))
+	e.nextCID = container.ID(binary.BigEndian.Uint32(buf[16:]))
+	e.cache = NewIndexView(e.cfg.Window)
+	e.cache.version = e.version
+	e.activeByFP = make(map[fp.FP]container.ID)
+	e.activeContainers = make(map[container.ID]*container.Container)
+	e.batches = make(map[int]*archivalBatch)
+
+	off := 24
+	read32 := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("%w: truncated", ErrStateCorrupt)
+		}
+		v := binary.BigEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	read64 := func() (uint64, error) {
+		if off+8 > len(buf) {
+			return 0, fmt.Errorf("%w: truncated", ErrStateCorrupt)
+		}
+		v := binary.BigEndian.Uint64(buf[off:])
+		off += 8
+		return v, nil
+	}
+	nHot, err := read32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nHot; i++ {
+		if off+fp.Size+8 > len(buf) {
+			return fmt.Errorf("%w: truncated hot entry", ErrStateCorrupt)
+		}
+		f, err := fp.FromBytes(buf[off : off+fp.Size])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrStateCorrupt, err)
+		}
+		cid := container.ID(binary.BigEndian.Uint32(buf[off+fp.Size:]))
+		seen := int(binary.BigEndian.Uint32(buf[off+fp.Size+4:]))
+		off += fp.Size + 8
+		e.activeByFP[f] = cid
+		e.cache.active[f] = cid
+		e.cache.lastSeen[f] = seen
+	}
+	nBatches, err := read32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nBatches; i++ {
+		v, err := read32()
+		if err != nil {
+			return err
+		}
+		bytesTotal, err := read64()
+		if err != nil {
+			return err
+		}
+		nIDs, err := read32()
+		if err != nil {
+			return err
+		}
+		batch := &archivalBatch{bytes: bytesTotal}
+		for j := uint32(0); j < nIDs; j++ {
+			id, err := read32()
+			if err != nil {
+				return err
+			}
+			batch.containers = append(batch.containers, container.ID(id))
+		}
+		e.batches[int(v)] = batch
+	}
+	if e.logicalBytes, err = read64(); err != nil {
+		return err
+	}
+	if e.storedBytes, err = read64(); err != nil {
+		return err
+	}
+	nActive, err := read32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nActive; i++ {
+		id, err := read32()
+		if err != nil {
+			return err
+		}
+		ctn, err := e.cfg.Store.Get(container.ID(id))
+		if err != nil {
+			return fmt.Errorf("core: reload active container %d: %w", id, err)
+		}
+		if err := ctn.SetCapacity(e.cfg.ContainerCapacity); err != nil {
+			return fmt.Errorf("core: reload active container %d: %w", id, err)
+		}
+		e.activeContainers[container.ID(id)] = ctn
+	}
+	if off != len(buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrStateCorrupt, len(buf)-off)
+	}
+	return nil
+}
+
+// saveState writes the state file atomically; a no-op without StatePath.
+func (e *Engine) saveState() error {
+	if e.cfg.StatePath == "" {
+		return nil
+	}
+	buf := e.marshalState()
+	tmp := e.cfg.StatePath + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("core: write state: %w", err)
+	}
+	if err := os.Rename(tmp, e.cfg.StatePath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: rename state: %w", err)
+	}
+	return nil
+}
+
+// loadState restores from the state file if one exists.
+func (e *Engine) loadState() error {
+	if e.cfg.StatePath == "" {
+		return nil
+	}
+	buf, err := os.ReadFile(e.cfg.StatePath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// A fresh directory has no state — but recipes without state
+			// mean the state file was lost (crash before the first save,
+			// manual deletion). Starting over would reuse version numbers
+			// and silently shadow the existing history, so refuse.
+			if vs := e.cfg.Recipes.Versions(); len(vs) > 0 {
+				return fmt.Errorf("core: state file %s missing but %d recipes exist (through v%d); refusing to restart the version history",
+					e.cfg.StatePath, len(vs), vs[len(vs)-1])
+			}
+			return nil
+		}
+		return fmt.Errorf("core: read state: %w", err)
+	}
+	return e.unmarshalState(buf)
+}

@@ -1,0 +1,63 @@
+package dedup
+
+import (
+	"hidestore/internal/backup"
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+)
+
+var _ backup.Checker = (*Engine)(nil)
+
+// Check verifies the baseline store: every container's chunks hash to
+// their fingerprints, and every recipe entry points at a container that
+// holds the chunk (baseline recipes only ever use positive CIDs).
+func (e *Engine) Check() (backup.CheckReport, error) {
+	var report backup.CheckReport
+	chunkAt := make(map[fp.FP]map[container.ID]struct{})
+	for _, cid := range e.cfg.Store.IDs() {
+		ctn, err := e.cfg.Store.Get(cid)
+		if err != nil {
+			report.Problemf("container %d: %v", cid, err)
+			continue
+		}
+		report.Containers++
+		for _, f := range ctn.Fingerprints() {
+			data, err := ctn.Get(f)
+			if err != nil {
+				report.Problemf("container %d chunk %s: %v", cid, f.Short(), err)
+				continue
+			}
+			report.StoredChunks++
+			if got := fp.Of(data); got != f {
+				report.Problemf("container %d chunk %s: content hashes to %s", cid, f.Short(), got.Short())
+				continue
+			}
+			locs, ok := chunkAt[f]
+			if !ok {
+				locs = make(map[container.ID]struct{}, 1)
+				chunkAt[f] = locs
+			}
+			locs[cid] = struct{}{}
+		}
+	}
+	for _, v := range e.cfg.Recipes.Versions() {
+		rec, err := e.cfg.Recipes.Get(v)
+		if err != nil {
+			report.Problemf("recipe v%d: %v", v, err)
+			continue
+		}
+		report.Versions++
+		for i, entry := range rec.Entries {
+			report.Chunks++
+			if entry.CID <= 0 {
+				report.Problemf("recipe v%d entry %d: non-positive CID %d", v, i, entry.CID)
+				continue
+			}
+			if _, ok := chunkAt[entry.FP][container.ID(entry.CID)]; !ok {
+				report.Problemf("recipe v%d entry %d (%s): container %d does not hold it",
+					v, i, entry.FP.Short(), entry.CID)
+			}
+		}
+	}
+	return report, nil
+}

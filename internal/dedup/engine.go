@@ -1,0 +1,464 @@
+// Package dedup implements the traditional destor-style deduplication
+// engine the paper's baselines run on (§5.1): a staged pipeline of
+// chunking, hashing, fingerprint indexing, optional duplicate rewriting,
+// and container storage, with per-version recipes for restore.
+//
+// The engine is parameterized by a fingerprint index (DDFS, Sparse
+// Indexing, SiLo), a rewriting scheme (none, capping, CBR, CFL, FBW, HAR)
+// and a restore cache (container-LRU, chunk-LRU, FAA, ALACC), which spans
+// the whole baseline matrix of the paper's evaluation.
+package dedup
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hidestore/internal/backup"
+	"hidestore/internal/chunker"
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+	"hidestore/internal/pipeline"
+	"hidestore/internal/recipe"
+	"hidestore/internal/restorecache"
+	"hidestore/internal/rewrite"
+)
+
+// Config assembles an engine. Index, Store and Recipes are required.
+type Config struct {
+	// Chunking algorithm and size bounds (default TTTD with the paper's
+	// 2/4/16 KB parameters).
+	Chunker     chunker.Algorithm
+	ChunkParams chunker.Params
+	// Index classifies chunks (required).
+	Index index.Index
+	// Rewriter decides duplicate rewriting (default none).
+	Rewriter rewrite.Rewriter
+	// RestoreCache drives restores (default FAA, destor's default §5.3).
+	RestoreCache restorecache.Cache
+	// Store persists containers (required).
+	Store container.Store
+	// Recipes persists recipes (required).
+	Recipes recipe.Store
+	// SegmentChunks is the indexing/rewriting segment length in chunks
+	// (default 1024 ≈ 4 MB at 4 KB chunks).
+	SegmentChunks int
+	// ContainerCapacity in bytes (default container.DefaultCapacity).
+	ContainerCapacity int
+	// HashWorkers parallelize fingerprinting (default 4).
+	HashWorkers int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Index == nil {
+		return errors.New("dedup: Config.Index is required")
+	}
+	if c.Store == nil {
+		return errors.New("dedup: Config.Store is required")
+	}
+	if c.Recipes == nil {
+		return errors.New("dedup: Config.Recipes is required")
+	}
+	if c.Chunker == 0 {
+		c.Chunker = chunker.TTTD
+	}
+	if c.ChunkParams == (chunker.Params{}) {
+		c.ChunkParams = chunker.DefaultParams()
+	}
+	if err := c.ChunkParams.Validate(); err != nil {
+		return err
+	}
+	if c.Rewriter == nil {
+		c.Rewriter = rewrite.NewNone()
+	}
+	if c.RestoreCache == nil {
+		c.RestoreCache = restorecache.NewFAA(0)
+	}
+	if c.SegmentChunks <= 0 {
+		c.SegmentChunks = 1024
+	}
+	if c.ContainerCapacity <= 0 {
+		c.ContainerCapacity = container.DefaultCapacity
+	}
+	if c.HashWorkers <= 0 {
+		c.HashWorkers = 4
+	}
+	return nil
+}
+
+// Engine is the baseline deduplicating backup engine. It is not safe for
+// concurrent use: one Backup/Restore/Delete at a time.
+type Engine struct {
+	cfg Config
+
+	nextVersion int
+	nextCID     container.ID
+	open        *container.Container
+
+	logicalBytes uint64
+	storedBytes  uint64
+}
+
+var _ backup.Engine = (*Engine)(nil)
+
+// New creates an engine from cfg.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// hashedChunk is one chunk flowing through the backup pipeline.
+type hashedChunk struct {
+	seq  int
+	fp   fp.FP
+	data []byte
+}
+
+// Backup implements backup.Engine.
+func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupReport, error) {
+	start := time.Now()
+	v := e.nextVersion + 1
+	indexBefore := e.cfg.Index.Stats()
+	rewriteBefore := e.cfg.Rewriter.Stats()
+
+	rec := recipe.New(v)
+	session := &backupSession{engine: e, recipe: rec}
+
+	ch, err := chunker.New(e.cfg.Chunker, version, e.cfg.ChunkParams)
+	if err != nil {
+		return backup.BackupReport{}, err
+	}
+	g, _ := pipeline.WithContext(ctx)
+	raw := pipeline.Produce(g, 64, func(emit func(hashedChunk) bool) error {
+		for seq := 0; ; seq++ {
+			data, err := ch.Next()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("dedup: chunking: %w", err)
+			}
+			if !emit(hashedChunk{seq: seq, data: data}) {
+				return nil
+			}
+		}
+	})
+	hashed := pipeline.Transform(g, e.cfg.HashWorkers, 64, raw, func(c hashedChunk) (hashedChunk, error) {
+		c.fp = fp.Of(c.data)
+		return c, nil
+	})
+	// The sink reorders the (possibly out-of-order) hashed chunks back
+	// into stream order and assembles indexing segments.
+	reorder := make(map[int]hashedChunk)
+	next := 0
+	pipeline.Sink(g, hashed, func(c hashedChunk) error {
+		reorder[c.seq] = c
+		for {
+			item, ok := reorder[next]
+			if !ok {
+				return nil
+			}
+			delete(reorder, next)
+			next++
+			if err := session.push(item); err != nil {
+				return err
+			}
+		}
+	})
+	if err := g.Wait(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	if err := session.flush(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	// Seal the open container so the version is fully restorable.
+	if err := e.sealOpen(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	if err := e.cfg.Recipes.Put(rec); err != nil {
+		return backup.BackupReport{}, err
+	}
+	e.cfg.Index.EndVersion()
+	e.cfg.Rewriter.EndVersion()
+	e.nextVersion = v
+	e.logicalBytes += session.logicalBytes
+	e.storedBytes += session.storedBytes
+
+	indexAfter := e.cfg.Index.Stats()
+	rewriteAfter := e.cfg.Rewriter.Stats()
+	return backup.BackupReport{
+		Version:      v,
+		LogicalBytes: session.logicalBytes,
+		StoredBytes:  session.storedBytes,
+		Chunks:       session.chunks,
+		UniqueChunks: session.uniqueChunks,
+		IndexStats:   diffIndexStats(indexBefore, indexAfter),
+		RewriteStats: diffRewriteStats(rewriteBefore, rewriteAfter),
+		Duration:     time.Since(start),
+	}, nil
+}
+
+// backupSession accumulates one version's state.
+type backupSession struct {
+	engine *Engine
+	recipe *recipe.Recipe
+
+	seg []hashedChunk
+	// placed maps fingerprints stored in this session to their container,
+	// resolving intra-version pending duplicates.
+	placed map[fp.FP]container.ID
+
+	logicalBytes uint64
+	storedBytes  uint64
+	chunks       int
+	uniqueChunks int
+}
+
+func (s *backupSession) push(c hashedChunk) error {
+	s.seg = append(s.seg, c)
+	if len(s.seg) >= s.engine.cfg.SegmentChunks {
+		return s.processSegment()
+	}
+	return nil
+}
+
+func (s *backupSession) flush() error {
+	if len(s.seg) == 0 {
+		return nil
+	}
+	return s.processSegment()
+}
+
+func (s *backupSession) processSegment() error {
+	e := s.engine
+	seg := s.seg
+	s.seg = nil
+	if s.placed == nil {
+		s.placed = make(map[fp.FP]container.ID)
+	}
+
+	refs := make([]index.ChunkRef, len(seg))
+	for i, c := range seg {
+		refs[i] = index.ChunkRef{FP: c.fp, Size: uint32(len(c.data))}
+	}
+	results := e.cfg.Index.Dedup(refs)
+
+	view := make([]rewrite.Chunk, len(seg))
+	for i, c := range seg {
+		view[i] = rewrite.Chunk{
+			FP:        c.fp,
+			Size:      uint32(len(c.data)),
+			Duplicate: results[i].Duplicate,
+			CID:       results[i].CID,
+		}
+	}
+	plan := e.cfg.Rewriter.Plan(view)
+
+	cids := make([]container.ID, len(seg))
+	for i, c := range seg {
+		s.logicalBytes += uint64(len(c.data))
+		s.chunks++
+		switch {
+		case !results[i].Duplicate || plan[i]:
+			cid, err := e.store(c.fp, c.data)
+			if err != nil {
+				return err
+			}
+			cids[i] = cid
+			s.placed[c.fp] = cid
+			s.storedBytes += uint64(len(c.data))
+			s.uniqueChunks++
+		case results[i].CID != 0:
+			cids[i] = results[i].CID
+		default:
+			cid, ok := s.placed[c.fp]
+			if !ok {
+				return fmt.Errorf("dedup: pending duplicate %s has no placement", c.fp.Short())
+			}
+			cids[i] = cid
+		}
+		s.recipe.Append(c.fp, uint32(len(c.data)), int32(cids[i]))
+	}
+	e.cfg.Index.Commit(refs, cids)
+	e.cfg.Rewriter.Committed(view, cids)
+	return nil
+}
+
+// store appends a chunk payload to the open container, sealing and
+// rotating it when full, and returns the container ID holding the chunk.
+func (e *Engine) store(f fp.FP, data []byte) (container.ID, error) {
+	if e.open != nil && !e.open.HasRoom(len(data)) {
+		if err := e.sealOpen(); err != nil {
+			return 0, err
+		}
+	}
+	if e.open == nil {
+		e.nextCID++
+		e.open = container.NewWithCapacity(e.nextCID, e.cfg.ContainerCapacity)
+	}
+	if err := e.open.Add(f, data); err != nil {
+		if errors.Is(err, container.ErrDuplicate) {
+			// A rewritten duplicate may collide with a copy already in the
+			// open container; referencing that copy is equivalent.
+			return e.open.ID(), nil
+		}
+		return 0, err
+	}
+	return e.open.ID(), nil
+}
+
+func (e *Engine) sealOpen() error {
+	if e.open == nil {
+		return nil
+	}
+	if e.open.Len() == 0 {
+		e.open = nil
+		return nil
+	}
+	if err := e.cfg.Store.Put(e.open); err != nil {
+		return err
+	}
+	e.open = nil
+	return nil
+}
+
+// Restore implements backup.Engine.
+func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.RestoreReport, error) {
+	_ = ctx
+	start := time.Now()
+	rec, err := e.cfg.Recipes.Get(version)
+	if err != nil {
+		return backup.RestoreReport{}, err
+	}
+	stats, err := e.cfg.RestoreCache.Restore(rec.Entries, e.cfg.Store, w)
+	if err != nil {
+		return backup.RestoreReport{}, err
+	}
+	return backup.RestoreReport{
+		Version:  version,
+		Stats:    stats,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// Delete implements backup.Engine: the traditional mark-and-sweep path
+// the paper contrasts with HiDeStore's free deletion (§5.5). Every
+// remaining recipe is scanned to build the live set, then every container
+// is swept: dead chunks are dropped, emptied containers deleted, partially
+// dead containers compacted and rewritten.
+func (e *Engine) Delete(version int) (backup.DeleteReport, error) {
+	start := time.Now()
+	report := backup.DeleteReport{Version: version}
+	if !e.cfg.Recipes.Has(version) {
+		return report, fmt.Errorf("%w: version %d", recipe.ErrNotFound, version)
+	}
+	if err := e.cfg.Recipes.Delete(version); err != nil {
+		return report, err
+	}
+	// Mark: every chunk referenced by any remaining version.
+	live := make(map[fp.FP]struct{})
+	for _, v := range e.cfg.Recipes.Versions() {
+		rec, err := e.cfg.Recipes.Get(v)
+		if err != nil {
+			return report, err
+		}
+		report.ChunksScanned += rec.NumChunks()
+		for _, entry := range rec.Entries {
+			live[entry.FP] = struct{}{}
+		}
+	}
+	// Sweep: every container.
+	for _, cid := range e.cfg.Store.IDs() {
+		ctn, err := e.cfg.Store.Get(cid)
+		if err != nil {
+			return report, err
+		}
+		dead := 0
+		var deadBytes uint64
+		fps := ctn.Fingerprints()
+		report.ChunksScanned += len(fps)
+		for _, f := range fps {
+			if _, ok := live[f]; ok {
+				continue
+			}
+			entry, _ := ctn.Entry(f)
+			deadBytes += uint64(entry.Size)
+			dead++
+		}
+		switch {
+		case dead == 0:
+			continue
+		case dead == len(fps):
+			if err := e.cfg.Store.Delete(cid); err != nil {
+				return report, err
+			}
+			report.ContainersDeleted++
+		default:
+			// Compact the survivors into a rewritten container image.
+			kept := ctn.Clone()
+			for _, f := range fps {
+				if _, ok := live[f]; !ok {
+					if err := kept.Remove(f); err != nil {
+						return report, err
+					}
+				}
+			}
+			if err := e.cfg.Store.Put(kept.Compacted(cid)); err != nil {
+				return report, err
+			}
+			report.ContainersRewritten++
+		}
+		report.BytesReclaimed += deadBytes
+		e.storedBytes -= deadBytes
+	}
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// Versions implements backup.Engine.
+func (e *Engine) Versions() []int {
+	vs := e.cfg.Recipes.Versions()
+	sort.Ints(vs)
+	return vs
+}
+
+// Stats implements backup.Engine.
+func (e *Engine) Stats() backup.Stats {
+	return backup.Stats{
+		Versions:      len(e.cfg.Recipes.Versions()),
+		LogicalBytes:  e.logicalBytes,
+		StoredBytes:   e.storedBytes,
+		Containers:    e.cfg.Store.Len(),
+		IndexStats:    e.cfg.Index.Stats(),
+		IndexMemBytes: e.cfg.Index.MemoryBytes(),
+		RewriteStats:  e.cfg.Rewriter.Stats(),
+	}
+}
+
+func diffIndexStats(before, after index.Stats) index.Stats {
+	return index.Stats{
+		Lookups:        after.Lookups - before.Lookups,
+		DiskLookups:    after.DiskLookups - before.DiskLookups,
+		CacheHits:      after.CacheHits - before.CacheHits,
+		Duplicates:     after.Duplicates - before.Duplicates,
+		Uniques:        after.Uniques - before.Uniques,
+		DuplicateBytes: after.DuplicateBytes - before.DuplicateBytes,
+		UniqueBytes:    after.UniqueBytes - before.UniqueBytes,
+	}
+}
+
+func diffRewriteStats(before, after rewrite.Stats) rewrite.Stats {
+	return rewrite.Stats{
+		Duplicates:      after.Duplicates - before.Duplicates,
+		Rewritten:       after.Rewritten - before.Rewritten,
+		RewrittenBytes:  after.RewrittenBytes - before.RewrittenBytes,
+		DuplicateBytes:  after.DuplicateBytes - before.DuplicateBytes,
+		SegmentsPlanned: after.SegmentsPlanned - before.SegmentsPlanned,
+	}
+}

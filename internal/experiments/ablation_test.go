@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablationOptions() Options {
+	o := testOptions()
+	o.Versions = 6
+	return o
+}
+
+func TestAblationWindow(t *testing.T) {
+	res, err := AblationWindow("macos", ablationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// On a flapping workload, window 2 must improve the dedup ratio over
+	// window 1 (the §4.1 macos argument).
+	w1, w2 := res.Row("1"), res.Row("2")
+	if w1 == nil || w2 == nil {
+		t.Fatal("rows missing")
+	}
+	if w2.DedupRatio <= w1.DedupRatio {
+		t.Errorf("window 2 ratio %.4f should beat window 1 %.4f on macos",
+			w2.DedupRatio, w1.DedupRatio)
+	}
+	if !strings.Contains(res.Render(), "window") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestAblationMergeThreshold(t *testing.T) {
+	res, err := AblationMergeThreshold("kernel", ablationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merging sparse actives must help the newest version's locality:
+	// near-disabled merging (0.01) should not beat aggressive merging
+	// (0.75) on newest-version speed factor.
+	off, on := res.Row("0.01"), res.Row("0.75")
+	if off == nil || on == nil {
+		t.Fatal("rows missing")
+	}
+	if off.NewestSF > on.NewestSF*1.05 {
+		t.Errorf("no-merge newest SF %.3f should not beat merging %.3f", off.NewestSF, on.NewestSF)
+	}
+	// Dedup ratio must be unaffected by merging (it only moves chunks).
+	if diff := off.DedupRatio - on.DedupRatio; diff > 0.001 || diff < -0.001 {
+		t.Errorf("merging changed dedup ratio: %.4f vs %.4f", off.DedupRatio, on.DedupRatio)
+	}
+}
+
+func TestAblationContainerSize(t *testing.T) {
+	res, err := AblationContainerSize("kernel", ablationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Bigger containers must raise the newest version's speed factor
+	// (more MB per read) and cannot change the dedup ratio.
+	small, big := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if big.NewestSF <= small.NewestSF {
+		t.Errorf("4MB containers newest SF %.3f should beat 256KB %.3f", big.NewestSF, small.NewestSF)
+	}
+	if diff := big.DedupRatio - small.DedupRatio; diff > 0.001 || diff < -0.001 {
+		t.Errorf("container size changed dedup ratio")
+	}
+}
+
+func TestAblationChunker(t *testing.T) {
+	res, err := AblationChunker("gcc", ablationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	fixed := res.Row("fixed")
+	if fixed == nil {
+		t.Fatal("fixed row missing")
+	}
+	// Every content-defined chunker must beat fixed-size chunking on an
+	// insert-heavy workload (boundary shift).
+	for _, name := range []string{"rabin", "tttd", "fastcdc", "ae"} {
+		row := res.Row(name)
+		if row == nil {
+			t.Fatalf("%s row missing", name)
+		}
+		if row.DedupRatio <= fixed.DedupRatio {
+			t.Errorf("%s ratio %.4f should beat fixed %.4f", name, row.DedupRatio, fixed.DedupRatio)
+		}
+	}
+}
+
+func TestAblationRestoreCache(t *testing.T) {
+	res, err := AblationRestoreCache("kernel", ablationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := res.Row("opt")
+	if opt == nil {
+		t.Fatal("opt row missing")
+	}
+	// The clairvoyant cache upper-bounds the oldest version's speed
+	// factor among container-granularity schemes.
+	lru := res.Row("container-lru")
+	if lru != nil && lru.OldestSF > opt.OldestSF*1.01 {
+		t.Errorf("container-lru oldest SF %.3f beats OPT %.3f", lru.OldestSF, opt.OldestSF)
+	}
+	// Dedup ratio is a write-path property: identical across restore
+	// caches.
+	for _, row := range res.Rows[1:] {
+		if diff := row.DedupRatio - res.Rows[0].DedupRatio; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("restore cache changed dedup ratio: %v", row)
+		}
+	}
+}

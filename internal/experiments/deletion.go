@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hidestore/internal/backup"
+	"hidestore/internal/metrics"
+)
+
+// DeletionRow is one scheme's cost for expiring old versions (§5.5).
+type DeletionRow struct {
+	Scheme          string
+	VersionsDeleted int
+	// ChunksScanned is the reference-detection effort (zero for
+	// HiDeStore).
+	ChunksScanned int
+	// ContainersDeleted and ContainersRewritten describe the sweep.
+	ContainersDeleted   int
+	ContainersRewritten int
+	BytesReclaimed      uint64
+	TotalDuration       time.Duration
+}
+
+// DeletionResult compares deletion costs on one workload.
+type DeletionResult struct {
+	Workload string
+	Rows     []DeletionRow
+}
+
+// Deletion reproduces the §5.5 comparison: back up a version chain on the
+// exact-dedup baseline and on HiDeStore, then expire the oldest versions
+// from both. The baseline must detect exclusive chunks by scanning every
+// remaining recipe and garbage-collect containers; HiDeStore drops whole
+// archival containers.
+//
+// Expected shape: HiDeStore's scanned-chunk count is zero and its latency
+// near zero; the baseline's effort is proportional to everything stored.
+func Deletion(workloadName string, deleteCount int, opts Options) (*DeletionResult, error) {
+	opts = opts.withDefaults()
+	cfg, err := opts.loadWorkload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	if deleteCount <= 0 {
+		deleteCount = cfg.Versions / 2
+	}
+	window := cacheWindow(cfg)
+	if deleteCount > cfg.Versions-window {
+		deleteCount = cfg.Versions - window
+	}
+	res := &DeletionResult{Workload: cfg.Name}
+	schemes := []struct {
+		label string
+		build func() (backup.Engine, error)
+	}{
+		{"baseline-gc", func() (backup.Engine, error) { return baselineEngine(opts, "ddfs", "none", "faa") }},
+		{"hidestore", func() (backup.Engine, error) { return hidestoreEngine(opts, cfg) }},
+	}
+	for _, s := range schemes {
+		e, err := s.build()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := backupAllVersions(e, cfg); err != nil {
+			return nil, fmt.Errorf("%s: %w", s.label, err)
+		}
+		row := DeletionRow{Scheme: s.label}
+		start := time.Now()
+		for v := 1; v <= deleteCount; v++ {
+			rep, err := e.Delete(v)
+			if err != nil {
+				return nil, fmt.Errorf("%s: delete v%d: %w", s.label, v, err)
+			}
+			row.VersionsDeleted++
+			row.ChunksScanned += rep.ChunksScanned
+			row.ContainersDeleted += rep.ContainersDeleted
+			row.ContainersRewritten += rep.ContainersRewritten
+			row.BytesReclaimed += rep.BytesReclaimed
+		}
+		row.TotalDuration = time.Since(start)
+		// The remaining versions must still restore.
+		latest := cfg.Versions
+		if _, err := restoreDiscard(e, latest); err != nil {
+			return nil, fmt.Errorf("%s: restore v%d after deletion: %w", s.label, latest, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row returns the row for a scheme, or nil.
+func (r *DeletionResult) Row(scheme string) *DeletionRow {
+	for i := range r.Rows {
+		if r.Rows[i].Scheme == scheme {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the deletion comparison.
+func (r *DeletionResult) Render() string {
+	t := metrics.NewTable(fmt.Sprintf("§5.5 deletion cost (%s)", r.Workload),
+		"scheme", "versions deleted", "chunks scanned", "containers deleted",
+		"containers rewritten", "reclaimed", "total time")
+	for _, row := range r.Rows {
+		t.AddRow(row.Scheme,
+			fmt.Sprintf("%d", row.VersionsDeleted),
+			fmt.Sprintf("%d", row.ChunksScanned),
+			fmt.Sprintf("%d", row.ContainersDeleted),
+			fmt.Sprintf("%d", row.ContainersRewritten),
+			metrics.FormatBytes(row.BytesReclaimed),
+			row.TotalDuration.String())
+	}
+	return t.Render()
+}

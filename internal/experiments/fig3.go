@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"hidestore/internal/fp"
+	"hidestore/internal/metrics"
+)
+
+// Figure3Result is the heuristic experiment of §3: after processing each
+// backup version with an infinite metadata buffer, how many chunks carry
+// each version tag (the most recent version containing them).
+type Figure3Result struct {
+	Workload string
+	Versions int
+	// Counts[tag-1][v-1] is the number of chunks with version tag `tag`
+	// after processing version v (0 for v < tag).
+	Counts [][]int
+}
+
+// Figure3 reproduces the §3 heuristic experiment on one workload.
+//
+// The buffer mirrors the paper's Destor instrumentation: every chunk's
+// metadata is kept with a version tag; deduplicating version v retags every
+// chunk it contains to v. A tag's population therefore drops when its
+// chunks reappear in newer versions — and the paper's observation is that
+// the drop happens almost entirely in the very next version (or two, for
+// macos), after which the count plateaus: chunks that leave the stream do
+// not come back.
+func Figure3(workloadName string, opts Options) (*Figure3Result, error) {
+	opts = opts.withDefaults()
+	cfg, err := opts.loadWorkload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{
+		Workload: cfg.Name,
+		Versions: cfg.Versions,
+		Counts:   make([][]int, cfg.Versions),
+	}
+	for i := range res.Counts {
+		res.Counts[i] = make([]int, cfg.Versions)
+	}
+	tags := make(map[fp.FP]int) // chunk → most recent version containing it
+	err = forEachVersion(cfg, func(v int, r io.Reader) error {
+		refs, err := chunkRefs(r, opts.ChunkParams)
+		if err != nil {
+			return err
+		}
+		for _, c := range refs {
+			tags[c.FP] = v
+		}
+		// Census after processing version v.
+		counts := make([]int, cfg.Versions+1)
+		for _, tag := range tags {
+			counts[tag]++
+		}
+		for tag := 1; tag <= v; tag++ {
+			res.Counts[tag-1][v-1] = counts[tag]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// PlateauRatio measures the paper's claim for one tag: the fraction of the
+// total drop in tag-t chunks that happened within `window` versions after
+// t. Near 1.0 means "chunks not in the next version(s) never reappear".
+func (r *Figure3Result) PlateauRatio(tag, window int) float64 {
+	if tag < 1 || tag > r.Versions {
+		return 0
+	}
+	row := r.Counts[tag-1]
+	initial := row[tag-1]
+	final := row[r.Versions-1]
+	totalDrop := initial - final
+	if totalDrop <= 0 {
+		return 1
+	}
+	at := tag - 1 + window
+	if at >= r.Versions {
+		at = r.Versions - 1
+	}
+	earlyDrop := initial - row[at]
+	return float64(earlyDrop) / float64(totalDrop)
+}
+
+// Render returns the per-tag chunk counts as an aligned table (columns:
+// after-version; rows: version tags), mirroring the bars of Figure 3.
+func (r *Figure3Result) Render() string {
+	headers := []string{"tag\\after"}
+	for v := 1; v <= r.Versions; v++ {
+		headers = append(headers, "v"+strconv.Itoa(v))
+	}
+	t := metrics.NewTable(fmt.Sprintf("Figure 3 (%s): chunks per version tag", r.Workload), headers...)
+	for tag := 1; tag <= r.Versions; tag++ {
+		row := []string{"V" + strconv.Itoa(tag)}
+		for v := 1; v <= r.Versions; v++ {
+			if v < tag {
+				row = append(row, "-")
+			} else {
+				row = append(row, strconv.Itoa(r.Counts[tag-1][v-1]))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hidestore/internal/backup"
+	"hidestore/internal/metrics"
+	"hidestore/internal/workload"
+)
+
+// Figure8Schemes are the deduplication-ratio contenders, in the paper's
+// order: the exact baseline, the two near-exact baselines, the two
+// rewriting configurations (evaluated on SiLo, as in §5.2.1), and
+// HiDeStore.
+var Figure8Schemes = []string{"ddfs", "sparse", "silo", "capping", "alacc-fbw", "hidestore"}
+
+// Figure8Row is one (workload, scheme) dedup ratio.
+type Figure8Row struct {
+	Workload string
+	Scheme   string
+	// DedupRatio is cumulative eliminated bytes / logical bytes.
+	DedupRatio float64
+	// StoredBytes actually written (unique + rewritten).
+	StoredBytes uint64
+}
+
+// Figure8Result holds the dedup-ratio comparison.
+type Figure8Result struct {
+	Rows []Figure8Row
+}
+
+// buildFigure8Engine maps a Figure 8 scheme label to an engine.
+func buildFigure8Engine(o Options, w workload.Config, scheme string) (backup.Engine, error) {
+	switch scheme {
+	case "ddfs", "sparse", "silo":
+		return baselineEngine(o, scheme, "none", "faa")
+	case "capping":
+		// The paper evaluates rewriting on top of SiLo (§5.2.1).
+		return baselineEngine(o, "silo", "capping", "faa")
+	case "alacc-fbw":
+		// The ALACC configuration rewrites with the look-back window
+		// (FBW) and restores through ALACC (§5.1, §5.3).
+		return baselineEngine(o, "silo", "fbw", "alacc")
+	case "hidestore":
+		return hidestoreEngine(o, w)
+	default:
+		return nil, fmt.Errorf("experiments: unknown Figure 8 scheme %q", scheme)
+	}
+}
+
+// Figure8 measures cumulative deduplication ratios for every scheme on
+// every requested workload by running full engines over the version chain.
+//
+// Expected shape (paper §5.2.1): HiDeStore ≈ DDFS (exact) ≥ SiLo ≈ Sparse
+// (near-exact sampling losses) > rewriting schemes (duplicates stored
+// twice), with the rewriting gap growing as more versions are processed.
+func Figure8(workloads []string, opts Options) (*Figure8Result, error) {
+	opts = opts.withDefaults()
+	if len(workloads) == 0 {
+		workloads = workload.PresetNames()
+	}
+	res := &Figure8Result{}
+	for _, name := range workloads {
+		cfg, err := opts.loadWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range Figure8Schemes {
+			e, err := buildFigure8Engine(opts, cfg, scheme)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := backupAllVersions(e, cfg); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, scheme, err)
+			}
+			st := e.Stats()
+			res.Rows = append(res.Rows, Figure8Row{
+				Workload:    cfg.Name,
+				Scheme:      scheme,
+				DedupRatio:  st.DedupRatio(),
+				StoredBytes: st.StoredBytes,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Ratio returns the dedup ratio for (workload, scheme), or -1 if missing.
+func (r *Figure8Result) Ratio(workload, scheme string) float64 {
+	for _, row := range r.Rows {
+		if row.Workload == workload && row.Scheme == scheme {
+			return row.DedupRatio
+		}
+	}
+	return -1
+}
+
+// Render formats the comparison like Figure 8's bars.
+func (r *Figure8Result) Render() string {
+	t := metrics.NewTable("Figure 8: deduplication ratios",
+		"workload", "scheme", "dedup ratio", "stored")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, row.Scheme,
+			metrics.FormatPercent(row.DedupRatio),
+			metrics.FormatBytes(row.StoredBytes))
+	}
+	return t.Render()
+}

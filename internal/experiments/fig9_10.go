@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/metrics"
+)
+
+// Figure9Schemes are the index-overhead contenders (§5.2.2).
+var Figure9Schemes = []string{"ddfs", "sparse", "silo", "hidestore"}
+
+// IndexSeries is one scheme's per-version measurements from the
+// metadata-only index simulation shared by Figures 9 and 10.
+type IndexSeries struct {
+	Scheme string
+	// LookupsPerGB[v-1] is on-disk index lookups per GB of data
+	// deduplicated in version v (Figure 9's metric).
+	LookupsPerGB []float64
+	// MemBytesPerMB[v-1] is persistent index bytes per MB of cumulative
+	// data after version v (Figure 10's metric).
+	MemBytesPerMB []float64
+	// TotalDiskLookups over the whole run.
+	TotalDiskLookups uint64
+}
+
+// Figure9Result holds per-workload index overhead series.
+type Figure9Result struct {
+	Workload string
+	Series   []IndexSeries
+}
+
+// Figure9 measures the full-index lookup overhead of each scheme on one
+// workload, chunk-metadata only (payloads are never stored — exactly how
+// Destor's lookup metric abstracts disk behaviour, §5.2.2).
+//
+// Expected shape: HiDeStore performs zero disk lookups (the fingerprint
+// cache answers everything); DDFS pays on every locality-cache miss and
+// degrades as data grows; sparse/silo sit in between, paying per champion
+// or block load.
+func Figure9(workloadName string, opts Options) (*Figure9Result, error) {
+	opts = opts.withDefaults()
+	cfg, err := opts.loadWorkload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{Workload: cfg.Name}
+	const segChunks = 1024
+	for _, scheme := range Figure9Schemes {
+		ix, err := newBaselineIndex(scheme)
+		if err != nil {
+			return nil, err
+		}
+		sim := newPlacementSim(opts.ContainerCapacity)
+		series := IndexSeries{Scheme: scheme}
+		var prevLookups uint64
+		var cumulativeBytes uint64
+		err = forEachVersion(cfg, func(v int, r io.Reader) error {
+			refs, err := chunkRefs(r, opts.ChunkParams)
+			if err != nil {
+				return err
+			}
+			session := make(map[fp.FP]container.ID)
+			var versionBytes uint64
+			for start := 0; start < len(refs); start += segChunks {
+				end := start + segChunks
+				if end > len(refs) {
+					end = len(refs)
+				}
+				seg := refs[start:end]
+				results := ix.Dedup(seg)
+				cids := sim.place(seg, results, session)
+				ix.Commit(seg, cids)
+				for _, c := range seg {
+					versionBytes += uint64(c.Size)
+				}
+			}
+			ix.EndVersion()
+			cumulativeBytes += versionBytes
+
+			st := ix.Stats()
+			deltaLookups := st.DiskLookups - prevLookups
+			prevLookups = st.DiskLookups
+			gb := float64(versionBytes) / (1 << 30)
+			if gb > 0 {
+				series.LookupsPerGB = append(series.LookupsPerGB, float64(deltaLookups)/gb)
+			} else {
+				series.LookupsPerGB = append(series.LookupsPerGB, 0)
+			}
+			mb := float64(cumulativeBytes) / (1 << 20)
+			series.MemBytesPerMB = append(series.MemBytesPerMB, float64(ix.MemoryBytes())/mb)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", workloadName, scheme, err)
+		}
+		series.TotalDiskLookups = ix.Stats().DiskLookups
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// SchemeSeries returns the series for a scheme, or nil.
+func (r *Figure9Result) SchemeSeries(scheme string) *IndexSeries {
+	for i := range r.Series {
+		if r.Series[i].Scheme == scheme {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the lookups-per-GB curves (Figure 9a-d).
+func (r *Figure9Result) Render() string {
+	f := metrics.Figure{
+		Title:  fmt.Sprintf("Figure 9 (%s): lookup overhead", r.Workload),
+		XLabel: "version",
+		YLabel: "lookup requests per GB",
+	}
+	for _, s := range r.Series {
+		f.AddSeries(s.Scheme, s.LookupsPerGB)
+	}
+	return f.Render()
+}
+
+// Figure10Result reuses the Figure 9 simulation's memory series.
+type Figure10Result struct {
+	Workload string
+	Series   []IndexSeries
+}
+
+// Figure10 measures the index-table space overhead per MB deduplicated
+// (§5.2.3). It shares Figure 9's simulation.
+//
+// Expected shape: DDFS highest (full index grows with unique data);
+// Sparse and SiLo far lower (sampled); HiDeStore zero (the previous
+// version's recipe *is* the index).
+func Figure10(workloadName string, opts Options) (*Figure10Result, error) {
+	r9, err := Figure9(workloadName, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure10Result{Workload: r9.Workload, Series: r9.Series}, nil
+}
+
+// SchemeSeries returns the series for a scheme, or nil.
+func (r *Figure10Result) SchemeSeries(scheme string) *IndexSeries {
+	for i := range r.Series {
+		if r.Series[i].Scheme == scheme {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Final returns the final bytes-per-MB for a scheme (-1 if missing).
+func (r *Figure10Result) Final(scheme string) float64 {
+	s := r.SchemeSeries(scheme)
+	if s == nil || len(s.MemBytesPerMB) == 0 {
+		return -1
+	}
+	return s.MemBytesPerMB[len(s.MemBytesPerMB)-1]
+}
+
+// Render formats the space-overhead curves (Figure 10).
+func (r *Figure10Result) Render() string {
+	f := metrics.Figure{
+		Title:  fmt.Sprintf("Figure 10 (%s): index table overhead", r.Workload),
+		XLabel: "version",
+		YLabel: "index bytes per MB deduplicated",
+	}
+	for _, s := range r.Series {
+		f.AddSeries(s.Scheme, s.MemBytesPerMB)
+	}
+	return f.Render()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"io"
+
+	"hidestore/internal/fp"
+	"hidestore/internal/metrics"
+	"hidestore/internal/workload"
+)
+
+// Table1Row is one workload's characteristics (paper Table 1).
+type Table1Row struct {
+	Workload   string
+	TotalBytes uint64
+	Versions   int
+	// DedupRatio is eliminated bytes over total bytes under exact
+	// deduplication.
+	DedupRatio float64
+}
+
+// Table1Result holds all workloads' characteristics.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures the synthetic datasets the way the paper's Table 1
+// characterizes the real ones: total size, version count, and the exact
+// dedup ratio.
+func Table1(workloads []string, opts Options) (*Table1Result, error) {
+	opts = opts.withDefaults()
+	if len(workloads) == 0 {
+		workloads = workload.PresetNames()
+	}
+	res := &Table1Result{}
+	for _, name := range workloads {
+		cfg, err := opts.loadWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[fp.FP]struct{})
+		var logical, unique uint64
+		err = forEachVersion(cfg, func(v int, r io.Reader) error {
+			refs, err := chunkRefs(r, opts.ChunkParams)
+			if err != nil {
+				return err
+			}
+			for _, c := range refs {
+				logical += uint64(c.Size)
+				if _, ok := seen[c.FP]; !ok {
+					seen[c.FP] = struct{}{}
+					unique += uint64(c.Size)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Workload:   cfg.Name,
+			TotalBytes: logical,
+			Versions:   cfg.Versions,
+			DedupRatio: 1 - float64(unique)/float64(logical),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the rows like the paper's Table 1.
+func (r *Table1Result) Render() string {
+	t := metrics.NewTable("Table 1: characteristics of workloads",
+		"dataset", "total size", "total versions", "dedup ratio")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload,
+			metrics.FormatBytes(row.TotalBytes),
+			metrics.FormatFloat(float64(row.Versions)),
+			metrics.FormatPercent(row.DedupRatio))
+	}
+	return t.Render()
+}

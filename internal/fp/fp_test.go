@@ -1,0 +1,117 @@
+package fp
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfMatchesSHA1(t *testing.T) {
+	data := []byte("hello, dedup world")
+	want := sha1.Sum(data)
+	if got := Of(data); got != FP(want) {
+		t.Fatalf("Of(%q) = %s, want %x", data, got, want)
+	}
+}
+
+func TestOfEmpty(t *testing.T) {
+	// SHA-1 of the empty string is a well-known constant.
+	const wantHex = "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+	if got := Of(nil).String(); got != wantHex {
+		t.Fatalf("Of(nil) = %s, want %s", got, wantHex)
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      []byte
+		wantErr bool
+	}{
+		{name: "exact", in: make([]byte, Size), wantErr: false},
+		{name: "short", in: make([]byte, Size-1), wantErr: true},
+		{name: "long", in: make([]byte, Size+1), wantErr: true},
+		{name: "empty", in: nil, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := FromBytes(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("FromBytes(len %d) err = %v, wantErr %v", len(tt.in), err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := Of([]byte("round trip"))
+	got, err := Parse(f.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got != f {
+		t.Fatalf("Parse(String()) = %s, want %s", got, f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "zz", "abcd", "not-hex-not-hex-not-hex-not-hex-not-hex!"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var z FP
+	if !z.IsZero() {
+		t.Fatal("zero FP should report IsZero")
+	}
+	if Of([]byte("x")).IsZero() {
+		t.Fatal("real fingerprint should not report IsZero")
+	}
+}
+
+func TestShort(t *testing.T) {
+	f := Of([]byte("short"))
+	if got, want := f.Short(), f.String()[:8]; got != want {
+		t.Fatalf("Short() = %s, want %s", got, want)
+	}
+}
+
+func TestPrefix64BigEndian(t *testing.T) {
+	var f FP
+	f[0] = 0x01
+	f[7] = 0xff
+	if got, want := f.Prefix64(), uint64(0x01000000000000ff); got != want {
+		t.Fatalf("Prefix64 = %#x, want %#x", got, want)
+	}
+}
+
+func TestCompareConsistentWithBytes(t *testing.T) {
+	if err := quick.Check(func(a, b [Size]byte) bool {
+		f, g := FP(a), FP(b)
+		want := bytes.Compare(a[:], b[:])
+		return f.Compare(g) == want && f.Less(g) == (want < 0)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortByLess(t *testing.T) {
+	fps := []FP{Of([]byte("c")), Of([]byte("a")), Of([]byte("b")), Of([]byte("d"))}
+	sort.Slice(fps, func(i, j int) bool { return fps[i].Less(fps[j]) })
+	for i := 1; i < len(fps); i++ {
+		if fps[i].Less(fps[i-1]) {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestStringLen(t *testing.T) {
+	if got := Of([]byte("len")).String(); len(got) != 2*Size {
+		t.Fatalf("String() length = %d, want %d", len(got), 2*Size)
+	}
+}

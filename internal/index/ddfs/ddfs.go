@@ -1,0 +1,214 @@
+// Package ddfs implements the exact deduplication index of the Data Domain
+// File System (Zhu et al., FAST'08), the highest-dedup-ratio baseline in
+// the paper's evaluation (§5.2).
+//
+// DDFS keeps the *full* fingerprint index (one entry per unique chunk
+// stored), too large for memory, on disk. Two in-memory structures avoid
+// most disk lookups:
+//
+//   - a Bloom filter ("summary vector"): chunks it rejects are definitely
+//     new, so their index lookup is skipped entirely;
+//   - a locality-preserved cache: when a fingerprint must be looked up on
+//     disk, the fingerprints of its whole container are prefetched into an
+//     LRU cache, exploiting the logical locality of backup streams.
+//
+// The Figure 9 metric counts exactly the lookups that fall through both
+// structures to the on-disk full index.
+package ddfs
+
+import (
+	"hidestore/internal/bloom"
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+	"hidestore/internal/lru"
+)
+
+// Options configures the DDFS index.
+type Options struct {
+	// ExpectedChunks sizes the Bloom filter. Default 4M chunks.
+	ExpectedChunks int
+	// FalsePositiveRate of the Bloom filter. Default 0.01.
+	FalsePositiveRate float64
+	// CacheContainers bounds the locality cache in container groups.
+	// Default 64 (≈ 256 MB of chunk locality at 4 MB containers).
+	CacheContainers int
+}
+
+func (o *Options) setDefaults() {
+	if o.ExpectedChunks <= 0 {
+		o.ExpectedChunks = 4 << 20
+	}
+	if o.FalsePositiveRate <= 0 || o.FalsePositiveRate >= 1 {
+		o.FalsePositiveRate = 0.01
+	}
+	if o.CacheContainers <= 0 {
+		o.CacheContainers = 64
+	}
+}
+
+// entrySize is the on-disk full-index entry footprint: fingerprint,
+// container ID, chunk size.
+const entrySize = fp.Size + 4 + 4
+
+// Index is the DDFS exact-deduplication index.
+type Index struct {
+	filter *bloom.Filter
+	// full is the on-disk full index: fingerprint → container. Lookups
+	// against it are counted as disk lookups.
+	full map[fp.FP]container.ID
+	// groups mirrors per-container fingerprint lists (container metadata
+	// on disk) used to prefetch locality groups into the cache.
+	groups map[container.ID][]fp.FP
+	// cache is the in-memory locality-preserved fingerprint cache, one
+	// unit of cost per container group.
+	cache *lru.Cache[container.ID, []fp.FP]
+	// cached resolves any currently cached fingerprint to its container,
+	// maintained in lockstep with cache via its eviction callback.
+	cached map[fp.FP]container.ID
+	stats  index.Stats
+}
+
+var _ index.Index = (*Index)(nil)
+
+// New creates a DDFS index.
+func New(opts Options) (*Index, error) {
+	opts.setDefaults()
+	f, err := bloom.New(opts.ExpectedChunks, opts.FalsePositiveRate)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := lru.New[container.ID, []fp.FP](int64(opts.CacheContainers))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		filter: f,
+		full:   make(map[fp.FP]container.ID),
+		groups: make(map[container.ID][]fp.FP),
+		cache:  cache,
+		cached: make(map[fp.FP]container.ID),
+	}
+	cache.SetOnEvict(func(cid container.ID, fps []fp.FP) {
+		for _, f := range fps {
+			if ix.cached[f] == cid {
+				delete(ix.cached, f)
+			}
+		}
+	})
+	return ix, nil
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "ddfs" }
+
+// Dedup implements index.Index.
+func (ix *Index) Dedup(seg []index.ChunkRef) []index.Result {
+	results := make([]index.Result, len(seg))
+	pending := make(map[fp.FP]struct{}, len(seg))
+	for i, c := range seg {
+		ix.stats.Lookups++
+		// Intra-segment duplicate: first instance is pending placement.
+		if _, ok := pending[c.FP]; ok {
+			results[i] = index.Result{Duplicate: true}
+			ix.noteDuplicate(c)
+			continue
+		}
+		// Bloom filter: a miss proves the chunk is new — no disk lookup.
+		if !ix.filter.MayContain(c.FP) {
+			results[i] = index.Result{}
+			pending[c.FP] = struct{}{}
+			ix.noteUnique(c)
+			continue
+		}
+		// Locality cache: scan cached container groups.
+		if cid, ok := ix.cacheLookup(c.FP); ok {
+			results[i] = index.Result{Duplicate: true, CID: cid}
+			ix.stats.CacheHits++
+			ix.noteDuplicate(c)
+			continue
+		}
+		// Fall through to the on-disk full index (counted).
+		ix.stats.DiskLookups++
+		cid, ok := ix.full[c.FP]
+		if !ok {
+			// Bloom false positive: chunk is actually unique.
+			results[i] = index.Result{}
+			pending[c.FP] = struct{}{}
+			ix.noteUnique(c)
+			continue
+		}
+		results[i] = index.Result{Duplicate: true, CID: cid}
+		ix.noteDuplicate(c)
+		// Prefetch the whole container group: subsequent chunks of the
+		// stream will likely hit it (logical locality).
+		ix.prefetch(cid)
+	}
+	return results
+}
+
+func (ix *Index) noteDuplicate(c index.ChunkRef) {
+	ix.stats.Duplicates++
+	ix.stats.DuplicateBytes += uint64(c.Size)
+}
+
+func (ix *Index) noteUnique(c index.ChunkRef) {
+	ix.stats.Uniques++
+	ix.stats.UniqueBytes += uint64(c.Size)
+}
+
+func (ix *Index) cacheLookup(f fp.FP) (container.ID, bool) {
+	cid, ok := ix.cached[f]
+	if !ok {
+		return 0, false
+	}
+	ix.cache.Get(cid) // promote the group that answered
+	return cid, true
+}
+
+func (ix *Index) prefetch(cid container.ID) {
+	fps, ok := ix.groups[cid]
+	if !ok {
+		return
+	}
+	// Snapshot the group: later Commits to the same container must not
+	// retroactively appear cached.
+	group := append([]fp.FP(nil), fps...)
+	if ix.cache.Add(cid, group, 1) {
+		for _, f := range group {
+			ix.cached[f] = cid
+		}
+	}
+}
+
+// Commit implements index.Index: unique chunks enter the Bloom filter,
+// the full index, and their container's locality group.
+func (ix *Index) Commit(seg []index.ChunkRef, cids []container.ID) {
+	for i, c := range seg {
+		if i >= len(cids) || cids[i] == 0 {
+			continue
+		}
+		if _, ok := ix.full[c.FP]; ok {
+			continue
+		}
+		ix.full[c.FP] = cids[i]
+		ix.filter.Add(c.FP)
+		ix.groups[cids[i]] = append(ix.groups[cids[i]], c.FP)
+	}
+}
+
+// EndVersion implements index.Index. DDFS keeps no per-version state.
+func (ix *Index) EndVersion() {}
+
+// Stats implements index.Index.
+func (ix *Index) Stats() index.Stats { return ix.stats }
+
+// MemoryBytes implements index.Index: the full-index entries plus the
+// Bloom filter — the structures that must exist for DDFS to deduplicate,
+// and the reason its Figure 10 overhead is the highest.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.full))*entrySize + int64(ix.filter.SizeBytes())
+}
+
+// UniqueChunks returns the number of unique chunks indexed (test hook).
+func (ix *Index) UniqueChunks() int { return len(ix.full) }

@@ -1,0 +1,210 @@
+// Package extbin implements Extreme Binning (Bhagwat et al.,
+// MASCOTS'09), the file-similarity index the paper's related work (§6)
+// cites for non-traditional backup workloads with poor stream locality.
+//
+// Extreme Binning keeps exactly one in-memory entry per *bin*: the
+// representative (minimum) chunk fingerprint of the files filed in that
+// bin, plus the hash of the whole file that created it. All other chunk
+// fingerprints live in the bin on disk. A new file is deduplicated by
+// loading the single bin its representative selects (at most one disk
+// access per file) and comparing against that bin's chunks only — so
+// duplicates across dissimilar files are missed, trading dedup ratio for
+// a tiny RAM footprint and bounded I/O.
+//
+// The engine feeds segments rather than files; as with SiLo, the segment
+// stands in for the file (the original paper bins files; destor's
+// re-implementation bins segments the same way).
+package extbin
+
+import (
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+)
+
+// Options configures Extreme Binning.
+type Options struct {
+	// MaxBinChunks caps a bin's size; bins that grow past it stop
+	// absorbing new chunk lists (the original design relies on file
+	// diversity to keep bins small). Default 64k chunks.
+	MaxBinChunks int
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxBinChunks <= 0 {
+		o.MaxBinChunks = 64 << 10
+	}
+}
+
+// bin models one on-disk bin: chunk → container for every file filed
+// under its representative.
+type bin struct {
+	id     uint64
+	chunks map[fp.FP]container.ID
+}
+
+// primaryEntry is the RAM record for one representative.
+type primaryEntry struct {
+	// wholeHash is the hash of the most recent segment filed here; equal
+	// whole hashes skip the bin load entirely (the original paper's
+	// shortcut for identical files).
+	wholeHash fp.FP
+	binID     uint64
+}
+
+// Index is the Extreme Binning index.
+type Index struct {
+	opts    Options
+	primary map[fp.FP]primaryEntry
+	bins    map[uint64]*bin
+	nextBin uint64
+
+	// pending carries the segment classified by Dedup into Commit.
+	pendingRep   fp.FP
+	pendingWhole fp.FP
+	pendingOK    bool
+	pendingSkip  bool
+
+	stats index.Stats
+}
+
+var _ index.Index = (*Index)(nil)
+
+// New creates an Extreme Binning index.
+func New(opts Options) (*Index, error) {
+	opts.setDefaults()
+	return &Index{
+		opts:    opts,
+		primary: make(map[fp.FP]primaryEntry),
+		bins:    make(map[uint64]*bin),
+	}, nil
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "extbin" }
+
+// representative returns the minimum fingerprint of the segment.
+func representative(seg []index.ChunkRef) (fp.FP, bool) {
+	if len(seg) == 0 {
+		return fp.FP{}, false
+	}
+	min := seg[0].FP
+	for _, c := range seg[1:] {
+		if c.FP.Less(min) {
+			min = c.FP
+		}
+	}
+	return min, true
+}
+
+// wholeHash hashes the segment's fingerprint sequence, standing in for
+// the whole-file hash of the original design.
+func wholeHash(seg []index.ChunkRef) fp.FP {
+	buf := make([]byte, 0, len(seg)*fp.Size)
+	for _, c := range seg {
+		buf = append(buf, c.FP[:]...)
+	}
+	return fp.Of(buf)
+}
+
+// Dedup implements index.Index.
+func (ix *Index) Dedup(seg []index.ChunkRef) []index.Result {
+	results := make([]index.Result, len(seg))
+	rep, ok := representative(seg)
+	ix.pendingOK = ok
+	ix.pendingSkip = false
+	if !ok {
+		return results
+	}
+	whole := wholeHash(seg)
+	ix.pendingRep, ix.pendingWhole = rep, whole
+
+	var known map[fp.FP]container.ID
+	if entry, found := ix.primary[rep]; found {
+		if entry.wholeHash == whole {
+			// Identical segment: everything is a duplicate; the bin is
+			// loaded anyway to answer *where* (one disk access), matching
+			// the original design's single-bin-load bound.
+			ix.pendingSkip = true
+		}
+		ix.stats.DiskLookups++
+		if b, exists := ix.bins[entry.binID]; exists {
+			known = b.chunks
+		}
+	}
+	pending := make(map[fp.FP]struct{}, len(seg))
+	for i, c := range seg {
+		ix.stats.Lookups++
+		if _, dup := pending[c.FP]; dup {
+			results[i] = index.Result{Duplicate: true}
+			ix.noteDuplicate(c)
+			continue
+		}
+		if cid, ok := known[c.FP]; ok {
+			results[i] = index.Result{Duplicate: true, CID: cid}
+			ix.stats.CacheHits++
+			ix.noteDuplicate(c)
+			continue
+		}
+		results[i] = index.Result{}
+		pending[c.FP] = struct{}{}
+		ix.noteUnique(c)
+	}
+	return results
+}
+
+// Commit implements index.Index: the segment's chunks are filed into the
+// representative's bin.
+func (ix *Index) Commit(seg []index.ChunkRef, cids []container.ID) {
+	if !ix.pendingOK || len(seg) == 0 {
+		return
+	}
+	entry, found := ix.primary[ix.pendingRep]
+	var b *bin
+	if found {
+		b = ix.bins[entry.binID]
+	}
+	if b == nil {
+		ix.nextBin++
+		b = &bin{id: ix.nextBin, chunks: make(map[fp.FP]container.ID)}
+		ix.bins[b.id] = b
+	}
+	if !ix.pendingSkip && len(b.chunks) < ix.opts.MaxBinChunks {
+		for i, c := range seg {
+			if i >= len(cids) || cids[i] == 0 {
+				continue
+			}
+			if _, ok := b.chunks[c.FP]; !ok {
+				b.chunks[c.FP] = cids[i]
+			}
+		}
+	}
+	ix.primary[ix.pendingRep] = primaryEntry{wholeHash: ix.pendingWhole, binID: b.id}
+}
+
+// EndVersion implements index.Index; Extreme Binning keeps no per-version
+// state.
+func (ix *Index) EndVersion() {}
+
+// Stats implements index.Index.
+func (ix *Index) Stats() index.Stats { return ix.stats }
+
+// MemoryBytes implements index.Index: the primary index only — one
+// representative fingerprint, one whole hash and a bin pointer per bin
+// entry; bins live on disk.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.primary)) * (2*fp.Size + 8)
+}
+
+// Bins returns the number of bins (test hook).
+func (ix *Index) Bins() int { return len(ix.bins) }
+
+func (ix *Index) noteDuplicate(c index.ChunkRef) {
+	ix.stats.Duplicates++
+	ix.stats.DuplicateBytes += uint64(c.Size)
+}
+
+func (ix *Index) noteUnique(c index.ChunkRef) {
+	ix.stats.Uniques++
+	ix.stats.UniqueBytes += uint64(c.Size)
+}

@@ -1,0 +1,160 @@
+package extbin
+
+import (
+	"strconv"
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+)
+
+func seg(prefix string, n int) []index.ChunkRef {
+	out := make([]index.ChunkRef, n)
+	for i := range out {
+		out[i] = index.ChunkRef{FP: fp.Of([]byte(prefix + strconv.Itoa(i))), Size: 4096}
+	}
+	return out
+}
+
+func cids(n int, cid container.ID) []container.ID {
+	out := make([]container.ID, n)
+	for i := range out {
+		out[i] = cid
+	}
+	return out
+}
+
+func TestIdenticalSegmentFullyDeduplicates(t *testing.T) {
+	ix, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("a", 100)
+	res := ix.Dedup(s)
+	ix.Commit(s, cids(100, 1))
+	_ = res
+	res = ix.Dedup(s)
+	for i, r := range res {
+		if !r.Duplicate || r.CID != 1 {
+			t.Fatalf("chunk %d: %+v", i, r)
+		}
+	}
+	if ix.Stats().DiskLookups != 1 {
+		t.Fatalf("DiskLookups = %d, want 1 bin load", ix.Stats().DiskLookups)
+	}
+	if ix.Bins() != 1 {
+		t.Fatalf("Bins = %d, want 1", ix.Bins())
+	}
+}
+
+// TestSimilarSegmentSharesBin: keeping the representative chunk keeps the
+// bin, so unchanged chunks deduplicate.
+func TestSimilarSegmentSharesBin(t *testing.T) {
+	ix, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("base", 100)
+	ix.Dedup(s)
+	ix.Commit(s, cids(100, 1))
+
+	rep, _ := representative(s)
+	mutated := append([]index.ChunkRef(nil), s...)
+	changed := 0
+	for i := range mutated {
+		if mutated[i].FP == rep {
+			continue
+		}
+		if changed < 25 {
+			mutated[i] = index.ChunkRef{FP: fp.Of([]byte("new" + strconv.Itoa(i))), Size: 4096}
+			changed++
+		}
+	}
+	res := ix.Dedup(mutated)
+	dups := 0
+	for _, r := range res {
+		if r.Duplicate {
+			dups++
+		}
+	}
+	if dups != 75 {
+		t.Fatalf("dups = %d, want 75", dups)
+	}
+	ix.Commit(mutated, cids(100, 2))
+	if ix.Bins() != 1 {
+		t.Fatalf("similar segments should share one bin, got %d", ix.Bins())
+	}
+}
+
+// TestDissimilarSegmentMisses: a different representative selects no bin,
+// so stored chunks are missed — Extreme Binning's dedup-ratio trade.
+func TestDissimilarSegmentMisses(t *testing.T) {
+	ix, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("one", 50)
+	ix.Dedup(s)
+	ix.Commit(s, cids(50, 1))
+	res := ix.Dedup(seg("two", 50))
+	for i, r := range res {
+		if r.Duplicate {
+			t.Fatalf("chunk %d misclassified", i)
+		}
+	}
+	if ix.Stats().DiskLookups != 0 {
+		t.Fatal("no bin should load for a new representative")
+	}
+}
+
+func TestMemoryCountsPrimaryOnly(t *testing.T) {
+	ix, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s := seg("m"+strconv.Itoa(i), 200)
+		ix.Dedup(s)
+		ix.Commit(s, cids(200, container.ID(i+1)))
+	}
+	// 10 primary entries at 48 bytes each — regardless of the 2000 chunks
+	// sitting in bins.
+	if got, want := ix.MemoryBytes(), int64(10*(2*fp.Size+8)); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestBinCap(t *testing.T) {
+	ix, err := New(Options{MaxBinChunks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two similar segments share a bin; the cap stops the second's new
+	// chunks from being filed.
+	s := seg("cap", 10)
+	ix.Dedup(s)
+	ix.Commit(s, cids(10, 1))
+	s2 := append(append([]index.ChunkRef(nil), s...), seg("extra", 5)...)
+	ix.Dedup(s2)
+	ix.Commit(s2, cids(15, 2))
+	b := ix.bins[1]
+	if len(b.chunks) > 10 {
+		t.Fatalf("bin grew to %d chunks past the cap", len(b.chunks))
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	ix, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Dedup(nil); len(res) != 0 {
+		t.Fatal("nil segment should produce no results")
+	}
+	ix.Commit(nil, nil)
+	ix.EndVersion()
+	if ix.Name() != "extbin" {
+		t.Fatal("wrong name")
+	}
+}

@@ -1,0 +1,236 @@
+// Package silo implements SiLo (Xia et al., USENIX ATC'11), the
+// similarity-and-locality baseline of the paper's evaluation (§5.2).
+//
+// SiLo groups the chunk stream into *segments* (similarity unit) and packs
+// consecutive segments into *blocks* (locality unit). The in-memory
+// similarity hash table (SHTable) keeps one representative fingerprint per
+// segment — the minimum fingerprint, a min-wise similarity sketch — mapped
+// to the block holding that segment. A new segment whose representative
+// matches the SHTable is likely similar to the stored segment, so its whole
+// block is fetched from disk (one counted disk lookup) into an LRU block
+// cache; the block's neighbouring segments exploit stream locality exactly
+// like DDFS's container prefetch. Segments with no similar block are
+// deduplicated only against the cache and the current in-flight block,
+// which is where SiLo loses a little dedup ratio against exact schemes.
+package silo
+
+import (
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+	"hidestore/internal/lru"
+)
+
+// Options configures SiLo.
+type Options struct {
+	// SegmentsPerBlock is the locality unit in similarity units.
+	// Default 32.
+	SegmentsPerBlock int
+	// CacheBlocks bounds the block read cache. Default 16.
+	CacheBlocks int
+}
+
+func (o *Options) setDefaults() {
+	if o.SegmentsPerBlock <= 0 {
+		o.SegmentsPerBlock = 32
+	}
+	if o.CacheBlocks <= 0 {
+		o.CacheBlocks = 16
+	}
+}
+
+// block models one on-disk locality block: the union of its segments'
+// chunk → container mappings, plus the representative fingerprint of every
+// segment it holds.
+type block struct {
+	id     uint64
+	chunks map[fp.FP]container.ID
+	reps   []fp.FP
+	nsegs  int
+}
+
+// Index is the SiLo index.
+type Index struct {
+	opts Options
+	// shTable is the in-memory similarity table: representative
+	// fingerprint → block ID.
+	shTable map[fp.FP]uint64
+	// blocks models the on-disk block store.
+	blocks  map[uint64]*block
+	nextID  uint64
+	current *block
+	// cache is the in-memory block read cache.
+	cache  *lru.Cache[uint64, *block]
+	cached map[fp.FP]uint64 // fingerprint → cached block, kept in sync
+	stats  index.Stats
+}
+
+var _ index.Index = (*Index)(nil)
+
+// New creates a SiLo index.
+func New(opts Options) (*Index, error) {
+	opts.setDefaults()
+	cache, err := lru.New[uint64, *block](int64(opts.CacheBlocks))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		opts:    opts,
+		shTable: make(map[fp.FP]uint64),
+		blocks:  make(map[uint64]*block),
+		cache:   cache,
+		cached:  make(map[fp.FP]uint64),
+	}
+	ix.current = ix.newBlock()
+	cache.SetOnEvict(func(id uint64, b *block) {
+		for f := range b.chunks {
+			if ix.cached[f] == id {
+				delete(ix.cached, f)
+			}
+		}
+	})
+	return ix, nil
+}
+
+func (ix *Index) newBlock() *block {
+	ix.nextID++
+	return &block{id: ix.nextID, chunks: make(map[fp.FP]container.ID)}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "silo" }
+
+// representative returns the min-hash sketch of a segment: its smallest
+// fingerprint.
+func representative(seg []index.ChunkRef) (fp.FP, bool) {
+	if len(seg) == 0 {
+		return fp.FP{}, false
+	}
+	min := seg[0].FP
+	for _, c := range seg[1:] {
+		if c.FP.Less(min) {
+			min = c.FP
+		}
+	}
+	return min, true
+}
+
+// Dedup implements index.Index.
+func (ix *Index) Dedup(seg []index.ChunkRef) []index.Result {
+	results := make([]index.Result, len(seg))
+	rep, ok := representative(seg)
+	if ok {
+		// Similarity lookup: fetch the block of the most similar stored
+		// segment unless it is already cached or being written.
+		if blockID, found := ix.shTable[rep]; found && blockID != ix.current.id {
+			if !ix.cache.Contains(blockID) {
+				ix.stats.DiskLookups++
+				if b, exists := ix.blocks[blockID]; exists {
+					ix.addToCache(b)
+				}
+			} else {
+				ix.cache.Get(blockID) // promote
+			}
+		}
+	}
+	pending := make(map[fp.FP]struct{}, len(seg))
+	for i, c := range seg {
+		ix.stats.Lookups++
+		if _, dup := pending[c.FP]; dup {
+			results[i] = index.Result{Duplicate: true}
+			ix.noteDuplicate(c)
+			continue
+		}
+		// Check the in-flight block first (stream locality), then the
+		// block cache.
+		if cid, ok := ix.current.chunks[c.FP]; ok {
+			results[i] = index.Result{Duplicate: true, CID: cid}
+			ix.stats.CacheHits++
+			ix.noteDuplicate(c)
+			continue
+		}
+		if blockID, ok := ix.cached[c.FP]; ok {
+			if b, live := ix.cache.Peek(blockID); live {
+				results[i] = index.Result{Duplicate: true, CID: b.chunks[c.FP]}
+				ix.cache.Get(blockID)
+				ix.stats.CacheHits++
+				ix.noteDuplicate(c)
+				continue
+			}
+		}
+		results[i] = index.Result{}
+		pending[c.FP] = struct{}{}
+		ix.noteUnique(c)
+	}
+	return results
+}
+
+func (ix *Index) addToCache(b *block) {
+	if ix.cache.Add(b.id, b, 1) {
+		for f := range b.chunks {
+			ix.cached[f] = b.id
+		}
+	}
+}
+
+// Commit implements index.Index: the segment joins the current block; a
+// full block is sealed and its representatives registered in the SHTable.
+func (ix *Index) Commit(seg []index.ChunkRef, cids []container.ID) {
+	if len(seg) == 0 {
+		return
+	}
+	for i, c := range seg {
+		if i >= len(cids) || cids[i] == 0 {
+			continue
+		}
+		if _, ok := ix.current.chunks[c.FP]; !ok {
+			ix.current.chunks[c.FP] = cids[i]
+		}
+	}
+	if rep, ok := representative(seg); ok {
+		ix.current.reps = append(ix.current.reps, rep)
+	}
+	ix.current.nsegs++
+	if ix.current.nsegs >= ix.opts.SegmentsPerBlock {
+		ix.sealCurrent()
+	}
+}
+
+func (ix *Index) sealCurrent() {
+	b := ix.current
+	if b.nsegs == 0 {
+		return
+	}
+	ix.blocks[b.id] = b
+	for _, rep := range b.reps {
+		ix.shTable[rep] = b.id
+	}
+	ix.current = ix.newBlock()
+}
+
+// EndVersion implements index.Index: the partial block is sealed so the
+// next version can match against it.
+func (ix *Index) EndVersion() { ix.sealCurrent() }
+
+// Stats implements index.Index.
+func (ix *Index) Stats() index.Stats { return ix.stats }
+
+// MemoryBytes implements index.Index: the SHTable — one representative
+// fingerprint (20 B) plus an 8-byte block reference per stored segment.
+// Blocks live on disk.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.shTable)) * (fp.Size + 8)
+}
+
+// Blocks returns the number of sealed blocks (test hook).
+func (ix *Index) Blocks() int { return len(ix.blocks) }
+
+func (ix *Index) noteDuplicate(c index.ChunkRef) {
+	ix.stats.Duplicates++
+	ix.stats.DuplicateBytes += uint64(c.Size)
+}
+
+func (ix *Index) noteUnique(c index.ChunkRef) {
+	ix.stats.Uniques++
+	ix.stats.UniqueBytes += uint64(c.Size)
+}

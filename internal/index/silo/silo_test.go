@@ -1,0 +1,160 @@
+package silo
+
+import (
+	"strconv"
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+)
+
+func seg(prefix string, n int) []index.ChunkRef {
+	out := make([]index.ChunkRef, n)
+	for i := range out {
+		out[i] = index.ChunkRef{FP: fp.Of([]byte(prefix + strconv.Itoa(i))), Size: 4096}
+	}
+	return out
+}
+
+func cids(n int, cid container.ID) []container.ID {
+	out := make([]container.ID, n)
+	for i := range out {
+		out[i] = cid
+	}
+	return out
+}
+
+func TestBlockSealing(t *testing.T) {
+	ix, err := New(Options{SegmentsPerBlock: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		s := seg("s"+strconv.Itoa(i), 10)
+		ix.Commit(s, cids(10, container.ID(i+1)))
+	}
+	// 7 segments at 3 per block: 2 sealed blocks, 1 in flight.
+	if got := ix.Blocks(); got != 2 {
+		t.Fatalf("Blocks = %d, want 2", got)
+	}
+	ix.EndVersion()
+	if got := ix.Blocks(); got != 3 {
+		t.Fatalf("Blocks after EndVersion = %d, want 3", got)
+	}
+}
+
+func TestSimilarityMatchLoadsBlock(t *testing.T) {
+	ix, err := New(Options{SegmentsPerBlock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("sim", 100)
+	ix.Commit(s, cids(100, 1))
+	ix.EndVersion() // seals the block, registering the representative
+
+	res := ix.Dedup(s) // identical segment → representative matches
+	st := ix.Stats()
+	if st.DiskLookups != 1 {
+		t.Fatalf("DiskLookups = %d, want 1 block load", st.DiskLookups)
+	}
+	for i, r := range res {
+		if !r.Duplicate || r.CID != 1 {
+			t.Fatalf("chunk %d: %+v, want duplicate in container 1", i, r)
+		}
+	}
+}
+
+// TestSimilarSegmentStillMatches: changing chunks other than the minimum
+// fingerprint keeps the representative, so the block is still found and
+// the unchanged chunks deduplicate.
+func TestSimilarSegmentStillMatches(t *testing.T) {
+	ix, err := New(Options{SegmentsPerBlock: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("v1-", 100)
+	ix.Commit(s, cids(100, 1))
+	ix.EndVersion()
+
+	// Find the representative (minimum) and keep it; replace 30 others.
+	rep, _ := representative(s)
+	mutated := append([]index.ChunkRef(nil), s...)
+	replaced := 0
+	for i := range mutated {
+		if mutated[i].FP == rep {
+			continue
+		}
+		if replaced < 30 {
+			mutated[i] = index.ChunkRef{FP: fp.Of([]byte("new-" + strconv.Itoa(i))), Size: 4096}
+			replaced++
+		}
+	}
+	res := ix.Dedup(mutated)
+	dups := 0
+	for _, r := range res {
+		if r.Duplicate {
+			dups++
+		}
+	}
+	if dups != 70 {
+		t.Fatalf("found %d duplicates, want 70 (similarity hit)", dups)
+	}
+}
+
+// TestDissimilarSegmentMisses: a fully different segment has a different
+// representative, so nothing is loaded and nothing deduplicates — the
+// near-exact miss case.
+func TestDissimilarSegmentMisses(t *testing.T) {
+	ix, err := New(Options{SegmentsPerBlock: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Commit(seg("old", 50), cids(50, 1))
+	ix.EndVersion()
+	res := ix.Dedup(seg("completely-new", 50))
+	for i, r := range res {
+		if r.Duplicate {
+			t.Fatalf("chunk %d misclassified as duplicate", i)
+		}
+	}
+	if ix.Stats().DiskLookups != 0 {
+		t.Fatal("dissimilar segment should not load blocks")
+	}
+}
+
+func TestCachedBlockNotReloaded(t *testing.T) {
+	ix, err := New(Options{SegmentsPerBlock: 1, CacheBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("c", 50)
+	ix.Commit(s, cids(50, 1))
+	ix.EndVersion()
+	ix.Dedup(s)
+	ix.Dedup(s) // block already cached
+	if got := ix.Stats().DiskLookups; got != 1 {
+		t.Fatalf("DiskLookups = %d, want 1 (second pass should hit cache)", got)
+	}
+}
+
+func TestRepresentativeOfEmpty(t *testing.T) {
+	if _, ok := representative(nil); ok {
+		t.Fatal("representative(nil) should report false")
+	}
+}
+
+func TestMemoryTracksSHTable(t *testing.T) {
+	ix, err := New(Options{SegmentsPerBlock: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.MemoryBytes() != 0 {
+		t.Fatal("fresh index should report zero memory")
+	}
+	ix.Commit(seg("m", 10), cids(10, 1))
+	ix.EndVersion()
+	if got, want := ix.MemoryBytes(), int64(fp.Size+8); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d (one representative)", got, want)
+	}
+}

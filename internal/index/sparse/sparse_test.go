@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"strconv"
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+	"hidestore/internal/index"
+)
+
+func seg(prefix string, n int) []index.ChunkRef {
+	out := make([]index.ChunkRef, n)
+	for i := range out {
+		out[i] = index.ChunkRef{FP: fp.Of([]byte(prefix + strconv.Itoa(i))), Size: 4096}
+	}
+	return out
+}
+
+func cids(n int, cid container.ID) []container.ID {
+	out := make([]container.ID, n)
+	for i := range out {
+		out[i] = cid
+	}
+	return out
+}
+
+func TestChampionLoadsAreBounded(t *testing.T) {
+	ix, err := New(Options{SampleBits: 1, MaxChampions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store the same segment many times so many manifests share hooks.
+	s := seg("x", 200)
+	for i := 0; i < 10; i++ {
+		ix.Commit(s, cids(200, container.ID(i+1)))
+	}
+	ix.Dedup(s)
+	if got := ix.Stats().DiskLookups; got > 3 {
+		t.Fatalf("loaded %d champions, cap is 3", got)
+	}
+}
+
+func TestNoHooksMeansNoChampions(t *testing.T) {
+	// SampleBits 32 makes hooks essentially impossible for 100 chunks, so
+	// a stored segment cannot be found again: near-exact dedup misses.
+	ix, err := New(Options{SampleBits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("y", 100)
+	res := ix.Dedup(s)
+	m := make([]container.ID, len(s))
+	for i := range m {
+		m[i] = 1
+	}
+	_ = res
+	ix.Commit(s, m)
+	ix.EndVersion()
+	res2 := ix.Dedup(s)
+	dups := 0
+	for _, r := range res2 {
+		if r.Duplicate {
+			dups++
+		}
+	}
+	if dups != 0 {
+		t.Fatalf("found %d duplicates with no hooks; sampling miss expected", dups)
+	}
+	if ix.Stats().DiskLookups != 0 {
+		t.Fatal("no champions should mean no disk lookups")
+	}
+}
+
+func TestManifestCountGrows(t *testing.T) {
+	ix, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s := seg("m"+strconv.Itoa(i), 50)
+		ix.Commit(s, cids(50, container.ID(i+1)))
+	}
+	if ix.Manifests() != 5 {
+		t.Fatalf("Manifests = %d, want 5", ix.Manifests())
+	}
+}
+
+func TestHookListCapped(t *testing.T) {
+	ix, err := New(Options{SampleBits: 1, MaxHooksPerManifest: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("h", 64)
+	for i := 0; i < 6; i++ {
+		ix.Commit(s, cids(64, container.ID(i+1)))
+	}
+	for f, list := range ix.sparse {
+		if len(list) > 2 {
+			t.Fatalf("hook %s holds %d manifests, cap is 2", f.Short(), len(list))
+		}
+		// Most recent manifest first.
+		if len(list) == 2 && list[0] < list[1] {
+			t.Fatalf("hook list not most-recent-first: %v", list)
+		}
+	}
+}
+
+func TestSampleBitsValidation(t *testing.T) {
+	if _, err := New(Options{SampleBits: 40}); err == nil {
+		t.Fatal("SampleBits 40 should be rejected")
+	}
+}
+
+func TestMemoryOnlyCountsHooks(t *testing.T) {
+	ix, err := New(Options{SampleBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seg("mem", 1600)
+	ix.Commit(s, cids(1600, 1))
+	mem := ix.MemoryBytes()
+	// Expected hooks ≈ 1600/16 = 100; memory must be far below the full
+	// index footprint (1600 × 28 bytes).
+	if mem == 0 {
+		t.Fatal("memory should be non-zero once hooks exist")
+	}
+	if mem >= 1600*28/2 {
+		t.Fatalf("sparse memory %d too close to full-index size", mem)
+	}
+}

@@ -1,0 +1,191 @@
+// Package lru provides a cost-aware least-recently-used cache.
+//
+// Restore caches in deduplication systems are LRU caches keyed by container
+// ID or fingerprint (§2.3): container-based caches charge one unit per
+// container, chunk-based caches charge the chunk size in bytes. This cache
+// supports both through a per-entry cost, evicting least-recently-used
+// entries until the total cost fits the capacity.
+package lru
+
+import "fmt"
+
+// Cache is a generic LRU cache with per-entry costs. The zero value is not
+// usable; construct with New. Cache is not safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	capacity int64
+	used     int64
+	entries  map[K]*node[K, V]
+	// head is most-recently-used, tail least-recently-used.
+	head, tail *node[K, V]
+	onEvict    func(K, V)
+
+	hits, misses, evictions uint64
+}
+
+type node[K comparable, V any] struct {
+	key        K
+	value      V
+	cost       int64
+	prev, next *node[K, V]
+}
+
+// New creates a cache that holds entries of total cost at most capacity.
+func New[K comparable, V any](capacity int64) (*Cache[K, V], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("lru: capacity must be positive, got %d", capacity)
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*node[K, V]),
+	}, nil
+}
+
+// SetOnEvict registers a callback invoked for every entry removed by
+// capacity pressure or Remove (not by overwriting Add of the same key).
+func (c *Cache[K, V]) SetOnEvict(fn func(K, V)) { c.onEvict = fn }
+
+// Add inserts or refreshes key with the given cost and promotes it to
+// most-recently-used. Entries whose cost exceeds the whole capacity are
+// rejected (returned false) since they could never be cached usefully.
+func (c *Cache[K, V]) Add(key K, value V, cost int64) bool {
+	if cost <= 0 {
+		cost = 1
+	}
+	if cost > c.capacity {
+		return false
+	}
+	if n, ok := c.entries[key]; ok {
+		c.used += cost - n.cost
+		n.value, n.cost = value, cost
+		c.moveToFront(n)
+	} else {
+		n := &node[K, V]{key: key, value: value, cost: cost}
+		c.entries[key] = n
+		c.pushFront(n)
+		c.used += cost
+	}
+	for c.used > c.capacity {
+		c.evictOldest()
+	}
+	return true
+}
+
+// Get returns the value for key, promoting it to most-recently-used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if n, ok := c.entries[key]; ok {
+		c.moveToFront(n)
+		c.hits++
+		return n.value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value for key without changing recency or stats.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	if n, ok := c.entries[key]; ok {
+		return n.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence without affecting recency or stats.
+func (c *Cache[K, V]) Contains(key K) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Remove evicts key if present and reports whether it was there.
+func (c *Cache[K, V]) Remove(key K) bool {
+	n, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.entries, key)
+	c.used -= n.cost
+	if c.onEvict != nil {
+		c.onEvict(n.key, n.value)
+	}
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return len(c.entries) }
+
+// Used returns the total cost of cached entries.
+func (c *Cache[K, V]) Used() int64 { return c.used }
+
+// Capacity returns the configured capacity.
+func (c *Cache[K, V]) Capacity() int64 { return c.capacity }
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *Cache[K, V]) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// Purge removes every entry without invoking the eviction callback.
+func (c *Cache[K, V]) Purge() {
+	c.entries = make(map[K]*node[K, V])
+	c.head, c.tail = nil, nil
+	c.used = 0
+}
+
+// Keys returns the cached keys from most- to least-recently-used.
+func (c *Cache[K, V]) Keys() []K {
+	keys := make([]K, 0, len(c.entries))
+	for n := c.head; n != nil; n = n.next {
+		keys = append(keys, n.key)
+	}
+	return keys
+}
+
+func (c *Cache[K, V]) evictOldest() {
+	n := c.tail
+	if n == nil {
+		return
+	}
+	c.unlink(n)
+	delete(c.entries, n.key)
+	c.used -= n.cost
+	c.evictions++
+	if c.onEvict != nil {
+		c.onEvict(n.key, n.value)
+	}
+}
+
+func (c *Cache[K, V]) pushFront(n *node[K, V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache[K, V]) moveToFront(n *node[K, V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,231 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, capacity int64) *Cache[int, string] {
+	t.Helper()
+	c, err := New[int, string](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, capacity := range []int64{0, -1} {
+		if _, err := New[int, int](capacity); err == nil {
+			t.Errorf("New(%d) should fail", capacity)
+		}
+	}
+}
+
+func TestAddGet(t *testing.T) {
+	c := mustNew(t, 10)
+	c.Add(1, "a", 1)
+	c.Add(2, "b", 1)
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("Get(3) should miss")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := mustNew(t, 3)
+	c.Add(1, "a", 1)
+	c.Add(2, "b", 1)
+	c.Add(3, "c", 1)
+	c.Get(1) // promote 1; LRU order now 2,3,1
+	c.Add(4, "d", 1)
+	if c.Contains(2) {
+		t.Fatal("2 should have been evicted (LRU)")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if !c.Contains(k) {
+			t.Fatalf("%d should still be cached", k)
+		}
+	}
+}
+
+func TestCostEviction(t *testing.T) {
+	c := mustNew(t, 100)
+	c.Add(1, "a", 60)
+	c.Add(2, "b", 30)
+	if c.Used() != 90 {
+		t.Fatalf("Used = %d, want 90", c.Used())
+	}
+	c.Add(3, "c", 50) // forces eviction of 1 (oldest)
+	if c.Contains(1) {
+		t.Fatal("1 should be evicted for cost")
+	}
+	if c.Used() != 80 {
+		t.Fatalf("Used = %d, want 80", c.Used())
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	c := mustNew(t, 10)
+	if c.Add(1, "huge", 11) {
+		t.Fatal("oversized Add should return false")
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversized entry must not be stored")
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := mustNew(t, 10)
+	c.Add(1, "a", 2)
+	c.Add(1, "a2", 5)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if c.Used() != 5 {
+		t.Fatalf("Used = %d, want 5", c.Used())
+	}
+	if v, _ := c.Peek(1); v != "a2" {
+		t.Fatalf("Peek = %q, want a2", v)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := mustNew(t, 10)
+	c.Add(1, "a", 3)
+	if !c.Remove(1) {
+		t.Fatal("Remove(1) should report true")
+	}
+	if c.Remove(1) {
+		t.Fatal("second Remove(1) should report false")
+	}
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Fatal("cache should be empty after Remove")
+	}
+}
+
+func TestOnEvict(t *testing.T) {
+	c := mustNew(t, 2)
+	var evicted []int
+	c.SetOnEvict(func(k int, _ string) { evicted = append(evicted, k) })
+	c.Add(1, "a", 1)
+	c.Add(2, "b", 1)
+	c.Add(3, "c", 1) // evicts 1
+	c.Remove(2)
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Fatalf("evicted = %v, want [1 2]", evicted)
+	}
+}
+
+func TestKeysOrder(t *testing.T) {
+	c := mustNew(t, 5)
+	c.Add(1, "a", 1)
+	c.Add(2, "b", 1)
+	c.Add(3, "c", 1)
+	c.Get(1)
+	keys := c.Keys()
+	want := []int{1, 3, 2}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := mustNew(t, 5)
+	evictions := 0
+	c.SetOnEvict(func(int, string) { evictions++ })
+	c.Add(1, "a", 1)
+	c.Add(2, "b", 1)
+	c.Purge()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatal("Purge should empty the cache")
+	}
+	if evictions != 0 {
+		t.Fatal("Purge must not invoke the eviction callback")
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c := mustNew(t, 2)
+	c.Add(1, "a", 1)
+	c.Add(2, "b", 1)
+	c.Peek(1) // must NOT promote 1
+	c.Add(3, "c", 1)
+	if c.Contains(1) {
+		t.Fatal("1 should be evicted; Peek must not promote")
+	}
+}
+
+func TestZeroCostTreatedAsOne(t *testing.T) {
+	c := mustNew(t, 2)
+	c.Add(1, "a", 0)
+	c.Add(2, "b", 0)
+	c.Add(3, "c", 0)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (zero cost should count as 1)", c.Len())
+	}
+}
+
+// TestQuickInvariants property-tests structural invariants over random
+// operation sequences: used cost never exceeds capacity, Len matches the
+// linked list, and Get returns the last value added for a key.
+func TestQuickInvariants(t *testing.T) {
+	type op struct {
+		Key   uint8
+		Cost  uint8
+		IsGet bool
+	}
+	f := func(ops []op) bool {
+		c, err := New[uint8, int](64)
+		if err != nil {
+			return false
+		}
+		latest := make(map[uint8]int)
+		for i, o := range ops {
+			if o.IsGet {
+				if v, ok := c.Get(o.Key); ok {
+					if want, there := latest[o.Key]; !there || v != want {
+						return false
+					}
+				}
+			} else {
+				cost := int64(o.Cost%32) + 1
+				c.Add(o.Key, i, cost)
+				latest[o.Key] = i
+			}
+			if c.Used() > c.Capacity() {
+				return false
+			}
+			if len(c.Keys()) != c.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddGet(b *testing.B) {
+	c, err := New[int, int](1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(i&0xFFFF, i, 1)
+		c.Get((i * 7) & 0xFFFF)
+	}
+}

@@ -1,0 +1,161 @@
+// Package metrics provides the small reporting toolkit the experiment
+// harness uses: aligned text tables for the paper's tables and per-version
+// series for its figures.
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i := 0; i < cols && i < len(row); i++ {
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named curve of a figure: a value per backup version.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Figure is a set of series over a shared x-axis (version numbers).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a named curve.
+func (f *Figure) AddSeries(name string, points []float64) {
+	f.Series = append(f.Series, Series{Name: name, Points: points})
+}
+
+// Render returns the figure as an aligned table: one row per version, one
+// column per series — the same rows a plotting script would consume.
+func (f *Figure) Render() string {
+	t := NewTable(fmt.Sprintf("%s  (y: %s)", f.Title, f.YLabel), append([]string{f.XLabel}, names(f.Series)...)...)
+	n := 0
+	for _, s := range f.Series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := []string{strconv.Itoa(i + 1)}
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row = append(row, FormatFloat(s.Points[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// FormatFloat renders with precision adapted to magnitude.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case v >= 10:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case v >= 0.01:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+// FormatBytes renders a byte count with a binary unit.
+func FormatBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := uint64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%cB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// FormatPercent renders a ratio in [0,1] as a percentage.
+func FormatPercent(v float64) string {
+	return strconv.FormatFloat(v*100, 'f', 2, 64) + "%"
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22222")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	// Columns align: 'value' column starts at the same offset everywhere.
+	headerIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1")
+	if headerIdx != rowIdx {
+		t.Fatalf("misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("x")
+	out := tbl.Render()
+	if !strings.Contains(out, "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{Title: "Fig", XLabel: "version", YLabel: "speed"}
+	f.AddSeries("baseline", []float64{1, 2})
+	f.AddSeries("hidestore", []float64{3, 4, 5})
+	out := f.Render()
+	for _, want := range []string{"baseline", "hidestore", "version", "speed", "5.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 version rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1234, "1234"},
+		{56.78, "56.8"},
+		{1.5, "1.500"},
+		{0.001234, "0.00123"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.in); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512B"},
+		{4 << 10, "4.0KB"},
+		{4 << 20, "4.0MB"},
+		{3 << 30, "3.0GB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.in); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if got := FormatPercent(0.9153); got != "91.53%" {
+		t.Fatalf("FormatPercent = %q", got)
+	}
+}

@@ -1,0 +1,137 @@
+// Package pipeline provides the staged-concurrency scaffolding the dedup
+// engines are built on, mirroring destor's pipelined architecture
+// (chunking → hashing → indexing → rewriting → storing, §5.1 of the
+// paper). Stages are connected by bounded channels; the first error
+// cancels the whole pipeline and Wait returns it after every goroutine has
+// exited (no fire-and-forget goroutines).
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+// Group runs related goroutines and collects their first error, like
+// golang.org/x/sync/errgroup but stdlib-only. The zero value is not
+// usable; construct with WithContext.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	errOnce sync.Once
+	err     error
+}
+
+// WithContext returns a Group whose context is cancelled on first error
+// or when Wait completes.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	gctx, cancel := context.WithCancel(ctx)
+	return &Group{ctx: gctx, cancel: cancel}, gctx
+}
+
+// Go runs fn in a goroutine tracked by the group. A non-nil return
+// cancels the group's context; only the first error is kept.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.errOnce.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+// Wait blocks until every goroutine started with Go has returned, then
+// returns the first error (nil if none).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+// Produce runs gen in the group, feeding its emissions into the returned
+// channel (closed when gen returns). gen must return promptly once emit
+// reports false (context cancelled).
+func Produce[T any](g *Group, buf int, gen func(emit func(T) bool) error) <-chan T {
+	out := make(chan T, buf)
+	g.Go(func() error {
+		defer close(out)
+		emit := func(v T) bool {
+			select {
+			case out <- v:
+				return true
+			case <-g.ctx.Done():
+				return false
+			}
+		}
+		return gen(emit)
+	})
+	return out
+}
+
+// Transform runs `workers` goroutines applying fn to every item of in,
+// forwarding results to the returned channel (closed when all workers
+// finish). Ordering across workers is not preserved; use one worker for
+// order-sensitive stages.
+func Transform[In, Out any](g *Group, workers, buf int, in <-chan In, fn func(In) (Out, error)) <-chan Out {
+	if workers <= 0 {
+		workers = 1
+	}
+	out := make(chan Out, buf)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		g.Go(func() error {
+			defer wg.Done()
+			for {
+				select {
+				case v, ok := <-in:
+					if !ok {
+						return nil
+					}
+					res, err := fn(v)
+					if err != nil {
+						return err
+					}
+					select {
+					case out <- res:
+					case <-g.ctx.Done():
+						return g.ctx.Err()
+					}
+				case <-g.ctx.Done():
+					return g.ctx.Err()
+				}
+			}
+		})
+	}
+	g.Go(func() error {
+		wg.Wait()
+		close(out)
+		return nil
+	})
+	return out
+}
+
+// Sink consumes in with fn until the channel closes or the group is
+// cancelled.
+func Sink[T any](g *Group, in <-chan T, fn func(T) error) {
+	g.Go(func() error {
+		for {
+			select {
+			case v, ok := <-in:
+				if !ok {
+					return nil
+				}
+				if err := fn(v); err != nil {
+					return err
+				}
+			case <-g.ctx.Done():
+				return g.ctx.Err()
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProduceTransformSink(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	nums := Produce(g, 4, func(emit func(int) bool) error {
+		for i := 1; i <= 100; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	doubled := Transform(g, 4, 4, nums, func(v int) (int, error) { return v * 2, nil })
+	var got []int
+	var mu atomic.Int64
+	Sink(g, doubled, func(v int) error {
+		got = append(got, v)
+		mu.Add(int64(v))
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d items, want 100", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != 2*(i+1) {
+			t.Fatalf("item %d = %d, want %d", i, v, 2*(i+1))
+		}
+	}
+}
+
+func TestOrderPreservedWithOneWorker(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	in := Produce(g, 0, func(emit func(int) bool) error {
+		for i := 0; i < 50; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	out := Transform(g, 1, 0, in, func(v int) (int, error) { return v, nil })
+	var got []int
+	Sink(g, out, func(v int) error { got = append(got, v); return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestErrorCancelsPipeline(t *testing.T) {
+	boom := errors.New("boom")
+	g, ctx := WithContext(context.Background())
+	in := Produce(g, 0, func(emit func(int) bool) error {
+		for i := 0; ; i++ {
+			if !emit(i) {
+				return nil // cancelled, exit cleanly
+			}
+		}
+	})
+	out := Transform(g, 2, 0, in, func(v int) (int, error) {
+		if v == 10 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	Sink(g, out, func(int) error { return nil })
+	err := g.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not cancelled after error")
+	}
+}
+
+func TestSinkErrorPropagates(t *testing.T) {
+	bad := errors.New("sink failed")
+	g, _ := WithContext(context.Background())
+	in := Produce(g, 0, func(emit func(int) bool) error {
+		for i := 0; i < 100; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	Sink(g, in, func(v int) error {
+		if v == 5 {
+			return bad
+		}
+		return nil
+	})
+	if err := g.Wait(); !errors.Is(err, bad) {
+		t.Fatalf("Wait = %v, want sink error", err)
+	}
+}
+
+func TestExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g, _ := WithContext(ctx)
+	started := make(chan struct{})
+	in := Produce(g, 0, func(emit func(int) bool) error {
+		close(started)
+		for i := 0; ; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+	})
+	Sink(g, in, func(int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	<-started
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not shut down after cancellation")
+	}
+}
+
+func TestFirstErrorWins(t *testing.T) {
+	first := errors.New("first")
+	g, _ := WithContext(context.Background())
+	release := make(chan struct{})
+	g.Go(func() error { return first })
+	g.Go(func() error { <-release; return errors.New("second") })
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := g.Wait(); !errors.Is(err, first) {
+		t.Fatalf("Wait = %v, want first", err)
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	if err := g.Wait(); err != nil {
+		t.Fatalf("empty group Wait = %v", err)
+	}
+}
+
+func TestTransformDefaultsToOneWorker(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	in := Produce(g, 0, func(emit func(int) bool) error {
+		emit(1)
+		emit(2)
+		return nil
+	})
+	out := Transform(g, 0, 0, in, func(v int) (int, error) { return v, nil })
+	count := 0
+	Sink(g, out, func(int) error { count++; return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}

@@ -1,0 +1,45 @@
+package recipe
+
+import (
+	"testing"
+
+	"hidestore/internal/fp"
+)
+
+// FuzzUnmarshalBinary hardens the recipe decoder against arbitrary bytes:
+// no panics, and accepted inputs round-trip exactly.
+func FuzzUnmarshalBinary(f *testing.F) {
+	r := New(7)
+	r.Append(fp.Of([]byte("a")), 4096, 3)
+	r.Append(fp.Of([]byte("b")), 2048, -2)
+	r.Append(fp.Of([]byte("c")), 1024, 0)
+	seed, err := r.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:12])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalBinary(data)
+		if err != nil {
+			return
+		}
+		again, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted recipe failed to marshal: %v", err)
+		}
+		back, err := UnmarshalBinary(again)
+		if err != nil {
+			t.Fatalf("re-encoded recipe failed to decode: %v", err)
+		}
+		if back.Version != got.Version || len(back.Entries) != len(got.Entries) {
+			t.Fatal("round trip changed shape")
+		}
+		for i := range got.Entries {
+			if back.Entries[i] != got.Entries[i] {
+				t.Fatalf("entry %d changed", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+// Package recipe implements backup recipes: the per-version chunk lists
+// that record how to reassemble a backup stream from stored chunks.
+//
+// Each recipe entry is 28 bytes (§2.1): a 20-byte fingerprint, a 4-byte
+// chunk size, and a 4-byte container ID (CID). In traditional systems the
+// CID is always the (positive) ID of the container holding the chunk.
+// HiDeStore (§4.3, Figure 7) extends the CID with two more cases:
+//
+//   - CID == 0: the chunk still lives in the *active* containers; its exact
+//     location is resolved through the engine's fingerprint cache.
+//   - CID > 0: the chunk lives in archival container CID.
+//   - CID < 0: the chunk's location is recorded in a *newer* recipe; -CID
+//     is the version number whose recipe should be consulted. Recipes thus
+//     form a chain that Algorithm 1 flattens offline.
+package recipe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"hidestore/internal/fp"
+)
+
+// Recipe errors.
+var (
+	ErrNotFound = errors.New("recipe: not found")
+	ErrCorrupt  = errors.New("recipe: corrupt encoding")
+)
+
+// EntrySize is the on-disk size of one recipe entry in bytes.
+const EntrySize = fp.Size + 4 + 4
+
+// Entry describes one chunk of a backup stream.
+type Entry struct {
+	FP   fp.FP
+	Size uint32
+	// CID locates the chunk; see the package comment for the three cases.
+	CID int32
+}
+
+// InActive reports whether the chunk is recorded as living in active
+// containers (HiDeStore semantics).
+func (e Entry) InActive() bool { return e.CID == 0 }
+
+// InArchive reports whether the chunk is recorded in an archival container.
+func (e Entry) InArchive() bool { return e.CID > 0 }
+
+// Forward returns the version number of the newer recipe holding this
+// chunk's location, and whether the entry is such a forward reference.
+func (e Entry) Forward() (int, bool) {
+	if e.CID < 0 {
+		return int(-e.CID), true
+	}
+	return 0, false
+}
+
+// Recipe is the chunk list of one backup version.
+type Recipe struct {
+	// Version is the backup version number, starting at 1.
+	Version int
+	// Entries lists the stream's chunks in order.
+	Entries []Entry
+}
+
+// New creates an empty recipe for a version.
+func New(version int) *Recipe {
+	return &Recipe{Version: version}
+}
+
+// Append adds one chunk reference.
+func (r *Recipe) Append(f fp.FP, size uint32, cid int32) {
+	r.Entries = append(r.Entries, Entry{FP: f, Size: size, CID: cid})
+}
+
+// NumChunks returns the number of chunk references.
+func (r *Recipe) NumChunks() int { return len(r.Entries) }
+
+// TotalBytes returns the logical (pre-dedup) size of the version.
+func (r *Recipe) TotalBytes() uint64 {
+	var total uint64
+	for _, e := range r.Entries {
+		total += uint64(e.Size)
+	}
+	return total
+}
+
+// SizeBytes returns the serialized metadata size (28 bytes per entry),
+// the figure used for recipe-overhead accounting.
+func (r *Recipe) SizeBytes() int { return len(r.Entries) * EntrySize }
+
+// UniqueContainers returns how many distinct archival containers the
+// recipe references (entries with CID > 0). This is the denominator of the
+// optimal speed factor.
+func (r *Recipe) UniqueContainers() int {
+	seen := make(map[int32]struct{})
+	for _, e := range r.Entries {
+		if e.CID > 0 {
+			seen[e.CID] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Clone returns a deep copy.
+func (r *Recipe) Clone() *Recipe {
+	return &Recipe{Version: r.Version, Entries: append([]Entry(nil), r.Entries...)}
+}
+
+const (
+	_magic         = 0x48445250 // "HDRP"
+	_formatVersion = 1
+	_headerSize    = 4 + 2 + 2 + 4 + 4 + 4 // magic, ver, pad, version, count, crc
+)
+
+// MarshalBinary encodes the recipe as:
+//
+//	magic u32 | fmtver u16 | pad u16 | version u32 | count u32 | crc u32 |
+//	count×(fp[20] | size u32 | cid i32)
+func (r *Recipe) MarshalBinary() ([]byte, error) {
+	if r.Version < 0 {
+		return nil, fmt.Errorf("recipe: negative version %d", r.Version)
+	}
+	buf := make([]byte, _headerSize+len(r.Entries)*EntrySize)
+	binary.BigEndian.PutUint32(buf[0:], _magic)
+	binary.BigEndian.PutUint16(buf[4:], _formatVersion)
+	binary.BigEndian.PutUint32(buf[8:], uint32(r.Version))
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(r.Entries)))
+	off := _headerSize
+	for _, e := range r.Entries {
+		copy(buf[off:], e.FP[:])
+		binary.BigEndian.PutUint32(buf[off+fp.Size:], e.Size)
+		binary.BigEndian.PutUint32(buf[off+fp.Size+4:], uint32(e.CID))
+		off += EntrySize
+	}
+	binary.BigEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(buf[_headerSize:]))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a recipe encoded by MarshalBinary.
+func UnmarshalBinary(buf []byte) (*Recipe, error) {
+	if len(buf) < _headerSize {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(buf))
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != _magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint16(buf[4:]); v != _formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	version := int(binary.BigEndian.Uint32(buf[8:]))
+	count := int(binary.BigEndian.Uint32(buf[12:]))
+	wantCRC := binary.BigEndian.Uint32(buf[16:])
+	if len(buf) != _headerSize+count*EntrySize {
+		return nil, fmt.Errorf("%w: length %d for %d entries", ErrCorrupt, len(buf), count)
+	}
+	if crc32.ChecksumIEEE(buf[_headerSize:]) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	r := &Recipe{Version: version, Entries: make([]Entry, 0, count)}
+	off := _headerSize
+	for i := 0; i < count; i++ {
+		f, err := fp.FromBytes(buf[off : off+fp.Size])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		size := binary.BigEndian.Uint32(buf[off+fp.Size:])
+		cid := int32(binary.BigEndian.Uint32(buf[off+fp.Size+4:]))
+		r.Entries = append(r.Entries, Entry{FP: f, Size: size, CID: cid})
+		off += EntrySize
+	}
+	return r, nil
+}

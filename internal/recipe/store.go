@@ -1,0 +1,218 @@
+package recipe
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store persists recipes keyed by version number. Implementations must be
+// safe for concurrent use. Put transfers ownership; Get returns a recipe
+// the caller may mutate only if it re-Puts it afterwards (the memory store
+// hands back a private copy, the file store a fresh decode).
+type Store interface {
+	Put(r *Recipe) error
+	Get(version int) (*Recipe, error)
+	Delete(version int) error
+	Has(version int) bool
+	// Versions returns stored version numbers in ascending order.
+	Versions() []int
+	Len() int
+}
+
+// MemStore is an in-memory recipe store.
+type MemStore struct {
+	mu      sync.Mutex
+	recipes map[int]*Recipe
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{recipes: make(map[int]*Recipe)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(r *Recipe) error {
+	if r == nil {
+		return fmt.Errorf("recipe: Put nil recipe")
+	}
+	if r.Version <= 0 {
+		return fmt.Errorf("recipe: Put version %d (must be positive)", r.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recipes[r.Version] = r
+	return nil
+}
+
+// Get implements Store. The returned recipe is a deep copy so callers can
+// mutate it (e.g. the recipe-update algorithm) and re-Put.
+func (s *MemStore) Get(version int) (*Recipe, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recipes[version]
+	if !ok {
+		return nil, fmt.Errorf("%w: version %d", ErrNotFound, version)
+	}
+	return r.Clone(), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(version int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recipes[version]; !ok {
+		return fmt.Errorf("%w: version %d", ErrNotFound, version)
+	}
+	delete(s.recipes, version)
+	return nil
+}
+
+// Has implements Store.
+func (s *MemStore) Has(version int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.recipes[version]
+	return ok
+}
+
+// Versions implements Store.
+func (s *MemStore) Versions() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.recipes))
+	for v := range s.recipes {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recipes)
+}
+
+// FileStore is a recipe store backed by one file per version (r_<n>.rcp),
+// written atomically via temp file + rename.
+type FileStore struct {
+	dir string
+}
+
+var _ Store = (*FileStore)(nil)
+
+const _fileExt = ".rcp"
+
+// NewFileStore opens (creating if needed) a file-backed store at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recipe: create store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) path(version int) string {
+	return filepath.Join(s.dir, "r_"+strconv.Itoa(version)+_fileExt)
+}
+
+// Put implements Store.
+func (s *FileStore) Put(r *Recipe) error {
+	if r == nil {
+		return fmt.Errorf("recipe: Put nil recipe")
+	}
+	if r.Version <= 0 {
+		return fmt.Errorf("recipe: Put version %d (must be positive)", r.Version)
+	}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("recipe: marshal v%d: %w", r.Version, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("recipe: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("recipe: write v%d: %w", r.Version, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("recipe: close v%d: %w", r.Version, err)
+	}
+	if err := os.Rename(tmpName, s.path(r.Version)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("recipe: rename v%d: %w", r.Version, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(version int) (*Recipe, error) {
+	buf, err := os.ReadFile(s.path(version))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: version %d", ErrNotFound, version)
+		}
+		return nil, fmt.Errorf("recipe: read v%d: %w", version, err)
+	}
+	r, err := UnmarshalBinary(buf)
+	if err != nil {
+		return nil, fmt.Errorf("recipe v%d: %w", version, err)
+	}
+	return r, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(version int) error {
+	err := os.Remove(s.path(version))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: version %d", ErrNotFound, version)
+		}
+		return fmt.Errorf("recipe: delete v%d: %w", version, err)
+	}
+	return nil
+}
+
+// Has implements Store.
+func (s *FileStore) Has(version int) bool {
+	_, err := os.Stat(s.path(version))
+	return err == nil
+}
+
+// Versions implements Store.
+func (s *FileStore) Versions() []int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	out := make([]int, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "r_") || !strings.HasSuffix(name, _fileExt) {
+			continue
+		}
+		n, err := strconv.Atoi(name[2 : len(name)-len(_fileExt)])
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len implements Store.
+func (s *FileStore) Len() int { return len(s.Versions()) }

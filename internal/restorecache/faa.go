@@ -1,0 +1,107 @@
+package restorecache
+
+import (
+	"fmt"
+	"io"
+
+	"hidestore/internal/container"
+	"hidestore/internal/recipe"
+)
+
+// FAA restores through a Forward Assembly Area (Lillibridge et al.,
+// FAST'13). The recipe gives perfect knowledge of the next M bytes of the
+// stream, so FAA reserves an M-byte assembly buffer, groups the buffer's
+// chunk slots by container, and reads each distinct container exactly once
+// per area — filling every slot that container serves before moving on.
+// Unlike an LRU cache, FAA never re-reads a container within an area and
+// never holds chunk copies beyond the area being assembled.
+type FAA struct {
+	// AreaBytes is the assembly area size M (default 64 MB).
+	AreaBytes int
+}
+
+var _ Cache = (*FAA)(nil)
+
+// NewFAA returns a forward-assembly restorer; size 0 means 64 MB.
+func NewFAA(areaBytes int) *FAA {
+	if areaBytes <= 0 {
+		areaBytes = 64 << 20
+	}
+	return &FAA{AreaBytes: areaBytes}
+}
+
+// Name implements Cache.
+func (f *FAA) Name() string { return "faa" }
+
+// slot is one chunk's place within the current assembly area.
+type slot struct {
+	offset int
+	size   int
+	entry  recipe.Entry
+}
+
+// Restore implements Cache.
+func (f *FAA) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
+	var stats Stats
+	if err := validate(entries); err != nil {
+		return stats, err
+	}
+	counted := &countingFetcher{inner: fetch, stats: &stats}
+	area := make([]byte, f.AreaBytes)
+	pos := 0
+	for pos < len(entries) {
+		// Carve the next assembly area: as many entries as fit in
+		// AreaBytes (always at least one, so oversized chunks still
+		// restore).
+		var slots []slot
+		used := 0
+		for pos < len(entries) {
+			size := int(entries[pos].Size)
+			if len(slots) > 0 && used+size > f.AreaBytes {
+				break
+			}
+			slots = append(slots, slot{offset: used, size: size, entry: entries[pos]})
+			used += size
+			pos++
+		}
+		if used > len(area) {
+			area = make([]byte, used)
+		}
+		// Group the area's slots by container and fill container by
+		// container: one read each.
+		byContainer := make(map[container.ID][]slot)
+		order := make([]container.ID, 0, 8)
+		for _, s := range slots {
+			id := container.ID(s.entry.CID)
+			if _, seen := byContainer[id]; !seen {
+				order = append(order, id)
+			}
+			byContainer[id] = append(byContainer[id], s)
+		}
+		for _, id := range order {
+			ctn, err := counted.Get(id)
+			if err != nil {
+				return stats, err
+			}
+			for _, s := range byContainer[id] {
+				data, err := ctn.Get(s.entry.FP)
+				if err != nil {
+					return stats, fmt.Errorf("restore: container %d: %w", id, err)
+				}
+				if len(data) != s.size {
+					return stats, fmt.Errorf("restore: chunk %s size %d, recipe says %d",
+						s.entry.FP.Short(), len(data), s.size)
+				}
+				copy(area[s.offset:], data)
+			}
+			// All slots beyond the first are served by the same read.
+			stats.CacheHits += uint64(len(byContainer[id]) - 1)
+			stats.Chunks += uint64(len(byContainer[id]))
+		}
+		if _, err := w.Write(area[:used]); err != nil {
+			return stats, fmt.Errorf("restore: write: %w", err)
+		}
+		stats.BytesRestored += uint64(used)
+	}
+	return stats, nil
+}

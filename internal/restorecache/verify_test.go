@@ -1,0 +1,50 @@
+package restorecache
+
+import (
+	"bytes"
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/fp"
+)
+
+func TestVerifyingFetcherPassesGoodData(t *testing.T) {
+	store, entries, payloads := fixture(t, 3, 5, 512)
+	vf := NewVerifyingFetcher(store)
+	var buf bytes.Buffer
+	if _, err := NewFAA(1<<20).Restore(entries, vf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), expected(entries, payloads)) {
+		t.Fatal("bytes corrupted through verification")
+	}
+	if vf.Verified == 0 {
+		t.Fatal("no chunks verified")
+	}
+}
+
+func TestVerifyingFetcherDetectsMismatch(t *testing.T) {
+	// Build a container whose chunk payload does not match its
+	// fingerprint — the attack/corruption the verifier exists for.
+	store := container.NewMemStore()
+	evil := container.NewWithCapacity(1, container.DefaultCapacity)
+	real := []byte("the chunk everyone expects")
+	f := fp.Of(real)
+	if err := evil.Add(f, []byte("something else entirely....")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(evil); err != nil {
+		t.Fatal(err)
+	}
+	vf := NewVerifyingFetcher(store)
+	if _, err := vf.Get(1); err == nil {
+		t.Fatal("fingerprint mismatch went undetected")
+	}
+}
+
+func TestVerifyingFetcherPropagatesMissing(t *testing.T) {
+	vf := NewVerifyingFetcher(container.NewMemStore())
+	if _, err := vf.Get(42); err == nil {
+		t.Fatal("missing container should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package rewrite
+
+import (
+	"sort"
+
+	"hidestore/internal/container"
+)
+
+// Capping implements the capping algorithm (Lillibridge et al., FAST'13).
+// Each segment may reference at most Cap old containers: the containers
+// contributing the most duplicate bytes to the segment are kept, and
+// duplicates pointing at any other container are rewritten. This bounds
+// the number of container reads a segment can ever cost at restore time,
+// at the price of re-storing the rewritten duplicates.
+type Capping struct {
+	// Cap is the maximum number of distinct old containers a segment may
+	// reference. The original paper explores caps of 10-20 per 20 MB
+	// segment.
+	Cap   int
+	stats Stats
+}
+
+var _ Rewriter = (*Capping)(nil)
+
+// NewCapping returns a capping rewriter with the given cap (default 10).
+func NewCapping(cap int) *Capping {
+	if cap <= 0 {
+		cap = 10
+	}
+	return &Capping{Cap: cap}
+}
+
+// Name implements Rewriter.
+func (c *Capping) Name() string { return "capping" }
+
+// Plan implements Rewriter.
+func (c *Capping) Plan(seg []Chunk) []bool {
+	markDuplicates(&c.stats, seg)
+	plan := make([]bool, len(seg))
+	usage := containerUsage(seg)
+	if len(usage) <= c.Cap {
+		return plan
+	}
+	// Rank containers by contributed bytes; keep the top Cap.
+	type ranked struct {
+		cid   container.ID
+		bytes uint64
+	}
+	order := make([]ranked, 0, len(usage))
+	for cid, b := range usage {
+		order = append(order, ranked{cid, b})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].bytes != order[j].bytes {
+			return order[i].bytes > order[j].bytes
+		}
+		return order[i].cid > order[j].cid // newer container breaks ties
+	})
+	keep := make(map[container.ID]struct{}, c.Cap)
+	for i := 0; i < c.Cap; i++ {
+		keep[order[i].cid] = struct{}{}
+	}
+	for i, ch := range seg {
+		if !ch.Duplicate || ch.CID == 0 {
+			continue
+		}
+		if _, ok := keep[ch.CID]; !ok {
+			plan[i] = true
+		}
+	}
+	markRewrites(&c.stats, seg, plan)
+	return plan
+}
+
+// Committed implements Rewriter.
+func (c *Capping) Committed([]Chunk, []container.ID) {}
+
+// EndVersion implements Rewriter.
+func (c *Capping) EndVersion() {}
+
+// Stats implements Rewriter.
+func (c *Capping) Stats() Stats { return c.stats }

@@ -1,0 +1,118 @@
+package rewrite
+
+import "hidestore/internal/container"
+
+// CFL implements Chunk-Fragmentation-Level-based selective deduplication
+// (Nam et al.). The CFL of a stream prefix is the ratio of the *optimal*
+// container count (stream bytes / container capacity, i.e. if the chunks
+// were stored contiguously) to the number of containers actually
+// referenced. CFL 1.0 means perfect physical locality; it decays toward 0
+// as fragmentation grows. While the running CFL is above the threshold the
+// scheme deduplicates normally; when it sinks below, it switches to
+// selective rewriting — duplicates from containers that contribute little
+// to the current segment are re-stored until the CFL recovers.
+type CFL struct {
+	// Threshold is the CFL below which selective rewriting engages.
+	// The original work uses 0.6.
+	Threshold float64
+	// ContainerCapacity is the capacity used for the optimal count.
+	ContainerCapacity int
+
+	// Running per-version tallies.
+	streamBytes   uint64
+	referenced    map[container.ID]struct{}
+	newContainers uint64
+	stats         Stats
+}
+
+var _ Rewriter = (*CFL)(nil)
+
+// NewCFL returns a CFL-based rewriter with threshold 0.6.
+func NewCFL() *CFL {
+	return &CFL{
+		Threshold:         0.6,
+		ContainerCapacity: container.DefaultCapacity,
+		referenced:        make(map[container.ID]struct{}),
+	}
+}
+
+// Name implements Rewriter.
+func (c *CFL) Name() string { return "cfl" }
+
+// Level returns the current chunk fragmentation level of the version
+// being written (1.0 when nothing has been processed yet).
+func (c *CFL) Level() float64 {
+	actual := float64(len(c.referenced)) + float64(c.newContainers)
+	if actual == 0 {
+		return 1.0
+	}
+	optimal := float64(c.streamBytes) / float64(c.ContainerCapacity)
+	level := optimal / actual
+	if level > 1 {
+		level = 1
+	}
+	return level
+}
+
+// Plan implements Rewriter.
+func (c *CFL) Plan(seg []Chunk) []bool {
+	markDuplicates(&c.stats, seg)
+	plan := make([]bool, len(seg))
+	usage := containerUsage(seg)
+
+	// Account this segment into the running CFL before deciding, so the
+	// decision reflects the stream up to and including this segment.
+	var segBytes, uniqueBytes uint64
+	for _, ch := range seg {
+		segBytes += uint64(ch.Size)
+		if !ch.Duplicate {
+			uniqueBytes += uint64(ch.Size)
+		}
+	}
+	c.streamBytes += segBytes
+	for cid := range usage {
+		c.referenced[cid] = struct{}{}
+	}
+	// Unique chunks land in fresh containers the stream will reference.
+	c.newContainers += (uniqueBytes + uint64(c.ContainerCapacity) - 1) / uint64(c.ContainerCapacity)
+
+	if c.Level() >= c.Threshold {
+		return plan
+	}
+	// Selective rewrite: drop references to the containers contributing
+	// the least to this segment (below the mean contribution).
+	if len(usage) == 0 {
+		return plan
+	}
+	var total uint64
+	for _, b := range usage {
+		total += b
+	}
+	mean := total / uint64(len(usage))
+	for i, ch := range seg {
+		if !ch.Duplicate || ch.CID == 0 {
+			continue
+		}
+		// At or below the mean counts as a poor contributor: in the
+		// pathological fully-uniform fragmented case every container is
+		// poor and everything is rewritten, which is how CFL recovers.
+		if usage[ch.CID] <= mean {
+			plan[i] = true
+		}
+	}
+	markRewrites(&c.stats, seg, plan)
+	return plan
+}
+
+// Committed implements Rewriter.
+func (c *CFL) Committed([]Chunk, []container.ID) {}
+
+// EndVersion implements Rewriter: the CFL is tracked per backup version.
+func (c *CFL) EndVersion() {
+	c.streamBytes = 0
+	c.newContainers = 0
+	c.referenced = make(map[container.ID]struct{})
+}
+
+// Stats implements Rewriter.
+func (c *CFL) Stats() Stats { return c.stats }

@@ -1,0 +1,89 @@
+package rewrite
+
+import "hidestore/internal/container"
+
+// HAR implements History-Aware Rewriting (Fu et al., USENIX ATC'14 /
+// destor). HAR observes that fragmentation is inherited: the containers
+// that served a backup sparsely in version n will serve version n+1
+// sparsely too, because adjacent versions are highly similar. After each
+// version it computes every referenced container's *utilization* for that
+// stream (bytes drawn / container capacity) and records the sparse ones;
+// during the next version, every duplicate whose copy sits in a
+// previously-sparse container is rewritten, collapsing the sparse
+// containers' live data into fresh dense ones.
+type HAR struct {
+	// SparseThreshold is the utilization below which a container is
+	// declared sparse. Destor's default is 0.5.
+	SparseThreshold float64
+	// ContainerCapacity is the capacity utilizations are computed
+	// against.
+	ContainerCapacity int
+
+	// sparse holds the containers declared sparse by the previous version.
+	sparse map[container.ID]struct{}
+	// usage accumulates the current version's per-container usage.
+	usage map[container.ID]uint64
+	stats Stats
+}
+
+var _ Rewriter = (*HAR)(nil)
+
+// NewHAR returns a HAR rewriter with destor's 0.5 sparse threshold.
+func NewHAR() *HAR {
+	return &HAR{
+		SparseThreshold:   0.5,
+		ContainerCapacity: container.DefaultCapacity,
+		sparse:            make(map[container.ID]struct{}),
+		usage:             make(map[container.ID]uint64),
+	}
+}
+
+// Name implements Rewriter.
+func (h *HAR) Name() string { return "har" }
+
+// Plan implements Rewriter.
+func (h *HAR) Plan(seg []Chunk) []bool {
+	markDuplicates(&h.stats, seg)
+	plan := make([]bool, len(seg))
+	for i, ch := range seg {
+		if !ch.Duplicate || ch.CID == 0 {
+			continue
+		}
+		if _, isSparse := h.sparse[ch.CID]; isSparse {
+			plan[i] = true
+		}
+	}
+	markRewrites(&h.stats, seg, plan)
+	return plan
+}
+
+// Committed implements Rewriter: accumulate the version's container usage.
+// Rewritten duplicates count toward their *new* container, so a rewritten
+// region stops inheriting sparseness.
+func (h *HAR) Committed(seg []Chunk, cids []container.ID) {
+	for i, ch := range seg {
+		if i >= len(cids) || cids[i] == 0 {
+			continue
+		}
+		h.usage[cids[i]] += uint64(ch.Size)
+	}
+}
+
+// EndVersion implements Rewriter: classify this version's containers and
+// reset for the next.
+func (h *HAR) EndVersion() {
+	h.sparse = make(map[container.ID]struct{})
+	for cid, bytes := range h.usage {
+		if float64(bytes)/float64(h.ContainerCapacity) < h.SparseThreshold {
+			h.sparse[cid] = struct{}{}
+		}
+	}
+	h.usage = make(map[container.ID]uint64)
+}
+
+// SparseContainers returns how many containers the last version declared
+// sparse (test hook).
+func (h *HAR) SparseContainers() int { return len(h.sparse) }
+
+// Stats implements Rewriter.
+func (h *HAR) Stats() Stats { return h.stats }

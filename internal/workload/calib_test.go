@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"hidestore/internal/chunker"
+	"hidestore/internal/fp"
+)
+
+// TestPresetDedupRatiosMatchTable1 runs every preset end to end under
+// exact deduplication and checks the cumulative dedup ratio lands within a
+// few points of the paper's Table 1. This is the calibration contract the
+// experiment harness depends on.
+func TestPresetDedupRatiosMatchTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-preset calibration is slow; run without -short")
+	}
+	want := map[string]float64{
+		"kernel":   0.9153,
+		"gcc":      0.7875,
+		"fslhomes": 0.9217,
+		"macos":    0.8956,
+	}
+	const tolerance = 0.03
+	for _, name := range PresetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := Preset(name, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := chunker.DefaultParams()
+			seen := make(map[fp.FP]bool)
+			var logical, unique uint64
+			for g.HasNext() {
+				r, err := g.NextVersion()
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := io.ReadAll(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				chunks, err := chunker.Split(chunker.FastCDC, data, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range chunks {
+					f := fp.Of(c)
+					logical += uint64(len(c))
+					if !seen[f] {
+						seen[f] = true
+						unique += uint64(len(c))
+					}
+				}
+			}
+			got := 1 - float64(unique)/float64(logical)
+			t.Logf("%s: dedup ratio %.4f (Table 1: %.4f)", name, got, want[name])
+			if got < want[name]-tolerance || got > want[name]+tolerance {
+				t.Errorf("dedup ratio %.4f outside ±%.0f points of Table 1's %.4f",
+					got, tolerance*100, want[name])
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"hidestore/internal/chunker"
+	"hidestore/internal/fp"
+)
+
+func TestDebugScale(t *testing.T) {
+	cfg := Config{Name: "t", Versions: 10, Files: 64, BlocksPerFile: 12, BlockSize: 8192,
+		ModifyRate: 0.06, InsertRate: 0.006, DeleteRate: 0.003, FileChurn: 0.02, Seed: 42}
+	g, _ := New(cfg)
+	params := chunker.Params{Min: 2048, Avg: 4096, Max: 16384}
+	var sets []map[fp.FP]int
+	for v := 1; v <= 10; v++ {
+		r, _ := g.NextVersion()
+		data, _ := io.ReadAll(r)
+		chunks, _ := chunker.Split(chunker.FastCDC, data, params)
+		set := make(map[fp.FP]int)
+		for _, c := range chunks {
+			set[fp.Of(c)] += len(c)
+		}
+		sets = append(sets, set)
+	}
+	// adjacent redundancy v1-v2
+	var shared, total int
+	for f, sz := range sets[1] {
+		total += sz
+		if _, ok := sets[0][f]; ok {
+			shared += sz
+		}
+	}
+	t.Logf("adjacent redundancy: %.3f", float64(shared)/float64(total))
+	departed, returned := 0, 0
+	for f := range sets[1] {
+		if _, ok := sets[2][f]; ok {
+			continue
+		}
+		departed++
+		for v := 3; v < 10; v++ {
+			if _, ok := sets[v][f]; ok {
+				returned++
+				break
+			}
+		}
+	}
+	t.Logf("departed %d, returned %d (%.1f%%)", departed, returned, 100*float64(returned)/float64(departed))
+}
