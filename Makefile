@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The restore path runs prefetch workers concurrently with the
+# assembler; the race tier is not optional.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+check: build test race

@@ -155,6 +155,7 @@ func run(args []string) error {
 				experiments.AblationContainerSize,
 				experiments.AblationChunker,
 				experiments.AblationRestoreCache,
+				experiments.AblationPrefetchDepth,
 			}
 			for _, name := range names {
 				for _, sweep := range sweeps {

@@ -24,10 +24,12 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hidestore"
 )
@@ -48,6 +50,7 @@ func run(args []string) error {
 		alg      = fs.String("chunker", "tttd", "chunking algorithm: tttd|rabin|fastcdc|ae|fixed")
 		ctnSize  = fs.Int("container", 4<<20, "container size in bytes")
 		cache    = fs.String("restore-cache", "faa", "restore cache: faa|alacc|container-lru|chunk-lru|opt")
+		prefetch = fs.Int("prefetch", 0, "restore read-ahead depth in containers (0 = default, negative disables)")
 		compress = fs.Bool("compress", false, "DEFLATE-compress containers at rest")
 	)
 	fs.Usage = func() {
@@ -71,12 +74,16 @@ func run(args []string) error {
 		Chunker:       *alg,
 		ContainerSize: *ctnSize,
 		RestoreCache:  *cache,
+		PrefetchDepth: *prefetch,
 		Compress:      *compress,
 	})
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
+	// Interrupts cancel in-flight work (restores stop within one
+	// container read) instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	switch cmd := rest[0]; cmd {
 	case "backup":
 		if len(rest) != 2 {

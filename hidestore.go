@@ -72,6 +72,12 @@ type Config struct {
 	// RestoreCache selects the restore strategy: "faa" (default),
 	// "alacc", "container-lru", "chunk-lru" or "opt".
 	RestoreCache string
+	// PrefetchDepth bounds the restore read-ahead window in distinct
+	// containers: 0 selects the default (8), negative disables
+	// prefetching. Read-ahead overlaps container reads with chunk
+	// assembly; it never changes which containers are read, so restore
+	// stats (container reads, speed factor) are identical either way.
+	PrefetchDepth int
 	// MergeUtilization is the active-container utilization below which
 	// containers are merged after each version (default 0.5).
 	MergeUtilization float64
@@ -230,6 +236,7 @@ func Open(cfg Config) (*System, error) {
 		Window:            cfg.Window,
 		MergeUtilization:  cfg.MergeUtilization,
 		RestoreCache:      rc,
+		PrefetchDepth:     cfg.PrefetchDepth,
 		StatePath:         statePath,
 	})
 	if err != nil {
@@ -296,6 +303,7 @@ func OpenBaseline(cfg BaselineConfig) (*System, error) {
 		Store:             cs,
 		Recipes:           rs,
 		ContainerCapacity: cfg.ContainerSize,
+		PrefetchDepth:     cfg.PrefetchDepth,
 	})
 	if err != nil {
 		return nil, err

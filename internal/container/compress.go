@@ -131,7 +131,7 @@ func (s *CompressedStore) Delete(id ID) error {
 func (s *CompressedStore) Has(id ID) bool { return s.inner.Has(id) }
 
 // IDs implements Store.
-func (s *CompressedStore) IDs() []ID { return s.inner.IDs() }
+func (s *CompressedStore) IDs() ([]ID, error) { return s.inner.IDs() }
 
 // Len implements Store.
 func (s *CompressedStore) Len() int { return s.inner.Len() }

@@ -85,7 +85,11 @@ func TestCompressedStoreInterface(t *testing.T) {
 	if !s.Has(1) || s.Has(9) {
 		t.Fatal("Has wrong")
 	}
-	if s.Len() != 2 || len(s.IDs()) != 2 {
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || len(ids) != 2 {
 		t.Fatal("Len/IDs wrong")
 	}
 	if err := s.Delete(1); err != nil {

@@ -119,10 +119,12 @@ func (s *FileStore) Has(id ID) bool {
 }
 
 // IDs implements Store.
-func (s *FileStore) IDs() []ID {
+func (s *FileStore) IDs() ([]ID, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil
+		// An unreadable directory must not masquerade as an empty store:
+		// fsck and Len would happily report a healthy empty system.
+		return nil, fmt.Errorf("container: list store dir: %w", err)
 	}
 	ids := make([]ID, 0, len(entries))
 	for _, e := range entries {
@@ -137,11 +139,17 @@ func (s *FileStore) IDs() []ID {
 		ids = append(ids, ID(n))
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return ids, nil
 }
 
 // Len implements Store.
-func (s *FileStore) Len() int { return len(s.IDs()) }
+func (s *FileStore) Len() int {
+	ids, err := s.IDs()
+	if err != nil {
+		return -1
+	}
+	return len(ids)
+}
 
 // Stats implements Store.
 func (s *FileStore) Stats() StoreStats {

@@ -18,12 +18,14 @@ type StoreStats struct {
 }
 
 // Store persists containers. Implementations must be safe for concurrent
-// use. Put transfers ownership of the container to the store; the caller
-// must not mutate it afterwards. Get returns a container the caller must
-// treat as read-only (file-backed stores return fresh decodes; the memory
-// store returns the shared image).
+// use. Put snapshots the container: later caller mutations are not
+// visible to the store (file-backed stores marshal immediately; the
+// memory store deep-copies). Get returns a container the caller must
+// treat as read-only (file-backed stores return fresh decodes; the
+// memory store returns the stored snapshot, which concurrent restores
+// may share).
 type Store interface {
-	// Put writes or overwrites the container under its ID.
+	// Put writes or overwrites a snapshot of the container under its ID.
 	Put(c *Container) error
 	// Get reads a container by ID, counting one container read.
 	Get(id ID) (*Container, error)
@@ -31,9 +33,12 @@ type Store interface {
 	Delete(id ID) error
 	// Has reports whether the ID exists, without counting a read.
 	Has(id ID) bool
-	// IDs returns all stored IDs in ascending order.
-	IDs() []ID
-	// Len returns the number of stored containers.
+	// IDs returns all stored IDs in ascending order, or the error that
+	// prevented enumerating them (an unreadable store must not look
+	// empty).
+	IDs() ([]ID, error)
+	// Len returns the number of stored containers, or -1 if they cannot
+	// be enumerated.
 	Len() int
 	// Stats returns cumulative I/O counters.
 	Stats() StoreStats
@@ -66,7 +71,10 @@ func (s *MemStore) Put(c *Container) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.containers[c.ID()] = c
+	// Snapshot: the engine keeps mutating active containers after Put
+	// (repacking, cold migration); sharing the image would race with
+	// concurrent Gets from the restore path.
+	s.containers[c.ID()] = c.Clone()
 	s.stats.Writes++
 	s.stats.BytesWritten += uint64(c.LiveSize())
 	return nil
@@ -106,7 +114,7 @@ func (s *MemStore) Has(id ID) bool {
 }
 
 // IDs implements Store.
-func (s *MemStore) IDs() []ID {
+func (s *MemStore) IDs() ([]ID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ids := make([]ID, 0, len(s.containers))
@@ -114,7 +122,7 @@ func (s *MemStore) IDs() []ID {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return ids, nil
 }
 
 // Len implements Store.

@@ -103,7 +103,10 @@ func TestStoreIDsSorted(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			ids := s.IDs()
+			ids, err := s.IDs()
+			if err != nil {
+				t.Fatal(err)
+			}
 			want := []ID{1, 3, 5}
 			if len(ids) != len(want) {
 				t.Fatalf("IDs = %v, want %v", ids, want)
@@ -229,9 +232,69 @@ func TestFileStoreIgnoresForeignFiles(t *testing.T) {
 	if err := s.Put(fillContainer(t, 2, 1)); err != nil {
 		t.Fatal(err)
 	}
-	ids := s.IDs()
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ids) != 1 || ids[0] != 2 {
 		t.Fatalf("IDs = %v, want [2]", ids)
+	}
+}
+
+// TestMemStorePutSnapshots: Put must capture the container's state at
+// the time of the call. The engine keeps appending to active containers
+// after persisting them; readers of the store must never observe those
+// later mutations (the file store gets this for free via serialization).
+func TestMemStorePutSnapshots(t *testing.T) {
+	s := NewMemStore()
+	c := fillContainer(t, 1, 1)
+	if err := s.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	late := []byte("added after Put")
+	if err := c.Add(fp.Of(late), late); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("snapshot has %d chunks; mutation after Put leaked into the store", got.Len())
+	}
+	if got.Has(fp.Of(late)) {
+		t.Fatal("chunk added after Put is visible through the store")
+	}
+}
+
+// TestFileStoreIDsErrorSurfaces: an unreadable store directory must
+// report an error, not masquerade as an empty store — callers like
+// Check() and the delete sweep would otherwise conclude every container
+// is missing (or already swept) and report garbage.
+func TestFileStoreIDsErrorSurfaces(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "store")
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fillContainer(t, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the directory with a regular file so ReadDir fails. (chmod
+	// tricks don't work here: the suite may run as root, which bypasses
+	// permission checks.)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IDs(); err == nil {
+		t.Fatal("IDs() on an unreadable store dir returned nil error")
+	}
+	if got := s.Len(); got != -1 {
+		t.Fatalf("Len() on an unreadable store dir = %d, want -1", got)
 	}
 }
 

@@ -27,7 +27,11 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 
 	// Pass 1: containers and chunk content.
 	chunkAt := make(map[fp.FP]map[container.ID]struct{})
-	for _, cid := range e.cfg.Store.IDs() {
+	stored, err := e.cfg.Store.IDs()
+	if err != nil {
+		report.Problemf("store: cannot enumerate containers: %v", err)
+	}
+	for _, cid := range stored {
 		ctn, err := e.cfg.Store.Get(cid)
 		if err != nil {
 			report.Problemf("container %d: %v", cid, err)
@@ -96,7 +100,7 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 	// by any recipe is unreachable — typically debris from a crash between
 	// a store write and the state write. Orphans are harmless (they waste
 	// space, not correctness) but worth surfacing.
-	for _, cid := range e.cfg.Store.IDs() {
+	for _, cid := range stored {
 		if _, isActive := e.activeContainers[cid]; isActive {
 			continue
 		}

@@ -57,7 +57,11 @@ func TestCheckDetectsMissingContainer(t *testing.T) {
 	backuptest.BackupAll(t, e, versions)
 	// Remove an archival container behind the engine's back.
 	var victim container.ID
-	for _, id := range store.IDs() {
+	ids, err := store.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
 		if _, isActive := e.activeContainers[id]; !isActive {
 			victim = id
 			break

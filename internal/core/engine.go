@@ -39,6 +39,11 @@ type Config struct {
 	MergeUtilization float64
 	// RestoreCache drives restores after CID resolution (default FAA).
 	RestoreCache restorecache.Cache
+	// PrefetchDepth bounds the restore read-ahead window in distinct
+	// containers: 0 selects restorecache.DefaultPrefetchDepth, negative
+	// disables prefetching. Prefetch only reorders when reads happen,
+	// never which reads happen, so restore stats are unaffected.
+	PrefetchDepth int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
 	// StatePath, when set, persists the engine's resumable state (the
@@ -502,13 +507,12 @@ func (e *Engine) patchDepartingRecipe(v int, coldLocs map[fp.FP]container.ID) er
 // forward-pointing entries that end at hot chunks resolve through the
 // fingerprint cache into active containers.
 func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.RestoreReport, error) {
-	return e.restoreWith(ctx, version, w, e.cfg.Store)
+	return e.restoreWith(ctx, version, w, restorecache.StoreFetcher(e.cfg.Store))
 }
 
 // restoreWith is Restore with an explicit chunk source, letting
 // VerifyRestore interpose integrity checking.
 func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetch restorecache.Fetcher) (backup.RestoreReport, error) {
-	_ = ctx
 	start := time.Now()
 	rec, err := e.cfg.Recipes.Get(version)
 	if err != nil {
@@ -541,7 +545,9 @@ func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetc
 		}
 		resolved[i] = recipe.Entry{FP: entry.FP, Size: entry.Size, CID: int32(cid)}
 	}
-	stats, err := e.cfg.RestoreCache.Restore(resolved, fetch, w)
+	fetch, done := restorecache.MaybePrefetch(fetch, resolved, e.cfg.PrefetchDepth)
+	defer done()
+	stats, err := e.cfg.RestoreCache.Restore(ctx, resolved, fetch, w)
 	if err != nil {
 		return backup.RestoreReport{}, err
 	}
@@ -557,7 +563,7 @@ func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetc
 // chunk's fingerprint (a scrub-on-read). It costs one hash per stored
 // chunk of every container touched, on top of the normal restore.
 func (e *Engine) VerifyRestore(ctx context.Context, version int, w io.Writer) (backup.RestoreReport, error) {
-	return e.restoreWith(ctx, version, w, restorecache.NewVerifyingFetcher(e.cfg.Store))
+	return e.restoreWith(ctx, version, w, restorecache.NewVerifyingFetcher(restorecache.StoreFetcher(e.cfg.Store)))
 }
 
 func hasForward(rec *recipe.Recipe) bool {

@@ -211,6 +211,9 @@ func (e *Engine) unmarshalState(buf []byte) error {
 		if err != nil {
 			return fmt.Errorf("core: reload active container %d: %w", id, err)
 		}
+		// The engine mutates active images; Get's result may be the
+		// store's own snapshot (memory store), so work on a copy.
+		ctn = ctn.Clone()
 		if err := ctn.SetCapacity(e.cfg.ContainerCapacity); err != nil {
 			return fmt.Errorf("core: reload active container %d: %w", id, err)
 		}

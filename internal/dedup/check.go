@@ -14,7 +14,11 @@ var _ backup.Checker = (*Engine)(nil)
 func (e *Engine) Check() (backup.CheckReport, error) {
 	var report backup.CheckReport
 	chunkAt := make(map[fp.FP]map[container.ID]struct{})
-	for _, cid := range e.cfg.Store.IDs() {
+	stored, err := e.cfg.Store.IDs()
+	if err != nil {
+		report.Problemf("store: cannot enumerate containers: %v", err)
+	}
+	for _, cid := range stored {
 		ctn, err := e.cfg.Store.Get(cid)
 		if err != nil {
 			report.Problemf("container %d: %v", cid, err)

@@ -49,6 +49,10 @@ type Config struct {
 	SegmentChunks int
 	// ContainerCapacity in bytes (default container.DefaultCapacity).
 	ContainerCapacity int
+	// PrefetchDepth bounds the restore read-ahead window in distinct
+	// containers: 0 selects restorecache.DefaultPrefetchDepth, negative
+	// disables prefetching.
+	PrefetchDepth int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
 }
@@ -330,13 +334,15 @@ func (e *Engine) sealOpen() error {
 
 // Restore implements backup.Engine.
 func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.RestoreReport, error) {
-	_ = ctx
 	start := time.Now()
 	rec, err := e.cfg.Recipes.Get(version)
 	if err != nil {
 		return backup.RestoreReport{}, err
 	}
-	stats, err := e.cfg.RestoreCache.Restore(rec.Entries, e.cfg.Store, w)
+	fetch, done := restorecache.MaybePrefetch(
+		restorecache.StoreFetcher(e.cfg.Store), rec.Entries, e.cfg.PrefetchDepth)
+	defer done()
+	stats, err := e.cfg.RestoreCache.Restore(ctx, rec.Entries, fetch, w)
 	if err != nil {
 		return backup.RestoreReport{}, err
 	}
@@ -374,7 +380,11 @@ func (e *Engine) Delete(version int) (backup.DeleteReport, error) {
 		}
 	}
 	// Sweep: every container.
-	for _, cid := range e.cfg.Store.IDs() {
+	stored, err := e.cfg.Store.IDs()
+	if err != nil {
+		return report, err
+	}
+	for _, cid := range stored {
 		ctn, err := e.cfg.Store.Get(cid)
 		if err != nil {
 			return report, err

@@ -115,7 +115,10 @@ func TestCheckHealthyAndBroken(t *testing.T) {
 		t.Fatalf("report %+v", rep)
 	}
 	// Break it: drop a container.
-	ids := store.IDs()
+	ids, err := store.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := store.Delete(ids[0]); err != nil {
 		t.Fatal(err)
 	}

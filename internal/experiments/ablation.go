@@ -28,6 +28,10 @@ type AblationRow struct {
 	// first version.
 	NewestSF float64
 	OldestSF float64
+	// NewestMS is the newest version's restore wall-clock in
+	// milliseconds — the quantity prefetching moves (speed factors, an
+	// I/O count, are prefetch-invariant by design).
+	NewestMS float64
 	// Containers in the store at the end.
 	Containers int
 }
@@ -42,7 +46,7 @@ type AblationResult struct {
 // runHidestoreConfig backs up the chain under one HiDeStore configuration
 // and measures the ablation metrics.
 func runHidestoreConfig(cfg workload.Config, o Options, window int, mergeUtil float64,
-	ctnCapacity int, alg chunker.Algorithm, rc restorecache.Cache) (AblationRow, error) {
+	ctnCapacity int, alg chunker.Algorithm, rc restorecache.Cache, prefetch int) (AblationRow, error) {
 	e, err := core.New(core.Config{
 		Store:             container.NewMemStore(),
 		Recipes:           recipe.NewMemStore(),
@@ -52,6 +56,7 @@ func runHidestoreConfig(cfg workload.Config, o Options, window int, mergeUtil fl
 		ChunkParams:       o.ChunkParams,
 		Chunker:           alg,
 		RestoreCache:      rc,
+		PrefetchDepth:     prefetch,
 	})
 	if err != nil {
 		return AblationRow{}, err
@@ -72,6 +77,7 @@ func runHidestoreConfig(cfg workload.Config, o Options, window int, mergeUtil fl
 		DedupRatio: st.DedupRatio(),
 		NewestSF:   newest.Stats.SpeedFactor(),
 		OldestSF:   oldest.Stats.SpeedFactor(),
+		NewestMS:   float64(newest.Duration.Microseconds()) / 1000,
 		Containers: st.Containers,
 	}, nil
 }
@@ -89,7 +95,7 @@ func AblationWindow(workloadName string, opts Options) (*AblationResult, error) 
 	res := &AblationResult{Workload: cfg.Name, Param: "window"}
 	for _, w := range []int{1, 2, 3, 5} {
 		row, err := runHidestoreConfig(cfg, opts, w, 0.5, opts.ContainerCapacity,
-			chunker.FastCDC, restorecache.NewFAA(0))
+			chunker.FastCDC, restorecache.NewFAA(0), 0)
 		if err != nil {
 			return nil, fmt.Errorf("window %d: %w", w, err)
 		}
@@ -112,7 +118,7 @@ func AblationMergeThreshold(workloadName string, opts Options) (*AblationResult,
 	res := &AblationResult{Workload: cfg.Name, Param: "merge-utilization"}
 	for _, u := range []float64{0.01, 0.25, 0.5, 0.75, 0.95} {
 		row, err := runHidestoreConfig(cfg, opts, cacheWindow(cfg), u, opts.ContainerCapacity,
-			chunker.FastCDC, restorecache.NewFAA(0))
+			chunker.FastCDC, restorecache.NewFAA(0), 0)
 		if err != nil {
 			return nil, fmt.Errorf("merge %.2f: %w", u, err)
 		}
@@ -135,7 +141,7 @@ func AblationContainerSize(workloadName string, opts Options) (*AblationResult, 
 	res := &AblationResult{Workload: cfg.Name, Param: "container-size"}
 	for _, size := range []int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20} {
 		row, err := runHidestoreConfig(cfg, opts, cacheWindow(cfg), 0.5, size,
-			chunker.FastCDC, restorecache.NewFAA(0))
+			chunker.FastCDC, restorecache.NewFAA(0), 0)
 		if err != nil {
 			return nil, fmt.Errorf("size %d: %w", size, err)
 		}
@@ -157,7 +163,7 @@ func AblationChunker(workloadName string, opts Options) (*AblationResult, error)
 	res := &AblationResult{Workload: cfg.Name, Param: "chunker"}
 	for _, alg := range []chunker.Algorithm{chunker.Fixed, chunker.Rabin, chunker.TTTD, chunker.FastCDC, chunker.AE} {
 		row, err := runHidestoreConfig(cfg, opts, cacheWindow(cfg), 0.5, opts.ContainerCapacity,
-			alg, restorecache.NewFAA(0))
+			alg, restorecache.NewFAA(0), 0)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", alg, err)
 		}
@@ -182,11 +188,35 @@ func AblationRestoreCache(workloadName string, opts Options) (*AblationResult, e
 			return nil, err
 		}
 		row, err := runHidestoreConfig(cfg, opts, cacheWindow(cfg), 0.5, opts.ContainerCapacity,
-			chunker.FastCDC, rc)
+			chunker.FastCDC, rc, 0)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		row.Param, row.Value = "restore-cache", name
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationPrefetchDepth sweeps the restore read-ahead window. Expected:
+// speed factors and container counts are bit-identical at every depth
+// (prefetch only reorders when container reads happen, never which);
+// wall clock improves with depth until the store's parallelism is
+// saturated. -1 is the serial baseline.
+func AblationPrefetchDepth(workloadName string, opts Options) (*AblationResult, error) {
+	opts = opts.withDefaults()
+	cfg, err := opts.loadWorkload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Workload: cfg.Name, Param: "prefetch-depth"}
+	for _, depth := range []int{-1, 1, 2, 4, 8, 16} {
+		row, err := runHidestoreConfig(cfg, opts, cacheWindow(cfg), 0.5, opts.ContainerCapacity,
+			chunker.FastCDC, restorecache.NewFAA(0), depth)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch %d: %w", depth, err)
+		}
+		row.Param, row.Value = "prefetch-depth", fmt.Sprintf("%d", depth)
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
@@ -205,12 +235,13 @@ func (r *AblationResult) Row(value string) *AblationRow {
 // Render formats the sweep.
 func (r *AblationResult) Render() string {
 	t := metrics.NewTable(fmt.Sprintf("Ablation (%s): %s", r.Workload, r.Param),
-		r.Param, "dedup ratio", "newest SF", "oldest SF", "containers")
+		r.Param, "dedup ratio", "newest SF", "oldest SF", "restore ms", "containers")
 	for _, row := range r.Rows {
 		t.AddRow(row.Value,
 			metrics.FormatPercent(row.DedupRatio),
 			metrics.FormatFloat(row.NewestSF),
 			metrics.FormatFloat(row.OldestSF),
+			metrics.FormatFloat(row.NewestMS),
 			fmt.Sprintf("%d", row.Containers))
 	}
 	return t.Render()

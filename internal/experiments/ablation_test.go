@@ -99,6 +99,35 @@ func TestAblationChunker(t *testing.T) {
 	}
 }
 
+func TestAblationPrefetchDepth(t *testing.T) {
+	res, err := AblationPrefetchDepth("kernel", ablationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The defining property of restore read-ahead: every accounting
+	// metric is bit-identical at every depth, including the serial
+	// baseline (-1). Prefetch moves reads earlier, it never adds or
+	// removes them.
+	base := res.Rows[0]
+	for _, row := range res.Rows[1:] {
+		if row.NewestSF != base.NewestSF || row.OldestSF != base.OldestSF {
+			t.Errorf("depth %s changed speed factor: newest %.4f/%.4f oldest %.4f/%.4f",
+				row.Value, row.NewestSF, base.NewestSF, row.OldestSF, base.OldestSF)
+		}
+		if row.DedupRatio != base.DedupRatio {
+			t.Errorf("depth %s changed dedup ratio: %.6f vs %.6f",
+				row.Value, row.DedupRatio, base.DedupRatio)
+		}
+	}
+	rendered := res.Render()
+	if !strings.Contains(rendered, "prefetch-depth") || !strings.Contains(rendered, "restore ms") {
+		t.Fatalf("render missing columns:\n%s", rendered)
+	}
+}
+
 func TestAblationRestoreCache(t *testing.T) {
 	res, err := AblationRestoreCache("kernel", ablationOptions())
 	if err != nil {

@@ -1,6 +1,7 @@
 package restorecache
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -68,7 +69,7 @@ func NewALACC(opts Options) *ALACC {
 func (a *ALACC) Name() string { return "alacc" }
 
 // Restore implements Cache.
-func (a *ALACC) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
+func (a *ALACC) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
 	var stats Stats
 	if err := validate(entries); err != nil {
 		return stats, err
@@ -129,7 +130,10 @@ func (a *ALACC) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Sta
 		}
 		// Pass 2: one read per remaining container.
 		for _, id := range order {
-			ctn, err := counted.Get(id)
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			ctn, err := counted.Get(ctx, id)
 			if err != nil {
 				return stats, err
 			}

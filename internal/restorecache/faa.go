@@ -1,6 +1,7 @@
 package restorecache
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,7 +42,7 @@ type slot struct {
 }
 
 // Restore implements Cache.
-func (f *FAA) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
+func (f *FAA) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
 	var stats Stats
 	if err := validate(entries); err != nil {
 		return stats, err
@@ -79,7 +80,10 @@ func (f *FAA) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats
 			byContainer[id] = append(byContainer[id], s)
 		}
 		for _, id := range order {
-			ctn, err := counted.Get(id)
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			ctn, err := counted.Get(ctx, id)
 			if err != nil {
 				return stats, err
 			}

@@ -1,6 +1,7 @@
 package restorecache
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,7 +37,7 @@ func NewContainerLRU(capacity int) *ContainerLRU {
 func (c *ContainerLRU) Name() string { return "container-lru" }
 
 // Restore implements Cache.
-func (c *ContainerLRU) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
+func (c *ContainerLRU) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
 	var stats Stats
 	if err := validate(entries); err != nil {
 		return stats, err
@@ -47,12 +48,15 @@ func (c *ContainerLRU) Restore(entries []recipe.Entry, fetch Fetcher, w io.Write
 		return stats, err
 	}
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		id := container.ID(e.CID)
 		ctn, ok := cache.Get(id)
 		if ok {
 			stats.CacheHits++
 		} else {
-			ctn, err = counted.Get(id)
+			ctn, err = counted.Get(ctx, id)
 			if err != nil {
 				return stats, err
 			}
@@ -95,7 +99,7 @@ func NewChunkLRU(capacityBytes int64) *ChunkLRU {
 func (c *ChunkLRU) Name() string { return "chunk-lru" }
 
 // Restore implements Cache.
-func (c *ChunkLRU) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
+func (c *ChunkLRU) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
 	var stats Stats
 	if err := validate(entries); err != nil {
 		return stats, err
@@ -106,11 +110,14 @@ func (c *ChunkLRU) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (
 		return stats, err
 	}
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		data, ok := cache.Get(e.FP)
 		if ok {
 			stats.CacheHits++
 		} else {
-			ctn, err := counted.Get(container.ID(e.CID))
+			ctn, err := counted.Get(ctx, container.ID(e.CID))
 			if err != nil {
 				return stats, err
 			}
@@ -162,7 +169,7 @@ func NewOPT(capacity int) *OPT {
 func (o *OPT) Name() string { return "opt" }
 
 // Restore implements Cache.
-func (o *OPT) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
+func (o *OPT) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error) {
 	var stats Stats
 	if err := validate(entries); err != nil {
 		return stats, err
@@ -186,6 +193,9 @@ func (o *OPT) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats
 	// as positions advance.
 	future := make(map[container.ID]int)
 	for i, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		id := container.ID(e.CID)
 		future[id] = nextUse[i]
 		ctn, ok := cached[id]
@@ -193,7 +203,7 @@ func (o *OPT) Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats
 			stats.CacheHits++
 		} else {
 			var err error
-			ctn, err = counted.Get(id)
+			ctn, err = counted.Get(ctx, id)
 			if err != nil {
 				return stats, err
 			}

@@ -1,0 +1,227 @@
+package restorecache
+
+import (
+	"context"
+	"sync"
+
+	"hidestore/internal/container"
+	"hidestore/internal/pipeline"
+	"hidestore/internal/recipe"
+)
+
+// DefaultPrefetchDepth is the read-ahead window, in distinct containers,
+// used when a prefetch depth of 0 is requested.
+const DefaultPrefetchDepth = 8
+
+// PrefetchFetcher overlaps container reads with chunk assembly. The
+// resolved recipe discloses the whole future access sequence, so the
+// prefetcher derives the distinct-container order up front (each cache
+// policy's first fetch of any container happens in first-appearance
+// order — see the invariant note below) and a bounded worker pool issues
+// those reads ahead of the assembler. Results flow back through a
+// bounded in-order queue, so at most `depth` reads run ahead of
+// consumption.
+//
+// Accounting invariant (§5.3): Stats.ContainerReads and the speed factor
+// are defined by *which* containers the cache policy requests, not when.
+// The prefetcher therefore only accelerates reads the policy issues
+// anyway: every planned container is fetched exactly once and handed
+// over on the policy's first request for it, and any request outside the
+// plan — a re-read after eviction, or FAA re-reading a container in a
+// later area — falls through to a direct read, exactly as it would
+// serially. Counting happens above this layer (countingFetcher), so
+// ContainerReads is identical with prefetch on or off.
+//
+// The first-appearance argument assumes each fingerprint lives in one
+// container of the sequence (true for the HiDeStore engine's resolved
+// recipes). If rewriting duplicates a fingerprint across containers, a
+// chunk cache may skip a planned container; the restore stays
+// byte-correct but the underlying store then sees the skipped read.
+//
+// Get must be called from a single goroutine (the cache policy); Close
+// releases the worker pool and is safe to call even if Get never ran.
+type PrefetchFetcher struct {
+	inner   Fetcher
+	plan    []container.ID
+	planned map[container.ID]bool
+	depth   int
+
+	start   sync.Once
+	cancel  context.CancelFunc
+	group   *pipeline.Group
+	pipeCtx context.Context
+	queue   chan *prefetchItem
+	// stash holds queue items popped while searching for an earlier
+	// request; keys are container IDs not yet consumed.
+	stash map[container.ID]*prefetchItem
+}
+
+// fetchOutcome is one completed (or failed) container read.
+type fetchOutcome struct {
+	ctn *container.Container
+	err error
+}
+
+// prefetchItem tracks one planned read; ch has capacity 1 so workers
+// never block delivering.
+type prefetchItem struct {
+	id container.ID
+	ch chan fetchOutcome
+}
+
+// NewPrefetchFetcher plans read-ahead over the resolved entries: the
+// distinct containers in first-appearance order. depth <= 0 selects
+// DefaultPrefetchDepth.
+func NewPrefetchFetcher(inner Fetcher, entries []recipe.Entry, depth int) *PrefetchFetcher {
+	if depth <= 0 {
+		depth = DefaultPrefetchDepth
+	}
+	planned := make(map[container.ID]bool)
+	var plan []container.ID
+	for _, e := range entries {
+		if e.CID <= 0 {
+			continue // validate() rejects these at the cache layer
+		}
+		id := container.ID(e.CID)
+		if !planned[id] {
+			planned[id] = true
+			plan = append(plan, id)
+		}
+	}
+	return &PrefetchFetcher{
+		inner:   inner,
+		plan:    plan,
+		planned: planned,
+		depth:   depth,
+		stash:   make(map[container.ID]*prefetchItem),
+	}
+}
+
+// run starts the dispatcher and worker pool; called once, from the first
+// planned Get, so the pool inherits that restore's context.
+func (p *PrefetchFetcher) run(ctx context.Context) {
+	ictx, cancel := context.WithCancel(ctx)
+	p.cancel = cancel
+	g, gctx := pipeline.WithContext(ictx)
+	p.group, p.pipeCtx = g, gctx
+	// queue's capacity bounds the read-ahead window; work is unbuffered
+	// so workers pick items up in plan order.
+	p.queue = make(chan *prefetchItem, p.depth)
+	work := make(chan *prefetchItem)
+	plan := p.plan
+	g.Go(func() error {
+		defer close(p.queue)
+		defer close(work)
+		for _, id := range plan {
+			it := &prefetchItem{id: id, ch: make(chan fetchOutcome, 1)}
+			select {
+			case p.queue <- it:
+			case <-gctx.Done():
+				return gctx.Err()
+			}
+			select {
+			case work <- it:
+			case <-gctx.Done():
+				return gctx.Err()
+			}
+		}
+		return nil
+	})
+	workers := p.depth
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	for i := 0; i < workers; i++ {
+		g.Go(func() error {
+			for {
+				select {
+				case it, ok := <-work:
+					if !ok {
+						return nil
+					}
+					ctn, err := p.inner.Get(gctx, it.id)
+					it.ch <- fetchOutcome{ctn: ctn, err: err}
+				case <-gctx.Done():
+					return gctx.Err()
+				}
+			}
+		})
+	}
+}
+
+// Get implements Fetcher. The first request for each planned container
+// is served from the read-ahead pipeline; everything else — re-reads the
+// policy issues after evicting, or requests after the pipeline stops —
+// reads through directly, preserving the serial read sequence.
+func (p *PrefetchFetcher) Get(ctx context.Context, id container.ID) (*container.Container, error) {
+	if !p.planned[id] {
+		return p.inner.Get(ctx, id)
+	}
+	p.start.Do(func() { p.run(ctx) })
+	delete(p.planned, id) // consumed: later requests read through
+	if it, ok := p.stash[id]; ok {
+		delete(p.stash, id)
+		return p.await(ctx, it)
+	}
+	for {
+		select {
+		case it, ok := <-p.queue:
+			if !ok {
+				// The pipeline stopped before dispatching id (cancel or
+				// error); no worker touched it, so a direct read keeps
+				// the count at one.
+				return p.inner.Get(ctx, id)
+			}
+			if it.id == id {
+				return p.await(ctx, it)
+			}
+			p.stash[it.id] = it
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// await blocks for it's outcome, abandoning the wait if either the
+// caller's context or the pipeline is done.
+func (p *PrefetchFetcher) await(ctx context.Context, it *prefetchItem) (*container.Container, error) {
+	select {
+	case out := <-it.ch:
+		return out.ctn, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.pipeCtx.Done():
+		// The item was dispatched but its worker may have bailed before
+		// fetching; take the outcome if one made it, else read through.
+		select {
+		case out := <-it.ch:
+			return out.ctn, out.err
+		default:
+			return p.inner.Get(ctx, it.id)
+		}
+	}
+}
+
+// Close cancels outstanding read-ahead and waits for the worker pool to
+// drain. Safe to call when Get never started the pipeline, and more than
+// once.
+func (p *PrefetchFetcher) Close() {
+	if p.cancel == nil {
+		return
+	}
+	p.cancel()
+	// Workers never block (item channels are buffered), so Wait returns
+	// promptly; its error is the cancellation we just caused.
+	_ = p.group.Wait()
+}
+
+// MaybePrefetch wraps fetch with a PrefetchFetcher according to depth:
+// negative disables prefetching, zero selects DefaultPrefetchDepth. The
+// returned func must be called once the restore finishes.
+func MaybePrefetch(fetch Fetcher, entries []recipe.Entry, depth int) (Fetcher, func()) {
+	if depth < 0 {
+		return fetch, func() {}
+	}
+	pf := NewPrefetchFetcher(fetch, entries, depth)
+	return pf, pf.Close
+}

@@ -21,6 +21,7 @@
 package restorecache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -33,10 +34,31 @@ import (
 // container ID; callers must flatten/resolve recipes before restoring.
 var ErrUnresolved = errors.New("restorecache: entry has unresolved CID")
 
-// Fetcher reads containers by ID; container.Store satisfies it. Every
-// Fetch is one counted container read.
+// Fetcher reads containers by ID. Every Get is one counted container
+// read. Get must honor ctx: a cancelled context returns ctx.Err()
+// promptly (at worst after the in-flight container read). Wrap a
+// container.Store with StoreFetcher to satisfy it.
 type Fetcher interface {
-	Get(id container.ID) (*container.Container, error)
+	Get(ctx context.Context, id container.ID) (*container.Container, error)
+}
+
+// storeFetcher adapts a container.Store to the Fetcher interface,
+// checking ctx before every read.
+type storeFetcher struct {
+	store container.Store
+}
+
+// StoreFetcher returns a Fetcher backed by s.
+func StoreFetcher(s container.Store) Fetcher {
+	return storeFetcher{store: s}
+}
+
+// Get implements Fetcher.
+func (f storeFetcher) Get(ctx context.Context, id container.ID) (*container.Container, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.store.Get(id)
 }
 
 // Stats describes one restore run.
@@ -70,7 +92,9 @@ type Cache interface {
 	Name() string
 	// Restore reads every entry's chunk (in order) from fetch and writes
 	// the reassembled stream to w. All entries must carry positive CIDs.
-	Restore(entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error)
+	// A cancelled ctx aborts promptly with ctx.Err(), at worst after the
+	// in-flight container read.
+	Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher, w io.Writer) (Stats, error)
 }
 
 // New returns a default-configured cache by scheme name.
@@ -108,8 +132,8 @@ type countingFetcher struct {
 	stats *Stats
 }
 
-func (f *countingFetcher) Get(id container.ID) (*container.Container, error) {
-	c, err := f.inner.Get(id)
+func (f *countingFetcher) Get(ctx context.Context, id container.ID) (*container.Container, error) {
+	c, err := f.inner.Get(ctx, id)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package restorecache
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -83,7 +84,7 @@ func TestRoundTripSequential(t *testing.T) {
 	for _, c := range allCaches() {
 		t.Run(c.Name(), func(t *testing.T) {
 			var buf bytes.Buffer
-			stats, err := c.Restore(entries, store, &buf)
+			stats, err := c.Restore(context.Background(), entries, StoreFetcher(store), &buf)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -114,7 +115,7 @@ func TestRoundTripShuffled(t *testing.T) {
 	for _, c := range allCaches() {
 		t.Run(c.Name(), func(t *testing.T) {
 			var buf bytes.Buffer
-			if _, err := c.Restore(shuffled, store, &buf); err != nil {
+			if _, err := c.Restore(context.Background(), shuffled, StoreFetcher(store), &buf); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(buf.Bytes(), want) {
@@ -133,7 +134,7 @@ func TestRepeatedChunks(t *testing.T) {
 	for _, c := range allCaches() {
 		t.Run(c.Name(), func(t *testing.T) {
 			var buf bytes.Buffer
-			if _, err := c.Restore(repeated, store, &buf); err != nil {
+			if _, err := c.Restore(context.Background(), repeated, StoreFetcher(store), &buf); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(buf.Bytes(), want) {
@@ -155,7 +156,7 @@ func TestFragmentationThrashing(t *testing.T) {
 	}
 	lru1 := NewContainerLRU(1)
 	var buf bytes.Buffer
-	lruStats, err := lru1.Restore(inter, store, &buf)
+	lruStats, err := lru1.Restore(context.Background(), inter, StoreFetcher(store), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFragmentationThrashing(t *testing.T) {
 	}
 	faa := NewFAA(1 << 20) // area covers the whole stream
 	buf.Reset()
-	faaStats, err := faa.Restore(inter, store, &buf)
+	faaStats, err := faa.Restore(context.Background(), inter, StoreFetcher(store), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestFragmentationThrashing(t *testing.T) {
 	}
 	opt := NewOPT(2)
 	buf.Reset()
-	optStats, err := opt.Restore(inter, store, &buf)
+	optStats, err := opt.Restore(context.Background(), inter, StoreFetcher(store), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestOPTNeverWorseThanLRU(t *testing.T) {
 		seq[i] = entries[rng.Intn(len(entries))]
 	}
 	var bufA, bufB bytes.Buffer
-	lruStats, err := NewContainerLRU(4).Restore(seq, store, &bufA)
+	lruStats, err := NewContainerLRU(4).Restore(context.Background(), seq, StoreFetcher(store), &bufA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	optStats, err := NewOPT(4).Restore(seq, store, &bufB)
+	optStats, err := NewOPT(4).Restore(context.Background(), seq, StoreFetcher(store), &bufB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestALACCCacheBeatsFAAOnRevisits(t *testing.T) {
 	pattern := append(append([]recipe.Entry(nil), entries...), entries...)
 	area := 32 << 10 // small area: FAA re-reads containers on the second pass
 	var bufA, bufB bytes.Buffer
-	faaStats, err := NewFAA(area).Restore(pattern, store, &bufA)
+	faaStats, err := NewFAA(area).Restore(context.Background(), pattern, StoreFetcher(store), &bufA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestALACCCacheBeatsFAAOnRevisits(t *testing.T) {
 		AreaBytes:      area,
 		CacheBytes:     1 << 20,
 		LookAheadBytes: 1 << 20,
-	}).Restore(pattern, store, &bufB)
+	}).Restore(context.Background(), pattern, StoreFetcher(store), &bufB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestUnresolvedEntriesRejected(t *testing.T) {
 		bad[1].CID = cid
 		for _, c := range allCaches() {
 			var buf bytes.Buffer
-			if _, err := c.Restore(bad, store, &buf); err == nil {
+			if _, err := c.Restore(context.Background(), bad, StoreFetcher(store), &buf); err == nil {
 				t.Fatalf("%s accepted CID %d", c.Name(), cid)
 			}
 		}
@@ -262,7 +263,7 @@ func TestMissingContainerError(t *testing.T) {
 	bad[0].CID = 42 // no such container
 	for _, c := range allCaches() {
 		var buf bytes.Buffer
-		if _, err := c.Restore(bad, store, &buf); err == nil {
+		if _, err := c.Restore(context.Background(), bad, StoreFetcher(store), &buf); err == nil {
 			t.Fatalf("%s ignored a missing container", c.Name())
 		}
 	}
@@ -283,7 +284,7 @@ func TestEmptyRestore(t *testing.T) {
 	store, _, _ := fixture(t, 1, 1, 64)
 	for _, c := range allCaches() {
 		var buf bytes.Buffer
-		stats, err := c.Restore(nil, store, &buf)
+		stats, err := c.Restore(context.Background(), nil, StoreFetcher(store), &buf)
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name(), err)
 		}
@@ -309,7 +310,7 @@ func TestLargeChunkExceedsArea(t *testing.T) {
 	entries := []recipe.Entry{{FP: f, Size: uint32(len(big)), CID: 1}}
 	for _, c := range []Cache{NewFAA(4 << 10), NewALACC(Options{AreaBytes: 4 << 10})} {
 		var buf bytes.Buffer
-		if _, err := c.Restore(entries, store, &buf); err != nil {
+		if _, err := c.Restore(context.Background(), entries, StoreFetcher(store), &buf); err != nil {
 			t.Fatalf("%s: %v", c.Name(), err)
 		}
 		if !bytes.Equal(buf.Bytes(), big) {
@@ -347,7 +348,7 @@ func BenchmarkRestoreSchemes(b *testing.B) {
 			b.SetBytes(total)
 			for i := 0; i < b.N; i++ {
 				var buf bytes.Buffer
-				if _, err := c.Restore(entries, store, &buf); err != nil {
+				if _, err := c.Restore(context.Background(), entries, StoreFetcher(store), &buf); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -360,7 +361,7 @@ func TestChunkLRUSmallCapacityStillCorrect(t *testing.T) {
 	want := expected(entries, payloads)
 	c := NewChunkLRU(4096) // tiny: most inserts evict immediately
 	var buf bytes.Buffer
-	if _, err := c.Restore(entries, store, &buf); err != nil {
+	if _, err := c.Restore(context.Background(), entries, StoreFetcher(store), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), want) {

@@ -2,6 +2,7 @@ package restorecache
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"hidestore/internal/container"
@@ -10,15 +11,15 @@ import (
 
 func TestVerifyingFetcherPassesGoodData(t *testing.T) {
 	store, entries, payloads := fixture(t, 3, 5, 512)
-	vf := NewVerifyingFetcher(store)
+	vf := NewVerifyingFetcher(StoreFetcher(store))
 	var buf bytes.Buffer
-	if _, err := NewFAA(1<<20).Restore(entries, vf, &buf); err != nil {
+	if _, err := NewFAA(1<<20).Restore(context.Background(), entries, vf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), expected(entries, payloads)) {
 		t.Fatal("bytes corrupted through verification")
 	}
-	if vf.Verified == 0 {
+	if vf.Chunks() == 0 {
 		t.Fatal("no chunks verified")
 	}
 }
@@ -36,15 +37,15 @@ func TestVerifyingFetcherDetectsMismatch(t *testing.T) {
 	if err := store.Put(evil); err != nil {
 		t.Fatal(err)
 	}
-	vf := NewVerifyingFetcher(store)
-	if _, err := vf.Get(1); err == nil {
+	vf := NewVerifyingFetcher(StoreFetcher(store))
+	if _, err := vf.Get(context.Background(), 1); err == nil {
 		t.Fatal("fingerprint mismatch went undetected")
 	}
 }
 
 func TestVerifyingFetcherPropagatesMissing(t *testing.T) {
-	vf := NewVerifyingFetcher(container.NewMemStore())
-	if _, err := vf.Get(42); err == nil {
+	vf := NewVerifyingFetcher(StoreFetcher(container.NewMemStore()))
+	if _, err := vf.Get(context.Background(), 42); err == nil {
 		t.Fatal("missing container should fail")
 	}
 }
