@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build test race bench vet lint check
 
 build:
 	$(GO) build ./...
@@ -16,4 +16,14 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-check: build test race
+vet:
+	$(GO) vet ./...
+
+# hidelint is the project-specific static-analysis gate: discarded
+# errors, dead context plumbing, panics in library code, store
+# snapshot-ownership, and uncounted container reads. See DESIGN.md
+# "Static-analysis gate".
+lint:
+	$(GO) run ./cmd/hidelint
+
+check: build test race vet lint

@@ -23,6 +23,7 @@ import (
 	"strconv"
 
 	"hidestore/internal/chunker"
+	"hidestore/internal/cleanup"
 	"hidestore/internal/experiments"
 	"hidestore/internal/fp"
 	"hidestore/internal/metrics"
@@ -76,7 +77,7 @@ func fromFiles(files []string) error {
 		}
 		ch, err := chunker.New(chunker.TTTD, f, params)
 		if err != nil {
-			f.Close()
+			cleanup.Close(f)
 			return err
 		}
 		for {
@@ -85,12 +86,14 @@ func fromFiles(files []string) error {
 				break
 			}
 			if err != nil {
-				f.Close()
+				cleanup.Close(f)
 				return err
 			}
 			tags[fp.Of(data)] = v + 1
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
 		census := make([]int, len(files)+1)
 		for _, tag := range tags {
 			census[tag]++

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module for the tool
+// to lint.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module lintprobe\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "probe.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestUnsuppressedFindingExitsNonZero(t *testing.T) {
+	dir := writeModule(t, `package lintprobe
+
+import "errors"
+
+func fallible() error { return errors.New("x") }
+
+func oops() {
+	fallible()
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-checks", "discarded-error"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "probe.go:8:2: discarded-error:") {
+		t.Errorf("diagnostic missing or mispositioned:\n%s", stdout.String())
+	}
+}
+
+func TestSuppressedFindingExitsZero(t *testing.T) {
+	dir := writeModule(t, `package lintprobe
+
+import "errors"
+
+func fallible() error { return errors.New("x") }
+
+func oops() {
+	//hidelint:ignore discarded-error exercising the suppression path in a test fixture
+	fallible()
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-checks", "discarded-error"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	dir := writeModule(t, `package lintprobe
+
+func fine() int { return 1 }
+`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestListNamesEveryCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"accounting", "discarded-error", "ignored-ctx", "no-panic", "store-ownership"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownCheckExitsTwo(t *testing.T) {
+	dir := writeModule(t, `package lintprobe
+`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", dir, "-checks", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"syscall"
 
 	"hidestore"
+	"hidestore/internal/cleanup"
 )
 
 func main() {
@@ -95,7 +96,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
+			defer cleanup.Close(f) // read-only input
 			in = f
 		}
 		rep, err := sys.Backup(ctx, in)
@@ -120,17 +121,23 @@ func run(args []string) error {
 			return err
 		}
 		var w io.Writer = os.Stdout
+		closeOut := func() error { return nil }
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
+			defer cleanup.Close(f) // error-path release; success path checks closeOut below
 			w = f
+			closeOut = f.Close
 		}
 		rep, err := sys.Restore(ctx, version, w)
 		if err != nil {
 			return err
+		}
+		// A failed close of the written output means truncated restore data.
+		if err := closeOut(); err != nil {
+			return fmt.Errorf("close %s: %w", *out, err)
 		}
 		fmt.Fprintf(os.Stderr, "restored v%d: %d bytes, %d container reads, speed factor %.2f MB/read\n",
 			rep.Version, rep.BytesRestored, rep.ContainerReads, rep.SpeedFactor)
@@ -278,7 +285,7 @@ func writeTree(w io.Writer, root string) error {
 			return err
 		}
 		_, err = io.Copy(w, f)
-		f.Close()
+		cleanup.Close(f) // read-only input
 		if err != nil {
 			return err
 		}
@@ -318,7 +325,7 @@ func readTree(r io.Reader, dest string) error {
 			return err
 		}
 		if _, err := io.CopyN(f, r, int64(size)); err != nil {
-			f.Close()
+			cleanup.Close(f)
 			return err
 		}
 		if err := f.Close(); err != nil {

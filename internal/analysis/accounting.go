@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+func init() {
+	register(Check{
+		Name: "accounting",
+		Doc: "the paper's restore metric is MB per container read, tallied in " +
+			"Stats.ContainerReads by the restorecache fetchers. A direct Store.Get " +
+			"anywhere else performs an uncounted container read and silently " +
+			"inflates the reported speed factor; read through a " +
+			"restorecache.Fetcher, or suppress with the reason the read is not " +
+			"part of a restore.",
+		Run: runAccounting,
+	})
+}
+
+func runAccounting(pass *Pass) {
+	if PathHasSuffix(pass.Pkg.Path(), pass.Config.AccountingExemptPackages) {
+		return // the accounting layer itself
+	}
+	store := containerStoreInterface(pass.Pkg)
+	if store == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Get" {
+				return true
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok || !implementsStore(tv.Type, store) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct Store.Get bypasses restore accounting (Stats.ContainerReads); read through a restorecache.Fetcher")
+			return true
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testdataImportPrefix keeps testdata package paths inside the module
+// so the path-scoped checks can be aimed at them via Config.
+const testdataImportPrefix = "hidestore/internal/analysis/testdata/src/"
+
+// goldenCase wires one testdata package to the check it seeds and the
+// config that aims the check at it.
+type goldenCase struct {
+	name   string   // testdata package and golden file stem
+	checks []string // checks to run; nil = all
+	cfg    func() Config
+}
+
+func goldenCases() []goldenCase {
+	withCtxTestdata := func() Config {
+		cfg := DefaultConfig()
+		cfg.CtxPackages = append(cfg.CtxPackages, "testdata/src/ignoredctx")
+		return cfg
+	}
+	return []goldenCase{
+		{name: "discardederror", checks: []string{"discarded-error"}, cfg: DefaultConfig},
+		{name: "ignoredctx", checks: []string{"ignored-ctx"}, cfg: withCtxTestdata},
+		{name: "nopanic", checks: []string{"no-panic"}, cfg: DefaultConfig},
+		{name: "storeownership", checks: []string{"store-ownership"}, cfg: DefaultConfig},
+		{name: "accounting", checks: []string{"accounting"}, cfg: DefaultConfig},
+		{name: "suppress", checks: []string{"no-panic"}, cfg: DefaultConfig},
+	}
+}
+
+// TestGolden seeds each defect class and asserts the exact diagnostic
+// positions against the per-check golden file. Regenerate with
+// `go test ./internal/analysis -run Golden -update` after reviewing
+// every changed line: the goldens are the gate's regression contract.
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			loader := NewLoader()
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", tc.name), testdataImportPrefix+tc.name)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			diags, err := Run([]*Package{pkg}, tc.checks, tc.cfg())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			var sb strings.Builder
+			for _, d := range diags {
+				d.Pos.Filename = filepath.ToSlash(d.Pos.Filename)
+				sb.WriteString(d.String())
+				sb.WriteString("\n")
+			}
+			got := sb.String()
+			goldenPath := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if want := string(wantBytes); got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFindsEveryDefectClass guards the guard: each seeded
+// package must produce at least one finding for its check, so an
+// accidentally-emptied golden cannot pass silently.
+func TestGoldenFindsEveryDefectClass(t *testing.T) {
+	for _, tc := range goldenCases() {
+		data, err := os.ReadFile(filepath.Join("testdata", tc.name+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(strings.TrimSpace(string(data))) == 0 {
+			t.Errorf("%s: golden file is empty; the seeded defects are not being caught", tc.name)
+		}
+	}
+}
+
+func TestRunRejectsUnknownCheck(t *testing.T) {
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "nopanic"), testdataImportPrefix+"nopanic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run([]*Package{pkg}, []string{"not-a-check"}, DefaultConfig()); err == nil {
+		t.Fatal("Run accepted an unknown check name")
+	}
+}
+
+func TestRegisteredChecks(t *testing.T) {
+	want := []string{"accounting", "discarded-error", "ignored-ctx", "no-panic", "store-ownership"}
+	got := CheckNames()
+	if len(got) != len(want) {
+		t.Fatalf("CheckNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CheckNames() = %v, want %v", got, want)
+		}
+	}
+}

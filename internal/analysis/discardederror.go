@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(Check{
+		Name: "discarded-error",
+		Doc: "calls whose last result is an error must assign and handle it; " +
+			"bare call statements, `_ =` discards, and go/defer of fallible calls are flagged. " +
+			"Known-infallible writers (strings.Builder, bytes.Buffer, hash.Hash) are allowed.",
+		Run: runDiscardedError,
+	})
+}
+
+// infallible lists methods documented to never return a non-nil error;
+// discarding their error result is noise, not risk.
+var infallible = map[string]bool{
+	"(*strings.Builder).Write":        true,
+	"(*strings.Builder).WriteString":  true,
+	"(*strings.Builder).WriteByte":    true,
+	"(*strings.Builder).WriteRune":    true,
+	"(*bytes.Buffer).Write":           true,
+	"(*bytes.Buffer).WriteString":     true,
+	"(*bytes.Buffer).WriteByte":       true,
+	"(*bytes.Buffer).WriteRune":       true,
+	"(hash.Hash).Write":               true, // hash.Hash: "It never returns an error."
+	"(*io.PipeReader).Close":          true, // "Close ... always returns nil."
+	"(*io.PipeReader).CloseWithError": true,
+	"(*io.PipeWriter).Close":          true,
+	"(*io.PipeWriter).CloseWithError": true,
+	"(*math/rand.Rand).Read":          true, // "It always returns len(p) and a nil error."
+	"math/rand.Read":                  true,
+}
+
+// infallibleFprintTargets are writer types fmt.Fprint* cannot fail on.
+var infallibleFprintTargets = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+}
+
+// consolePrint reports fmt.Print* and fmt.Fprint* aimed at the
+// process's own stdout/stderr: a failed terminal write is not
+// actionable, and demanding handlers for every progress line would
+// drown the real findings.
+func consolePrint(info *types.Info, f *types.Func, call *ast.CallExpr) bool {
+	if f.Pkg() == nil || f.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch f.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			if obj, ok := info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runDiscardedError(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, stmt.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, stmt.Call, "discarded by defer; handle it in a deferred closure")
+			case *ast.AssignStmt:
+				checkBlankErrorAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall reports a statement-position call whose trailing
+// error result nobody receives.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
+	if lastErrorIndex(pass.Info, call) < 0 {
+		return
+	}
+	if isInfallibleCall(pass.Info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s %s", calleeName(pass.Info, call), how)
+}
+
+// checkBlankErrorAssign reports error results explicitly dropped into
+// the blank identifier.
+func checkBlankErrorAssign(pass *Pass, stmt *ast.AssignStmt) {
+	report := func(call *ast.CallExpr, pos ast.Expr) {
+		if isInfallibleCall(pass.Info, call) {
+			return
+		}
+		pass.Reportf(pos.Pos(), "error result of %s discarded into _", calleeName(pass.Info, call))
+	}
+	// Tuple form: a, _ := f()
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errIdx := lastErrorIndex(pass.Info, call)
+		if errIdx < 0 || errIdx >= len(stmt.Lhs) {
+			return
+		}
+		if isBlank(stmt.Lhs[errIdx]) {
+			report(call, stmt.Lhs[errIdx])
+		}
+		return
+	}
+	// Parallel form: _ = f(), possibly mixed with other pairs.
+	for i, rhs := range stmt.Rhs {
+		if i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		res := callResults(pass.Info, call)
+		if res != nil && res.Len() == 1 && isErrorType(res.At(0).Type()) {
+			report(call, stmt.Lhs[i])
+		}
+	}
+}
+
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isInfallibleCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	if infallible[f.FullName()] {
+		return true
+	}
+	if consolePrint(info, f, call) {
+		return true
+	}
+	// fmt.Fprint* into an in-memory writer cannot fail.
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+		switch f.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			if tv, ok := info.Types[call.Args[0]]; ok && tv.Type != nil {
+				return infallibleFprintTargets[tv.Type.String()]
+			}
+		}
+	}
+	return false
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.FullName()
+	}
+	return "call"
+}

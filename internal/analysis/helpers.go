@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil for builtins, function-typed variables, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin
+// (panic, print, println, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// callResults returns the result tuple of a call, or nil.
+func callResults(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t
+	default:
+		if tv.Type == nil || tv.IsVoid() {
+			return nil
+		}
+		return types.NewTuple(types.NewVar(call.Pos(), nil, "", tv.Type))
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// lastErrorIndex returns the index of the trailing error result of a
+// call, or -1 if the call's last result is not an error.
+func lastErrorIndex(info *types.Info, call *ast.CallExpr) int {
+	res := callResults(info, call)
+	if res == nil || res.Len() == 0 {
+		return -1
+	}
+	if isErrorType(res.At(res.Len() - 1).Type()) {
+		return res.Len() - 1
+	}
+	return -1
+}
+
+// containerStoreInterface finds the container.Store interface reachable
+// from pkg (pkg itself or any transitive import whose path ends in
+// internal/container). Returns nil when the analyzed package cannot
+// reference a Store, in which case store-typed checks are no-ops.
+func containerStoreInterface(pkg *types.Package) *types.Interface {
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if PathHasSuffix(p.Path(), []string{"internal/container"}) {
+			if obj := p.Scope().Lookup("Store"); obj != nil {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+		}
+		for _, q := range p.Imports() {
+			if r := find(q); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// implementsStore reports whether t (or *t) satisfies the Store
+// interface.
+func implementsStore(t types.Type, store *types.Interface) bool {
+	if store == nil || t == nil {
+		return false
+	}
+	if types.Implements(t, store) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), store)
+	}
+	return false
+}
+
+// isContainerPtr reports whether t is *container.Container for the
+// project's container package.
+func isContainerPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Container" && obj.Pkg() != nil &&
+		PathHasSuffix(obj.Pkg().Path(), []string{"internal/container"})
+}
+
+// rootIdent unwraps selectors, indexes, derefs, and parens down to the
+// base identifier of an lvalue-ish expression (x, x.f, x[i], *x, ...).
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identObject resolves an expression to the object of its root
+// identifier, via Defs or Uses.
+func identObject(info *types.Info, expr ast.Expr) types.Object {
+	id := rootIdent(expr)
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// funcDecls yields every function declaration (with a body) in the
+// pass's files.
+func funcDecls(files []*ast.File, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

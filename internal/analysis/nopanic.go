@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+func init() {
+	register(Check{
+		Name: "no-panic",
+		Doc: "library packages surface failures as errors: no panic, builtin " +
+			"print/println, fmt.Print*, log.Fatal*/log.Panic*, or os.Exit outside " +
+			"package main (cmd/, examples/) and tests.",
+		Run: runNoPanic,
+	})
+}
+
+func runNoPanic(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return // binaries own their process and their stdout
+	}
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if InDirElement(filename, pass.Config.LibraryExemptDirs) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isBuiltin(pass.Info, call, "panic"):
+				pass.Reportf(call.Pos(), "panic in library code; return an error")
+			case isBuiltin(pass.Info, call, "print"), isBuiltin(pass.Info, call, "println"):
+				pass.Reportf(call.Pos(), "builtin print/println in library code")
+			default:
+				f := calleeFunc(pass.Info, call)
+				if f == nil || f.Pkg() == nil {
+					return true
+				}
+				switch f.Pkg().Path() {
+				case "fmt":
+					switch f.Name() {
+					case "Print", "Printf", "Println":
+						pass.Reportf(call.Pos(), "fmt.%s writes to stdout from library code; return data or take an io.Writer", f.Name())
+					}
+				case "log":
+					switch f.Name() {
+					case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+						pass.Reportf(call.Pos(), "log.%s kills the process from library code; return an error", f.Name())
+					}
+				case "os":
+					if f.Name() == "Exit" {
+						pass.Reportf(call.Pos(), "os.Exit in library code; return an error and let main decide")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

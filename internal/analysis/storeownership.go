@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(Check{
+		Name: "store-ownership",
+		Doc: "Store.Put must snapshot: a Put implementation may not retain the " +
+			"caller's *Container directly (the PR 1 MemStore bug). Containers " +
+			"returned by Store.Get / Fetcher.Get are shared snapshots: callers may " +
+			"not mutate them (Add, Remove, SetID, SetCapacity, or field writes).",
+		Run: runStoreOwnership,
+	})
+}
+
+// containerMutators are the *Container methods that modify the image.
+var containerMutators = map[string]bool{
+	"Add": true, "Remove": true, "SetID": true, "SetCapacity": true,
+}
+
+func runStoreOwnership(pass *Pass) {
+	store := containerStoreInterface(pass.Pkg)
+	if store == nil {
+		return
+	}
+	funcDecls(pass.Files, func(_ *ast.File, decl *ast.FuncDecl) {
+		checkPutRetention(pass, decl, store)
+		checkGetMutation(pass, decl)
+	})
+}
+
+// checkPutRetention flags Put implementations that store the caller's
+// container pointer instead of a snapshot.
+func checkPutRetention(pass *Pass, decl *ast.FuncDecl, store *types.Interface) {
+	if decl.Name.Name != "Put" || decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return
+	}
+	recvTV, ok := pass.Info.Types[decl.Recv.List[0].Type]
+	if !ok || !implementsStore(recvTV.Type, store) {
+		return
+	}
+	// The *Container parameters whose ownership stays with the caller.
+	params := make(map[types.Object]bool)
+	for _, field := range decl.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isContainerPtr(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	isParam := func(expr ast.Expr) bool {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.Info.Uses[id]
+		return obj != nil && params[obj]
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) {
+				break
+			}
+			// Retention = the bare parameter lands in a field, map, or
+			// slice of the receiver (x.f = c, x.m[k] = c, append targets).
+			retained := isParam(rhs)
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "append") {
+				for _, arg := range call.Args[1:] {
+					if isParam(arg) {
+						retained = true
+					}
+				}
+			}
+			if !retained {
+				continue
+			}
+			if _, plainLocal := ast.Unparen(assign.Lhs[i]).(*ast.Ident); plainLocal {
+				continue // a local alias is fine until it is retained
+			}
+			pass.Reportf(rhs.Pos(), "Put retains the caller's *Container; snapshot it (Clone or marshal) before storing")
+		}
+		return true
+	})
+}
+
+// checkGetMutation flags mutation of containers obtained from a
+// Store.Get / Fetcher.Get: those images are shared with the store and
+// with concurrent restores.
+func checkGetMutation(pass *Pass, decl *ast.FuncDecl) {
+	// Objects bound to the *Container result of a method named Get.
+	shared := make(map[types.Object]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Name() != "Get" {
+			return true
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+			return true
+		}
+		if !isContainerPtr(sig.Results().At(0).Type()) {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				shared[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				shared[obj] = true
+			}
+		}
+		return true
+	})
+	if len(shared) == 0 {
+		return
+	}
+	// A variable rebound to anything but the Get call (typically
+	// `ctn = ctn.Clone()`) no longer aliases the store's snapshot; drop
+	// it rather than flow-track, at the cost of missing mutations that
+	// precede the rebind.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok.String() != "=" {
+			return true
+		}
+		isGetCall := func(expr ast.Expr) bool {
+			call, ok := ast.Unparen(expr).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			f := calleeFunc(pass.Info, call)
+			return f != nil && f.Name() == "Get"
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !shared[obj] {
+				continue
+			}
+			if len(assign.Rhs) == 1 && isGetCall(assign.Rhs[0]) {
+				continue // re-fetch keeps it shared
+			}
+			if i < len(assign.Rhs) && isGetCall(assign.Rhs[i]) {
+				continue
+			}
+			delete(shared, obj)
+		}
+		return true
+	})
+	if len(shared) == 0 {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+					continue // rebinding the variable is not a mutation
+				}
+				if obj := identObject(pass.Info, lhs); obj != nil && shared[obj] {
+					pass.Reportf(lhs.Pos(), "write through a container obtained from Get; Get results are shared read-only snapshots")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+			if !ok || !containerMutators[sel.Sel.Name] {
+				return true
+			}
+			f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isContainerPtr(sig.Recv().Type()) {
+				return true
+			}
+			if obj := identObject(pass.Info, sel.X); obj != nil && shared[obj] {
+				pass.Reportf(node.Pos(), "%s mutates a container obtained from Get; Clone it first (Get results are shared)", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressionCheck is the pseudo-check name under which malformed
+// //hidelint:ignore comments are reported. It is not registered: it
+// cannot be disabled and a malformed suppression cannot suppress
+// itself.
+const suppressionCheck = "suppression"
+
+const ignorePrefix = "//hidelint:ignore"
+
+// suppressKey addresses one (file, line, check) a suppression covers.
+type suppressKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type suppressions struct {
+	keys map[suppressKey]bool
+}
+
+// collect scans every comment in files for //hidelint:ignore
+// directives. A well-formed directive names a registered check and
+// gives a non-empty reason; it silences that check on its own line and
+// on the line directly below (so it works both as a trailing comment
+// and as a standalone line above the finding). Malformed directives
+// are reported into diags under the "suppression" pseudo-check.
+func (s *suppressions) collect(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) {
+	if s.keys == nil {
+		s.keys = make(map[suppressKey]bool)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //hidelint:ignored — not a directive
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) == 0 {
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: suppressionCheck,
+						Message: "hidelint:ignore needs a check name and a reason"})
+					continue
+				}
+				name := fields[0]
+				if _, ok := checkByName(name); !ok {
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: suppressionCheck,
+						Message: fmt.Sprintf("hidelint:ignore names unknown check %q", name)})
+					continue
+				}
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: suppressionCheck,
+						Message: "hidelint:ignore " + name + " needs a reason"})
+					continue
+				}
+				s.keys[suppressKey{pos.Filename, pos.Line, name}] = true
+				s.keys[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+}
+
+// filter drops diagnostics covered by a collected suppression.
+func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Check != suppressionCheck && s.keys[suppressKey{d.Pos.Filename, d.Pos.Line, d.Check}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package accounting seeds uncounted direct Store.Get reads — the
+// reads that would silently inflate the paper's speed factor — next to
+// the sanctioned patterns: fetcher-mediated reads and a reasoned
+// suppression.
+package accounting
+
+import (
+	"context"
+
+	"hidestore/internal/container"
+	"hidestore/internal/restorecache"
+)
+
+// Uncounted reads a container behind the accounting layer's back.
+func Uncounted(s container.Store, id container.ID) (*container.Container, error) {
+	return s.Get(id) // finding: uncounted container read
+}
+
+// Counted reads through the fetcher layer; silent.
+func Counted(ctx context.Context, s container.Store, id container.ID) (*container.Container, error) {
+	return restorecache.StoreFetcher(s).Get(ctx, id)
+}
+
+// Audited is a sanctioned direct read; the suppression names why.
+func Audited(s container.Store, id container.ID) (*container.Container, error) {
+	//hidelint:ignore accounting integrity audit outside any restore run
+	return s.Get(id)
+}

@@ -1,0 +1,48 @@
+// Package discardederror seeds every shape of the discarded-error
+// defect class, plus the allowed idioms that must stay silent. The
+// golden file pins the exact diagnostic positions.
+package discardederror
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func bareCall() {
+	fallible() // finding: bare call statement
+}
+
+func blankAssign() {
+	_ = fallible() // finding: explicit discard
+}
+
+func tupleBlank() int {
+	n, _ := pair() // finding: tuple error into _
+	return n
+}
+
+func goAndDefer() {
+	go fallible()    // finding
+	defer fallible() // finding
+}
+
+func allowed() string {
+	var sb strings.Builder
+	sb.WriteString("strings.Builder never fails")
+	var buf bytes.Buffer
+	buf.WriteString("neither does bytes.Buffer")
+	fmt.Println("console prints are fine")
+	fmt.Fprintf(os.Stderr, "stderr too\n")
+	fmt.Fprintf(&sb, "and in-memory Fprintf\n")
+	if err := fallible(); err != nil {
+		return err.Error()
+	}
+	return sb.String() + buf.String()
+}

@@ -1,0 +1,43 @@
+// Package ignoredctx seeds dead-context defects: unused ctx
+// parameters, ctx in the wrong position, blank ctx on exported
+// functions, minted contexts, and ctx-less I/O entry points. The test
+// config adds this package to CtxPackages.
+package ignoredctx
+
+import (
+	"context"
+	"os"
+)
+
+// DeadCtx accepts a context and never consults it — the PR 1 restore
+// bug shape.
+func DeadCtx(ctx context.Context, n int) int { // finding: ctx unused
+	return n + 1
+}
+
+// LateCtx hides the context in second position.
+func LateCtx(n int, ctx context.Context) error { // finding: ctx not first
+	_ = n
+	return ctx.Err()
+}
+
+// BlankCtx discards its context outright.
+func BlankCtx(_ context.Context) error { // finding: blank ctx on exported
+	return nil
+}
+
+// Minted severs the caller's cancellation chain.
+func Minted() error {
+	ctx := context.Background() // finding: minted context
+	return ctx.Err()
+}
+
+// ReadSide performs I/O no caller can cancel.
+func ReadSide(path string) ([]byte, error) { // finding: I/O without ctx
+	return os.ReadFile(path)
+}
+
+// used is correct: ctx first and consulted.
+func used(ctx context.Context) error {
+	return ctx.Err()
+}

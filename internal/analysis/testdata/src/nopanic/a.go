@@ -1,0 +1,31 @@
+// Package nopanic seeds process-killing and stdout-writing calls that
+// library code must never make.
+package nopanic
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func kill() {
+	panic("library code must return errors") // finding
+}
+
+func prints(v int) {
+	fmt.Println("hi")   // finding
+	fmt.Printf("%d", v) // finding
+	println(v)          // finding
+}
+
+func fatal(die bool) {
+	if die {
+		log.Fatal("kills the process") // finding
+	}
+	os.Exit(1) // finding
+}
+
+// ok surfaces its failure like a library should.
+func ok() error {
+	return fmt.Errorf("reported, not printed")
+}

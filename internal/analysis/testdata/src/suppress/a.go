@@ -1,0 +1,29 @@
+// Package suppress exercises the suppression grammar: a well-formed
+// //hidelint:ignore silences its line and the next; reasonless,
+// unknown-check, and bare directives are findings themselves and
+// silence nothing.
+package suppress
+
+func sanctionedAbove() {
+	//hidelint:ignore no-panic golden-file fixture for the standalone form
+	panic("suppressed")
+}
+
+func sanctionedTrailing() {
+	panic("suppressed") //hidelint:ignore no-panic golden-file fixture for the trailing form
+}
+
+func reasonless() {
+	//hidelint:ignore no-panic
+	panic("still flagged") // finding: reasonless suppression suppresses nothing
+}
+
+func unknownCheck() {
+	//hidelint:ignore not-a-check because reasons
+	panic("still flagged") // finding
+}
+
+func bareDirective() {
+	//hidelint:ignore
+	panic("still flagged") // finding
+}

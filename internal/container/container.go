@@ -199,6 +199,7 @@ func (c *Container) Compacted(id ID) *Container {
 			// Add cannot fail: live size necessarily fits capacity and
 			// fingerprints are unique within a container.
 			if err := out.Add(f, c.data[e.Offset:e.Offset+e.Size]); err != nil {
+				//hidelint:ignore no-panic unreachable by construction: live chunks fit capacity and fingerprints are unique
 				panic(fmt.Sprintf("container: compaction invariant violated: %v", err))
 			}
 		}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"hidestore/internal/cleanup"
 )
 
 // FileStore is a Store backed by one file per container in a directory,
@@ -26,6 +28,8 @@ var _ Store = (*FileStore)(nil)
 const _fileExt = ".ctn"
 
 // NewFileStore opens (creating if needed) a file-backed store rooted at dir.
+//
+//hidelint:ignore ignored-ctx one-time MkdirAll at open; no meaningful cancellation point
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("container: create store dir: %w", err)
@@ -58,16 +62,16 @@ func (s *FileStore) Put(c *Container) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+		cleanup.Close(tmp)
+		cleanup.Remove(tmpName)
 		return fmt.Errorf("container: write %d: %w", c.ID(), err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		cleanup.Remove(tmpName)
 		return fmt.Errorf("container: close %d: %w", c.ID(), err)
 	}
 	if err := os.Rename(tmpName, s.path(c.ID())); err != nil {
-		os.Remove(tmpName)
+		cleanup.Remove(tmpName)
 		return fmt.Errorf("container: rename %d: %w", c.ID(), err)
 	}
 	s.mu.Lock()

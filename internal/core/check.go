@@ -32,6 +32,7 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 		report.Problemf("store: cannot enumerate containers: %v", err)
 	}
 	for _, cid := range stored {
+		//hidelint:ignore accounting fsck integrity walk, not a restore; its reads must not skew speed-factor stats
 		ctn, err := e.cfg.Store.Get(cid)
 		if err != nil {
 			report.Problemf("container %d: %v", cid, err)

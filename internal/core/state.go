@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 
+	"hidestore/internal/cleanup"
 	"hidestore/internal/container"
 	"hidestore/internal/fp"
 )
@@ -207,6 +208,7 @@ func (e *Engine) unmarshalState(buf []byte) error {
 		if err != nil {
 			return err
 		}
+		//hidelint:ignore accounting startup state reload, not a restore; these reads precede any restore run
 		ctn, err := e.cfg.Store.Get(container.ID(id))
 		if err != nil {
 			return fmt.Errorf("core: reload active container %d: %w", id, err)
@@ -236,7 +238,7 @@ func (e *Engine) saveState() error {
 		return fmt.Errorf("core: write state: %w", err)
 	}
 	if err := os.Rename(tmp, e.cfg.StatePath); err != nil {
-		os.Remove(tmp)
+		cleanup.Remove(tmp)
 		return fmt.Errorf("core: rename state: %w", err)
 	}
 	return nil

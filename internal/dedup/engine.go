@@ -385,6 +385,7 @@ func (e *Engine) Delete(version int) (backup.DeleteReport, error) {
 		return report, err
 	}
 	for _, cid := range stored {
+		//hidelint:ignore accounting garbage-collection sweep, not a restore; reads here are deletion cost, not restore cost
 		ctn, err := e.cfg.Store.Get(cid)
 		if err != nil {
 			return report, err

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"hidestore/internal/cleanup"
 )
 
 // Store persists recipes keyed by version number. Implementations must be
@@ -143,16 +145,16 @@ func (s *FileStore) Put(r *Recipe) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+		cleanup.Close(tmp)
+		cleanup.Remove(tmpName)
 		return fmt.Errorf("recipe: write v%d: %w", r.Version, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		cleanup.Remove(tmpName)
 		return fmt.Errorf("recipe: close v%d: %w", r.Version, err)
 	}
 	if err := os.Rename(tmpName, s.path(r.Version)); err != nil {
-		os.Remove(tmpName)
+		cleanup.Remove(tmpName)
 		return fmt.Errorf("recipe: rename v%d: %w", r.Version, err)
 	}
 	return nil

@@ -212,6 +212,7 @@ func (p *PrefetchFetcher) Close() {
 	p.cancel()
 	// Workers never block (item channels are buffered), so Wait returns
 	// promptly; its error is the cancellation we just caused.
+	//hidelint:ignore discarded-error Wait only reports the cancellation this Close just triggered
 	_ = p.group.Wait()
 }
 
