@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet lint check
+.PHONY: build test race bench vet lint crash check
 
 build:
 	$(GO) build ./...
@@ -26,4 +26,13 @@ vet:
 lint:
 	$(GO) run ./cmd/hidelint
 
-check: build test race vet lint
+# The full crash matrix: kill a multi-version backup/delete run at
+# EVERY mutating op (clean fail, torn write, ENOSPC), reopen, and prove
+# committed versions restore byte-identically. The plain test tier runs
+# a deterministic sample of the same matrix; this tier removes the
+# sampling. Bounded: well under two minutes. See DESIGN.md "Durability
+# & recovery".
+crash:
+	HIDESTORE_CRASH_FULL=1 $(GO) test -run 'TestCrashMatrix' -count=1 ./internal/core/ ./internal/dedup/
+
+check: build test race vet lint crash

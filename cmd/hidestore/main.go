@@ -53,6 +53,7 @@ func run(args []string) error {
 		cache    = fs.String("restore-cache", "faa", "restore cache: faa|alacc|container-lru|chunk-lru|opt")
 		prefetch = fs.Int("prefetch", 0, "restore read-ahead depth in containers (0 = default, negative disables)")
 		compress = fs.Bool("compress", false, "DEFLATE-compress containers at rest")
+		repair   = fs.Bool("repair", false, "fsck only: quarantine corrupt containers and name affected versions")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats> [args]")
@@ -198,12 +199,23 @@ func run(args []string) error {
 		fmt.Printf("verified v%d: %d bytes, every fetched chunk matched its fingerprint\n",
 			rep.Version, rep.BytesRestored)
 	case "fsck":
-		rep, err := sys.Fsck()
+		var rep hidestore.FsckReport
+		if *repair {
+			rep, err = sys.FsckRepair()
+		} else {
+			rep, err = sys.Fsck()
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("checked %d containers (%d chunks), %d recipes (%d references)\n",
 			rep.Containers, rep.StoredChunks, rep.Versions, rep.Chunks)
+		for _, q := range rep.Quarantined {
+			fmt.Println("QUARANTINED:", q)
+		}
+		for _, v := range rep.AffectedVersions {
+			fmt.Printf("AFFECTED: v%d lost chunks to a quarantined container; its restore will fail\n", v)
+		}
 		if !rep.OK() {
 			for _, p := range rep.Problems {
 				fmt.Println("PROBLEM:", p)
@@ -220,6 +232,9 @@ func run(args []string) error {
 		fmt.Printf("containers:        %d\n", st.Containers)
 		fmt.Printf("index memory:      %dB\n", st.IndexMemoryBytes)
 		fmt.Printf("disk index reads:  %d\n", st.DiskIndexLookups)
+		for _, d := range st.Degraded {
+			fmt.Fprintln(os.Stderr, "WARNING: degraded:", d)
+		}
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", cmd)

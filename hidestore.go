@@ -195,6 +195,11 @@ type Stats struct {
 	// DiskIndexLookups counts on-disk index lookups (always 0 for
 	// HiDeStore).
 	DiskIndexLookups uint64
+	// Degraded names snapshot fields that could not be computed (for
+	// example, Containers when the store directory is unreadable), each
+	// with the underlying error. Empty on a healthy system. The values of
+	// degraded fields are zero — check this list before trusting zeros.
+	Degraded []string
 }
 
 // System is a deduplicating backup system. Methods are safe for
@@ -383,6 +388,13 @@ type FsckReport struct {
 	StoredChunks int
 	// Problems lists every inconsistency found; empty means healthy.
 	Problems []string
+	// Quarantined lists the paths corrupt container images were moved to.
+	// Always empty for the read-only Fsck; filled by FsckRepair.
+	Quarantined []string
+	// AffectedVersions lists versions with at least one chunk lost to a
+	// quarantined container — the versions whose restores will fail.
+	// Always empty for the read-only Fsck; filled by FsckRepair.
+	AffectedVersions []int
 }
 
 // OK reports whether the check found no problems.
@@ -408,6 +420,34 @@ func (s *System) Fsck() (FsckReport, error) {
 		Containers:   rep.Containers,
 		StoredChunks: rep.StoredChunks,
 		Problems:     rep.Problems,
+	}, nil
+}
+
+// FsckRepair runs the same audit as Fsck, but moves containers that fail
+// to decode into the store's quarantine directory (they are never
+// deleted — the images stay available for forensics) and names every
+// version that lost chunks to a quarantined container in
+// AffectedVersions. Healthy data is never touched; running FsckRepair on
+// a healthy store is equivalent to Fsck.
+func (s *System) FsckRepair() (FsckReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	repairer, ok := s.engine.(backup.Repairer)
+	if !ok {
+		return FsckReport{}, errors.New("hidestore: engine does not support repair")
+	}
+	rep, err := repairer.Repair()
+	if err != nil {
+		return FsckReport{}, err
+	}
+	return FsckReport{
+		Versions:         rep.Versions,
+		Chunks:           rep.Chunks,
+		Containers:       rep.Containers,
+		StoredChunks:     rep.StoredChunks,
+		Problems:         rep.Problems,
+		Quarantined:      rep.Quarantined,
+		AffectedVersions: rep.AffectedVersions,
 	}, nil
 }
 
@@ -483,5 +523,6 @@ func (s *System) Stats() Stats {
 		Containers:       st.Containers,
 		IndexMemoryBytes: st.IndexMemBytes,
 		DiskIndexLookups: st.IndexStats.DiskLookups,
+		Degraded:         st.Degraded,
 	}
 }

@@ -72,6 +72,7 @@ func DefaultConfig() Config {
 		AccountingExemptPackages: []string{
 			"internal/restorecache",
 			"internal/container",
+			"internal/fault",
 		},
 		LibraryExemptDirs: []string{"cmd", "examples"},
 	}

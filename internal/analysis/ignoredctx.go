@@ -17,11 +17,13 @@ func init() {
 	})
 }
 
-// storeMethodNames is the container.Store method set: implementations
-// of the ctx-free Store seam are exempt from the ctx-on-I/O rule.
+// storeMethodNames is the container.Store method set (plus the
+// Quarantiner extension): implementations of the ctx-free Store seam
+// are exempt from the ctx-on-I/O rule.
 var storeMethodNames = map[string]bool{
 	"Put": true, "Get": true, "Delete": true, "Has": true,
 	"IDs": true, "Len": true, "Stats": true, "ResetStats": true,
+	"Quarantine": true,
 }
 
 // osIOFuncs are package-os entry points that hit the filesystem.

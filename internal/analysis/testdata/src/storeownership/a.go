@@ -24,9 +24,9 @@ func (s *leakyStore) Put(c *container.Container) error {
 
 func (s *leakyStore) Get(id container.ID) (*container.Container, error) { return s.m[id], nil }
 func (s *leakyStore) Delete(id container.ID) error                      { delete(s.m, id); return nil }
-func (s *leakyStore) Has(id container.ID) bool                          { _, ok := s.m[id]; return ok }
+func (s *leakyStore) Has(id container.ID) (bool, error)                 { _, ok := s.m[id]; return ok, nil }
 func (s *leakyStore) IDs() ([]container.ID, error)                      { return nil, nil }
-func (s *leakyStore) Len() int                                          { return len(s.m) }
+func (s *leakyStore) Len() (int, error)                                 { return len(s.m), nil }
 func (s *leakyStore) Stats() container.StoreStats                       { return container.StoreStats{} }
 func (s *leakyStore) ResetStats()                                       {}
 

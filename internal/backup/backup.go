@@ -92,6 +92,12 @@ type Stats struct {
 	IndexStats    index.Stats
 	IndexMemBytes int64
 	RewriteStats  rewrite.Stats
+	// Degraded names snapshot fields that could not be computed (e.g. a
+	// container directory that failed to enumerate), with the reason.
+	// Empty means every field above is trustworthy. Stats itself stays
+	// infallible — a monitoring read must not fail outright because one
+	// counter is unavailable — but the gap is flagged, not silent.
+	Degraded []string
 }
 
 // DedupRatio is the cumulative eliminated-bytes ratio (the paper's
@@ -129,6 +135,27 @@ type Checker interface {
 	// Check verifies containers, chunk contents and recipe resolvability
 	// without mutating anything.
 	Check() (CheckReport, error)
+}
+
+// RepairReport summarizes a repairing integrity check (fsck -repair).
+// The embedded CheckReport lists what the pass found, including the
+// problems the quarantines resolve.
+type RepairReport struct {
+	CheckReport
+	// Quarantined lists the destination paths of container images moved
+	// aside because they failed to decode or CRC-check.
+	Quarantined []string
+	// AffectedVersions lists (ascending) the versions with at least one
+	// chunk lost to a quarantined container — the versions an operator
+	// must re-seed or accept as damaged.
+	AffectedVersions []int
+}
+
+// Repairer is implemented by engines whose integrity check can also
+// repair: corrupt containers are quarantined (moved aside, never
+// deleted) and the versions that lost chunks to them are named.
+type Repairer interface {
+	Repair() (RepairReport, error)
 }
 
 // Engine is a deduplicating backup system.

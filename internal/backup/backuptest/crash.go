@@ -1,0 +1,225 @@
+package backuptest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"hidestore/internal/backup"
+	"hidestore/internal/fault"
+)
+
+// CrashOpen builds an engine over dir with inj spliced into every
+// persistence layer (container store, recipe store, and — for engines
+// that keep one — the state writer). It is called once per matrix cell
+// with a fresh directory and once more, with an inert injector, to
+// reopen the "crashed" directory; the reopen must run the engine's
+// startup recovery.
+type CrashOpen func(dir string, inj *fault.Injector) (backup.Engine, error)
+
+// CrashStep is one scripted operation of a crash-matrix run: a backup
+// of Data, or — when Data is nil — a delete of version Delete.
+type CrashStep struct {
+	Data   []byte
+	Delete int
+}
+
+// BackupSteps turns materialized version streams into backup steps.
+func BackupSteps(versions [][]byte) []CrashStep {
+	steps := make([]CrashStep, len(versions))
+	for i, data := range versions {
+		steps[i] = CrashStep{Data: data}
+	}
+	return steps
+}
+
+// CrashMatrix proves the engine's durable commit order end to end: no
+// mutating-op crash point loses committed data.
+//
+// A probe run over a fresh directory counts the script's mutating ops
+// (container and recipe Put/Delete plus state writes all draw from one
+// shared counter). Then, for each fault kind and op index, the script
+// replays against a fresh directory with the fault armed at that index
+// — modeling a process that dies there — and the directory is reopened
+// with an inert injector, which runs startup recovery. After recovery:
+//
+//   - every version whose step completed before the fault must be
+//     present and restore byte-identically;
+//   - the step in flight at the fault is allowed either outcome (a
+//     crashing client cannot know), but if its version is present it
+//     too must restore byte-identically, and a version it deleted may
+//     only be missing or intact — never half-deleted;
+//   - no other versions may exist;
+//   - the engine's integrity check must report zero problems.
+//
+// Every op index runs when HIDESTORE_CRASH_FULL=1 (the make crash
+// target). By default a deterministic sample of indices keeps the
+// regular suite fast; the sample always includes the first and last op.
+func CrashMatrix(t *testing.T, open CrashOpen, steps []CrashStep, kinds []fault.Kind) {
+	t.Helper()
+	total, opLog := crashProbe(t, open, steps)
+	indices := crashIndices(total)
+	for _, kind := range kinds {
+		for _, i := range indices {
+			t.Run(fmt.Sprintf("%s-op%03d", kind, i), func(t *testing.T) {
+				crashCell(t, open, steps, kind, i, opLog[i-1])
+			})
+		}
+	}
+}
+
+// crashProbe runs the script fault-free and returns the op count and
+// per-op labels.
+func crashProbe(t *testing.T, open CrashOpen, steps []CrashStep) (int, []string) {
+	t.Helper()
+	inj := fault.NewInjector()
+	e, err := open(t.TempDir(), inj)
+	if err != nil {
+		t.Fatalf("probe: open: %v", err)
+	}
+	for s, step := range steps {
+		if err := runStep(e, step); err != nil {
+			t.Fatalf("probe: step %d: %v", s, err)
+		}
+	}
+	total := inj.Ops()
+	if total == 0 {
+		t.Fatal("probe: the script performed no mutating ops; nothing to test")
+	}
+	return total, inj.OpLog()
+}
+
+// crashIndices picks the op indices to exercise: all of them under
+// HIDESTORE_CRASH_FULL=1, otherwise a deterministic sample.
+func crashIndices(total int) []int {
+	if os.Getenv("HIDESTORE_CRASH_FULL") == "1" {
+		all := make([]int, total)
+		for i := range all {
+			all[i] = i + 1
+		}
+		return all
+	}
+	const samples = 24
+	stride := (total + samples - 1) / samples
+	if stride < 1 {
+		stride = 1
+	}
+	var out []int
+	for i := 1; i <= total; i += stride {
+		out = append(out, i)
+	}
+	if out[len(out)-1] != total {
+		out = append(out, total)
+	}
+	return out
+}
+
+// crashCell is one matrix cell: crash at op index i, reopen, verify.
+func crashCell(t *testing.T, open CrashOpen, steps []CrashStep, kind fault.Kind, i int, opLabel string) {
+	t.Helper()
+	dir := t.TempDir()
+	inj := fault.NewInjector()
+	inj.Arm(kind, i)
+
+	// Run the script until the injected crash. Track what committed:
+	// a step that returns nil completed in full before the fault.
+	expect := make(map[int][]byte)
+	indeterminate := -1 // version whose step was in flight at the fault
+	var indeterminateData []byte
+	e, err := open(dir, inj)
+	if err == nil {
+		ver := 0 // backups number sequentially regardless of deletes
+		for _, step := range steps {
+			if step.Data != nil {
+				ver++
+			}
+			if err = runStep(e, step); err != nil {
+				if step.Data != nil {
+					indeterminate = ver
+					indeterminateData = step.Data
+				} else {
+					// An interrupted delete leaves the version either
+					// intact or gone; mark it so both are accepted.
+					indeterminate = step.Delete
+					indeterminateData = expect[step.Delete]
+					delete(expect, step.Delete)
+				}
+				break
+			}
+			if step.Data != nil {
+				expect[ver] = step.Data
+			} else {
+				delete(expect, step.Delete)
+			}
+		}
+	}
+	if err == nil {
+		t.Fatalf("fault %s at op %d (%s) never fired: op order changed vs probe", kind, i, opLabel)
+	}
+	if !inj.Tripped() {
+		t.Fatalf("script failed before the armed fault at op %d (%s): %v", i, opLabel, err)
+	}
+
+	// "Reboot": reopen the directory fault-free; this runs recovery.
+	e2, err := open(dir, fault.NewInjector())
+	if err != nil {
+		t.Fatalf("reopen after %s at op %d (%s): %v", kind, i, opLabel, err)
+	}
+	got := e2.Versions()
+	present := make(map[int]bool, len(got))
+	for _, v := range got {
+		present[v] = true
+		if _, ok := expect[v]; !ok && v != indeterminate {
+			t.Errorf("after %s at op %d (%s): version %d exists but was never committed", kind, i, opLabel, v)
+		}
+	}
+	for v := range expect {
+		if !present[v] {
+			t.Errorf("after %s at op %d (%s): committed version %d lost", kind, i, opLabel, v)
+		}
+	}
+	if c, ok := e2.(backup.Checker); ok {
+		rep, err := c.Check()
+		if err != nil {
+			t.Fatalf("fsck after %s at op %d (%s): %v", kind, i, opLabel, err)
+		}
+		for _, p := range rep.Problems {
+			t.Errorf("fsck after %s at op %d (%s): %s", kind, i, opLabel, p)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	for v, data := range expect {
+		checkCrashRestore(t, e2, v, data, kind, i, opLabel)
+	}
+	if indeterminate > 0 && present[indeterminate] && indeterminateData != nil {
+		checkCrashRestore(t, e2, indeterminate, indeterminateData, kind, i, opLabel)
+	}
+}
+
+// runStep executes one scripted operation.
+func runStep(e backup.Engine, step CrashStep) error {
+	if step.Data != nil {
+		_, err := e.Backup(context.Background(), bytes.NewReader(step.Data))
+		return err
+	}
+	_, err := e.Delete(step.Delete)
+	return err
+}
+
+// checkCrashRestore asserts one version restores byte-identically.
+func checkCrashRestore(t *testing.T, e backup.Engine, v int, data []byte, kind fault.Kind, i int, opLabel string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := e.Restore(context.Background(), v, &buf); err != nil {
+		t.Errorf("restore v%d after %s at op %d (%s): %v", v, kind, i, opLabel, err)
+		return
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Errorf("restore v%d after %s at op %d (%s): %d bytes differ from the %d backed up",
+			v, kind, i, opLabel, buf.Len(), len(data))
+	}
+}

@@ -128,13 +128,24 @@ func (s *CompressedStore) Delete(id ID) error {
 }
 
 // Has implements Store.
-func (s *CompressedStore) Has(id ID) bool { return s.inner.Has(id) }
+func (s *CompressedStore) Has(id ID) (bool, error) { return s.inner.Has(id) }
 
 // IDs implements Store.
 func (s *CompressedStore) IDs() ([]ID, error) { return s.inner.IDs() }
 
 // Len implements Store.
-func (s *CompressedStore) Len() int { return s.inner.Len() }
+func (s *CompressedStore) Len() (int, error) { return s.inner.Len() }
+
+// Quarantine forwards to the inner store when it can quarantine;
+// compression is transparent to the on-disk layout, so the carrier
+// file is the right thing to move aside.
+func (s *CompressedStore) Quarantine(id ID) (string, error) {
+	q, ok := s.inner.(Quarantiner)
+	if !ok {
+		return "", fmt.Errorf("container: inner store of CompressedStore cannot quarantine")
+	}
+	return q.Quarantine(id)
+}
 
 // Stats implements Store: logical (uncompressed) byte counts, so restore
 // speed factors stay comparable with uncompressed stores.

@@ -82,20 +82,23 @@ func TestCompressedStoreInterface(t *testing.T) {
 	if err := s.Put(fillContainer(t, 2, 3)); err != nil {
 		t.Fatal(err)
 	}
-	if !s.Has(1) || s.Has(9) {
-		t.Fatal("Has wrong")
+	if has, err := s.Has(1); err != nil || !has {
+		t.Fatalf("Has(1) = %v, %v", has, err)
+	}
+	if has, err := s.Has(9); err != nil || has {
+		t.Fatalf("Has(9) = %v, %v", has, err)
 	}
 	ids, err := s.IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Len() != 2 || len(ids) != 2 {
-		t.Fatal("Len/IDs wrong")
+	if n, err := s.Len(); err != nil || n != 2 || len(ids) != 2 {
+		t.Fatalf("Len/IDs wrong: %d, %v, %d ids", n, err, len(ids))
 	}
 	if err := s.Delete(1); err != nil {
 		t.Fatal(err)
 	}
-	if s.Has(1) {
+	if has, err := s.Has(1); err != nil || has {
 		t.Fatal("Delete did not stick")
 	}
 	st := s.Stats()

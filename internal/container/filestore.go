@@ -11,28 +11,41 @@ import (
 	"strings"
 	"sync"
 
-	"hidestore/internal/cleanup"
+	"hidestore/internal/durable"
 )
 
 // FileStore is a Store backed by one file per container in a directory,
-// named c_<id>.ctn. Writes go through a temp file + rename so a crash
-// never leaves a half-written container visible.
+// named c_<id>.ctn. Writes go through durable.WriteFileAtomic (temp
+// file + fsync + rename + directory fsync) so a crash or power loss
+// never leaves a half-written or vanished container visible.
 type FileStore struct {
 	dir   string
 	mu    sync.Mutex
 	stats StoreStats
 }
 
-var _ Store = (*FileStore)(nil)
+var (
+	_ Store       = (*FileStore)(nil)
+	_ Quarantiner = (*FileStore)(nil)
+)
 
-const _fileExt = ".ctn"
+const (
+	_fileExt = ".ctn"
+	// QuarantineDir is the subdirectory (of the store root) that
+	// Quarantine moves corrupt images into.
+	QuarantineDir = "quarantine"
+)
 
-// NewFileStore opens (creating if needed) a file-backed store rooted at dir.
+// NewFileStore opens (creating if needed) a file-backed store rooted at
+// dir, sweeping any stale tmp-* files a crashed writer left behind.
 //
-//hidelint:ignore ignored-ctx one-time MkdirAll at open; no meaningful cancellation point
+//hidelint:ignore ignored-ctx one-time MkdirAll + temp sweep at open; no meaningful cancellation point
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("container: create store dir: %w", err)
+	}
+	if _, err := durable.SweepTemp(dir); err != nil {
+		return nil, fmt.Errorf("container: sweep stale temp files: %w", err)
 	}
 	return &FileStore{dir: dir}, nil
 }
@@ -43,6 +56,10 @@ func (s *FileStore) Dir() string { return s.dir }
 func (s *FileStore) path(id ID) string {
 	return filepath.Join(s.dir, "c_"+strconv.FormatUint(uint64(id), 10)+_fileExt)
 }
+
+// Path returns the on-disk path of id's image. Exported for fault
+// injection and forensics tooling; normal clients go through Store.
+func (s *FileStore) Path(id ID) string { return s.path(id) }
 
 // Put implements Store.
 func (s *FileStore) Put(c *Container) error {
@@ -56,23 +73,8 @@ func (s *FileStore) Put(c *Container) error {
 	if err != nil {
 		return fmt.Errorf("container: marshal %d: %w", c.ID(), err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "tmp-*")
-	if err != nil {
-		return fmt.Errorf("container: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(buf); err != nil {
-		cleanup.Close(tmp)
-		cleanup.Remove(tmpName)
-		return fmt.Errorf("container: write %d: %w", c.ID(), err)
-	}
-	if err := tmp.Close(); err != nil {
-		cleanup.Remove(tmpName)
-		return fmt.Errorf("container: close %d: %w", c.ID(), err)
-	}
-	if err := os.Rename(tmpName, s.path(c.ID())); err != nil {
-		cleanup.Remove(tmpName)
-		return fmt.Errorf("container: rename %d: %w", c.ID(), err)
+	if err := durable.WriteFileAtomic(s.path(c.ID()), buf, 0o644); err != nil {
+		return fmt.Errorf("container: put %d: %w", c.ID(), err)
 	}
 	s.mu.Lock()
 	s.stats.Writes++
@@ -101,9 +103,11 @@ func (s *FileStore) Get(id ID) (*Container, error) {
 	return c, nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The removal is fsynced: a deleted
+// container must stay deleted across power loss, or GC would resurrect
+// space it already accounted as reclaimed.
 func (s *FileStore) Delete(id ID) error {
-	err := os.Remove(s.path(id))
+	err := durable.Remove(s.path(id))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("%w: container %d", ErrNotFound, id)
@@ -116,10 +120,18 @@ func (s *FileStore) Delete(id ID) error {
 	return nil
 }
 
-// Has implements Store.
-func (s *FileStore) Has(id ID) bool {
+// Has implements Store. A stat failure other than not-exist (e.g. a
+// permission error) surfaces instead of reading as "absent".
+func (s *FileStore) Has(id ID) (bool, error) {
 	_, err := os.Stat(s.path(id))
-	return err == nil
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, fs.ErrNotExist):
+		return false, nil
+	default:
+		return false, fmt.Errorf("container: stat %d: %w", id, err)
+	}
 }
 
 // IDs implements Store.
@@ -147,12 +159,35 @@ func (s *FileStore) IDs() ([]ID, error) {
 }
 
 // Len implements Store.
-func (s *FileStore) Len() int {
+func (s *FileStore) Len() (int, error) {
 	ids, err := s.IDs()
 	if err != nil {
-		return -1
+		return 0, err
 	}
-	return len(ids)
+	return len(ids), nil
+}
+
+// Quarantine implements Quarantiner: the image moves (durably) into
+// the quarantine/ subdirectory under its original file name, where
+// IDs() no longer sees it but the bytes survive for forensics.
+func (s *FileStore) Quarantine(id ID) (string, error) {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("container: create quarantine dir: %w", err)
+	}
+	dst := filepath.Join(qdir, filepath.Base(s.path(id)))
+	if err := os.Rename(s.path(id), dst); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", fmt.Errorf("%w: container %d", ErrNotFound, id)
+		}
+		return "", fmt.Errorf("container: quarantine %d: %w", id, err)
+	}
+	// The rename crossed directories: sync both so neither the
+	// disappearance nor the arrival can be lost.
+	if err := durable.SyncDir(qdir); err != nil {
+		return dst, err
+	}
+	return dst, durable.SyncDir(s.dir)
 }
 
 // Stats implements Store.

@@ -31,19 +31,32 @@ type Store interface {
 	Get(id ID) (*Container, error)
 	// Delete removes a container. Deleting a missing ID is an error.
 	Delete(id ID) error
-	// Has reports whether the ID exists, without counting a read.
-	Has(id ID) bool
+	// Has reports whether the ID exists, without counting a read. The
+	// error is non-nil only when existence could not be determined (an
+	// I/O failure); a missing container is (false, nil). Conflating the
+	// two misleads fsck and GC into treating unreadable as absent.
+	Has(id ID) (bool, error)
 	// IDs returns all stored IDs in ascending order, or the error that
 	// prevented enumerating them (an unreadable store must not look
 	// empty).
 	IDs() ([]ID, error)
-	// Len returns the number of stored containers, or -1 if they cannot
-	// be enumerated.
-	Len() int
+	// Len returns the number of stored containers, or the error that
+	// prevented counting them.
+	Len() (int, error)
 	// Stats returns cumulative I/O counters.
 	Stats() StoreStats
 	// ResetStats zeroes the I/O counters (between experiment phases).
 	ResetStats()
+}
+
+// Quarantiner is implemented by stores that can move a corrupt
+// container image aside instead of deleting it. Fsck's repair mode
+// quarantines rather than removes, so no repair decision destroys the
+// only copy of the bytes.
+type Quarantiner interface {
+	// Quarantine moves the container's on-disk image into the store's
+	// quarantine area and returns the destination path.
+	Quarantine(id ID) (string, error)
 }
 
 // MemStore is an in-memory Store, used by experiments where only I/O
@@ -106,11 +119,11 @@ func (s *MemStore) Delete(id ID) error {
 }
 
 // Has implements Store.
-func (s *MemStore) Has(id ID) bool {
+func (s *MemStore) Has(id ID) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.containers[id]
-	return ok
+	return ok, nil
 }
 
 // IDs implements Store.
@@ -126,10 +139,10 @@ func (s *MemStore) IDs() ([]ID, error) {
 }
 
 // Len implements Store.
-func (s *MemStore) Len() int {
+func (s *MemStore) Len() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.containers)
+	return len(s.containers), nil
 }
 
 // Stats implements Store.

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"testing"
 
+	"hidestore/internal/durable"
 	"hidestore/internal/fp"
 )
 
@@ -85,7 +86,7 @@ func TestStoreDelete(t *testing.T) {
 			if err := s.Delete(1); err != nil {
 				t.Fatal(err)
 			}
-			if s.Has(1) {
+			if has, err := s.Has(1); err != nil || has {
 				t.Fatal("container survives Delete")
 			}
 			if err := s.Delete(1); !errors.Is(err, ErrNotFound) {
@@ -116,8 +117,8 @@ func TestStoreIDsSorted(t *testing.T) {
 					t.Fatalf("IDs = %v, want %v", ids, want)
 				}
 			}
-			if s.Len() != 3 {
-				t.Fatalf("Len = %d, want 3", s.Len())
+			if n, err := s.Len(); err != nil || n != 3 {
+				t.Fatalf("Len = %d, %v, want 3", n, err)
 			}
 		})
 	}
@@ -293,8 +294,11 @@ func TestFileStoreIDsErrorSurfaces(t *testing.T) {
 	if _, err := s.IDs(); err == nil {
 		t.Fatal("IDs() on an unreadable store dir returned nil error")
 	}
-	if got := s.Len(); got != -1 {
-		t.Fatalf("Len() on an unreadable store dir = %d, want -1", got)
+	if _, err := s.Len(); err == nil {
+		t.Fatal("Len() on an unreadable store dir returned nil error")
+	}
+	if _, err := s.Has(1); err == nil {
+		t.Fatal("Has() on an unreadable store dir returned nil error")
 	}
 }
 
@@ -311,5 +315,33 @@ func TestMemStoreTotalLiveBytes(t *testing.T) {
 	}
 	if got := s.TotalLiveBytes(); got != want {
 		t.Fatalf("TotalLiveBytes = %d, want %d", got, want)
+	}
+}
+
+// TestFileStoreSweepsTempsAtOpen: stale tmp-* debris a crashed writer
+// left behind is removed when the store is reopened; committed images
+// are untouched.
+func TestFileStoreSweepsTempsAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fillContainer(t, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, durable.TempPrefix+"123456")
+	if err := os.WriteFile(stale, []byte("half a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file survived reopen: %v", err)
+	}
+	if has, err := s2.Has(1); err != nil || !has {
+		t.Fatalf("committed image lost by the sweep: %v, %v", has, err)
 	}
 }

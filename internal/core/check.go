@@ -1,13 +1,18 @@
 package core
 
 import (
+	"sort"
+
 	"hidestore/internal/backup"
 	"hidestore/internal/container"
 	"hidestore/internal/fp"
 	"hidestore/internal/recipe"
 )
 
-var _ backup.Checker = (*Engine)(nil)
+var (
+	_ backup.Checker  = (*Engine)(nil)
+	_ backup.Repairer = (*Engine)(nil)
+)
 
 // Check verifies the integrity of everything the engine stores:
 //
@@ -23,7 +28,25 @@ var _ backup.Checker = (*Engine)(nil)
 // Check is read-only and reports problems instead of failing fast, so one
 // run inventories all damage.
 func (e *Engine) Check() (backup.CheckReport, error) {
-	var report backup.CheckReport
+	rep, err := e.audit(false)
+	return rep.CheckReport, err
+}
+
+// Repair implements backup.Repairer: the same audit as Check, but
+// containers that fail to decode are quarantined (moved into the
+// store's quarantine area, never deleted) and every version with at
+// least one chunk lost to a quarantined container is named in
+// AffectedVersions. Requires the store to implement
+// container.Quarantiner (file-backed stores do).
+func (e *Engine) Repair() (backup.RepairReport, error) {
+	return e.audit(true)
+}
+
+// audit is the shared fsck walk; repair selects quarantine-and-name
+// behavior on undecodable containers.
+func (e *Engine) audit(repair bool) (backup.RepairReport, error) {
+	var report backup.RepairReport
+	corrupt := make(map[container.ID]bool)
 
 	// Pass 1: containers and chunk content.
 	chunkAt := make(map[fp.FP]map[container.ID]struct{})
@@ -36,6 +59,9 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 		ctn, err := e.cfg.Store.Get(cid)
 		if err != nil {
 			report.Problemf("container %d: %v", cid, err)
+			if repair {
+				e.quarantine(cid, corrupt, &report)
+			}
 			continue
 		}
 		report.Containers++
@@ -69,7 +95,10 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 	// Pass 3: every recipe entry resolves to a stored chunk. Forward
 	// pointers are chased through newer recipes without mutating anything.
 	recipes := make(map[int]*recipe.Recipe)
-	versions := e.cfg.Recipes.Versions()
+	versions, err := e.cfg.Recipes.Versions()
+	if err != nil {
+		report.Problemf("recipes: cannot enumerate versions: %v", err)
+	}
 	for _, v := range versions {
 		rec, err := e.cfg.Recipes.Get(v)
 		if err != nil {
@@ -79,6 +108,7 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 		recipes[v] = rec
 	}
 	referenced := make(map[container.ID]struct{})
+	affected := make(map[int]bool)
 	for _, v := range versions {
 		rec, ok := recipes[v]
 		if !ok {
@@ -90,17 +120,26 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 			if entry.CID > 0 {
 				referenced[container.ID(entry.CID)] = struct{}{}
 			}
-			if !e.checkEntry(entry, recipes, chunkAt) {
+			ok, terminal := e.checkEntry(entry, recipes, chunkAt)
+			if !ok {
 				report.Problemf("recipe v%d entry %d (%s, CID %d): unresolvable",
 					v, i, entry.FP.Short(), entry.CID)
+				if corrupt[terminal] {
+					affected[v] = true
+				}
 			}
 		}
 	}
+	for v := range affected {
+		report.AffectedVersions = append(report.AffectedVersions, v)
+	}
+	sort.Ints(report.AffectedVersions)
 
 	// Pass 4: orphan detection. A container neither active nor referenced
 	// by any recipe is unreachable — typically debris from a crash between
 	// a store write and the state write. Orphans are harmless (they waste
-	// space, not correctness) but worth surfacing.
+	// space, not correctness) but worth surfacing; the startup recovery
+	// sweep reclaims them on the next open.
 	for _, cid := range stored {
 		if _, isActive := e.activeContainers[cid]; isActive {
 			continue
@@ -113,9 +152,31 @@ func (e *Engine) Check() (backup.CheckReport, error) {
 			// through forward pointers rather than direct CIDs.
 			continue
 		}
+		if corrupt[cid] {
+			// Already quarantined this pass.
+			continue
+		}
 		report.Problemf("container %d: orphaned (not active, not referenced by any recipe)", cid)
 	}
 	return report, nil
+}
+
+// quarantine moves an undecodable container aside, recording the
+// destination and marking the CID so recipe resolution can attribute
+// losses to it.
+func (e *Engine) quarantine(cid container.ID, corrupt map[container.ID]bool, report *backup.RepairReport) {
+	q, ok := e.cfg.Store.(container.Quarantiner)
+	if !ok {
+		report.Problemf("container %d: store cannot quarantine; image left in place", cid)
+		return
+	}
+	dst, err := q.Quarantine(cid)
+	if err != nil {
+		report.Problemf("container %d: quarantine failed: %v", cid, err)
+		return
+	}
+	corrupt[cid] = true
+	report.Quarantined = append(report.Quarantined, dst)
 }
 
 // batchOwns reports whether any recorded archival batch owns cid.
@@ -131,25 +192,27 @@ func (e *Engine) batchOwns(cid container.ID) bool {
 }
 
 // checkEntry resolves one recipe entry against the store, following
-// forward pointers.
+// forward pointers. It returns whether the entry resolves and the
+// terminal container the resolution ended at (0 when resolution dies
+// before reaching a container — e.g. a missing recipe in the chain).
 func (e *Engine) checkEntry(entry recipe.Entry, recipes map[int]*recipe.Recipe,
-	chunkAt map[fp.FP]map[container.ID]struct{}) bool {
+	chunkAt map[fp.FP]map[container.ID]struct{}) (bool, container.ID) {
 	for hops := 0; hops < len(recipes)+2; hops++ {
 		switch {
 		case entry.CID > 0:
 			_, ok := chunkAt[entry.FP][container.ID(entry.CID)]
-			return ok
+			return ok, container.ID(entry.CID)
 		case entry.CID == 0:
 			cid, hot := e.activeByFP[entry.FP]
 			if !hot {
-				return false
+				return false, 0
 			}
 			_, ok := chunkAt[entry.FP][cid]
-			return ok
+			return ok, cid
 		default:
 			next, ok := recipes[int(-entry.CID)]
 			if !ok {
-				return false
+				return false, 0
 			}
 			found := false
 			for _, cand := range next.Entries {
@@ -164,12 +227,12 @@ func (e *Engine) checkEntry(entry recipe.Entry, recipes map[int]*recipe.Recipe,
 				// still be hot (the chain's terminal case).
 				cid, hot := e.activeByFP[entry.FP]
 				if !hot {
-					return false
+					return false, 0
 				}
 				_, ok := chunkAt[entry.FP][cid]
-				return ok
+				return ok, cid
 			}
 		}
 	}
-	return false // cycle — corrupt chain
+	return false, 0 // cycle — corrupt chain
 }

@@ -5,12 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"hidestore/internal/backup"
 	"hidestore/internal/chunker"
 	"hidestore/internal/container"
+	"hidestore/internal/durable"
 	"hidestore/internal/fp"
 	"hidestore/internal/index"
 	"hidestore/internal/pipeline"
@@ -51,6 +55,10 @@ type Config struct {
 	// after every Backup and Delete, and restores it at New — so a
 	// process restart continues the version history where it stopped.
 	StatePath string
+	// WriteState commits the state file (default durable.WriteFileAtomic,
+	// i.e. temp file + fsync + rename + directory fsync). Tests inject
+	// fault wrappers here; production code leaves it nil.
+	WriteState func(path string, data []byte, perm os.FileMode) error
 }
 
 func (c *Config) setDefaults() error {
@@ -84,6 +92,9 @@ func (c *Config) setDefaults() error {
 	if c.HashWorkers <= 0 {
 		c.HashWorkers = 4
 	}
+	if c.WriteState == nil {
+		c.WriteState = durable.WriteFileAtomic
+	}
 	return nil
 }
 
@@ -113,6 +124,14 @@ type Engine struct {
 	// appearance was version v.
 	batches map[int]*archivalBatch
 
+	// pendingDeletes are container images superseded during the current
+	// operation (copied-on-write actives, merged sparse sources). They
+	// are removed only after saveState commits: until then the previous
+	// state still references them, and deleting them earlier would make
+	// a crash unrecoverable. A crash before the flush leaves them as
+	// orphans for the startup sweep.
+	pendingDeletes []container.ID
+
 	logicalBytes uint64
 	storedBytes  uint64
 }
@@ -131,8 +150,30 @@ func New(cfg Config) (*Engine, error) {
 		activeContainers: make(map[container.ID]*container.Container),
 		batches:          make(map[int]*archivalBatch),
 	}
-	if err := e.loadState(); err != nil {
+	if e.cfg.StatePath != "" {
+		// A crash during a state write can leave a half-written temp file
+		// beside the state file (the file stores sweep their own dirs).
+		if _, err := durable.SweepTemp(filepath.Dir(e.cfg.StatePath)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("core: sweep state dir: %w", err)
+		}
+	}
+	loaded, err := e.loadState()
+	if err != nil {
 		return nil, err
+	}
+	if e.cfg.StatePath != "" {
+		if loaded {
+			if err := e.recoverStartup(); err != nil {
+				return nil, err
+			}
+		} else if err := e.saveState(); err != nil {
+			// Anchor a fresh directory immediately: with a state file
+			// present from the start, "recipes exist but state missing"
+			// is unambiguously a lost state file (refused by loadState),
+			// while a crash during the very first backup stays
+			// recoverable — the anchor rolls it back.
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -152,6 +193,19 @@ type hashedChunk struct {
 // physical locations live in the fingerprint cache until the chunks either
 // go cold (archival CID patched into the recipe) or stay hot (forward
 // pointer patched in).
+//
+// Durable commit order — containers, then recipes, then state:
+//
+//  1. container writes (sealed actives, archival migrations, merged and
+//     copied-on-write actives) — every byte any metadata will point at;
+//  2. recipe writes (the new version, then the departing version's patch);
+//  3. the state file — the commit point;
+//  4. only after the state commits, deletion of superseded container
+//     images (flushPendingDeletes).
+//
+// Metadata never runs ahead of the container log: at any crash point,
+// everything the previous state references is still on disk, so reopening
+// rolls forward or back to a consistent history (see recoverStartup).
 func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupReport, error) {
 	start := time.Now()
 	v := e.version + 1
@@ -249,6 +303,9 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	e.logicalBytes += logical
 	e.storedBytes += stored
 	if err := e.saveState(); err != nil {
+		return backup.BackupReport{}, err
+	}
+	if err := e.flushPendingDeletes(); err != nil {
 		return backup.BackupReport{}, err
 	}
 	statsAfter := e.cache.Stats()
@@ -389,15 +446,31 @@ func (e *Engine) migrateCold(v int) (map[fp.FP]container.ID, error) {
 	if err := seal(); err != nil {
 		return nil, err
 	}
-	// Re-persist mutated active containers (dropping emptied ones).
+	// Re-persist mutated active containers copy-on-write: the surviving
+	// hot chunks go to the store under a fresh CID, and the superseded
+	// image is only deleted after the state file commits. Re-Putting in
+	// place would overwrite the image the previous (still-committed)
+	// state references, making a crash between here and the state write
+	// unrecoverable. Sorted order keeps the mutating-op sequence
+	// deterministic for fault injection.
+	dirtyIDs := make([]container.ID, 0, len(dirty))
 	for cid := range dirty {
+		dirtyIDs = append(dirtyIDs, cid)
+	}
+	sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
+	for _, cid := range dirtyIDs {
 		src := e.activeContainers[cid]
+		delete(e.activeContainers, cid)
+		e.pendingDeletes = append(e.pendingDeletes, cid)
 		if src.Len() == 0 {
-			delete(e.activeContainers, cid)
-			if err := e.cfg.Store.Delete(cid); err != nil {
-				return nil, err
-			}
 			continue
+		}
+		e.nextCID++
+		src.SetID(e.nextCID)
+		e.activeContainers[e.nextCID] = src
+		for _, f := range src.Fingerprints() {
+			e.activeByFP[f] = e.nextCID
+			e.cache.active[f] = e.nextCID
 		}
 		if err := e.cfg.Store.Put(src); err != nil {
 			return nil, err
@@ -457,11 +530,26 @@ func (e *Engine) mergeSparseActives() error {
 			e.cache.active[f] = merged.ID()
 		}
 		delete(e.activeContainers, src.ID())
-		if err := e.cfg.Store.Delete(src.ID()); err != nil {
+		// Deferred: the source image may be referenced by the previous
+		// committed state; it is deleted only after the next state save.
+		e.pendingDeletes = append(e.pendingDeletes, src.ID())
+	}
+	return seal()
+}
+
+// flushPendingDeletes removes container images superseded during the
+// operation. Called only after saveState commits — the new state no
+// longer references them, so a crash mid-flush merely leaves orphans
+// for the startup sweep.
+func (e *Engine) flushPendingDeletes() error {
+	for i, cid := range e.pendingDeletes {
+		if err := e.cfg.Store.Delete(cid); err != nil {
+			e.pendingDeletes = e.pendingDeletes[i:]
 			return err
 		}
 	}
-	return seal()
+	e.pendingDeletes = nil
+	return nil
 }
 
 // patchDepartingRecipe rewrites the recipe of the version leaving the
@@ -471,7 +559,14 @@ func (e *Engine) mergeSparseActives() error {
 // bounded update cost Figure 12 measures.
 func (e *Engine) patchDepartingRecipe(v int, coldLocs map[fp.FP]container.ID) error {
 	departing := v - e.cfg.Window
-	if departing < 1 || !e.cfg.Recipes.Has(departing) {
+	if departing < 1 {
+		return nil
+	}
+	present, err := e.cfg.Recipes.Has(departing)
+	if err != nil {
+		return err
+	}
+	if !present {
 		return nil
 	}
 	rec, err := e.cfg.Recipes.Get(departing)
@@ -580,50 +675,79 @@ func hasForward(rec *recipe.Recipe) bool {
 // exactly the archival batch recorded when they went cold, so deletion is
 // dropping those containers plus the recipe — no reference counting, no
 // chunk detection, no garbage collection.
+//
+// Durable commit order — the reverse of Backup's: recipe, then state,
+// then containers. A crash after the recipe removal leaves unreferenced
+// containers (wasted space the startup recovery reclaims); deleting
+// containers first would leave a recipe pointing at missing chunks —
+// data loss for a version still listed as restorable.
 func (e *Engine) Delete(version int) (backup.DeleteReport, error) {
 	start := time.Now()
 	report := backup.DeleteReport{Version: version}
-	versions := e.cfg.Recipes.Versions()
+	versions, err := e.cfg.Recipes.Versions()
+	if err != nil {
+		return report, err
+	}
 	if len(versions) == 0 || versions[0] != version {
 		return report, fmt.Errorf("core: delete v%d: only the oldest version (%v) can expire", version, versions)
 	}
 	if version > e.version-e.cfg.Window {
 		return report, fmt.Errorf("core: delete v%d: version still inside the cache window", version)
 	}
-	if batch, ok := e.batches[version]; ok {
+	batch := e.batches[version]
+	if err := e.cfg.Recipes.Delete(version); err != nil {
+		return report, err
+	}
+	if batch != nil {
+		report.BytesReclaimed = batch.bytes
+		e.storedBytes -= batch.bytes
+		delete(e.batches, version)
+	}
+	if err := e.saveState(); err != nil {
+		return report, err
+	}
+	if batch != nil {
 		for _, cid := range batch.containers {
 			if err := e.cfg.Store.Delete(cid); err != nil {
 				return report, err
 			}
 			report.ContainersDeleted++
 		}
-		report.BytesReclaimed = batch.bytes
-		e.storedBytes -= batch.bytes
-		delete(e.batches, version)
-	}
-	if err := e.cfg.Recipes.Delete(version); err != nil {
-		return report, err
-	}
-	if err := e.saveState(); err != nil {
-		return report, err
 	}
 	report.Duration = time.Since(start)
 	return report, nil
 }
 
-// Versions implements backup.Engine.
-func (e *Engine) Versions() []int { return e.cfg.Recipes.Versions() }
+// Versions implements backup.Engine. An enumeration failure yields an
+// empty list; Stats().Degraded carries the underlying error.
+func (e *Engine) Versions() []int {
+	vs, err := e.cfg.Recipes.Versions()
+	if err != nil {
+		return nil
+	}
+	return vs
+}
 
-// Stats implements backup.Engine.
+// Stats implements backup.Engine. Fields that cannot be computed are
+// left zero and named in Degraded.
 func (e *Engine) Stats() backup.Stats {
-	return backup.Stats{
-		Versions:      len(e.cfg.Recipes.Versions()),
+	s := backup.Stats{
 		LogicalBytes:  e.logicalBytes,
 		StoredBytes:   e.storedBytes,
-		Containers:    e.cfg.Store.Len(),
 		IndexStats:    e.cache.Stats(),
 		IndexMemBytes: e.cache.MemoryBytes(),
 	}
+	if vs, err := e.cfg.Recipes.Versions(); err != nil {
+		s.Degraded = append(s.Degraded, fmt.Sprintf("versions: %v", err))
+	} else {
+		s.Versions = len(vs)
+	}
+	if n, err := e.cfg.Store.Len(); err != nil {
+		s.Degraded = append(s.Degraded, fmt.Sprintf("containers: %v", err))
+	} else {
+		s.Containers = n
+	}
+	return s
 }
 
 // TransientCacheBytes reports the current fingerprint-cache footprint.

@@ -175,7 +175,11 @@ func TestFlattenRecipes(t *testing.T) {
 	}
 	// Any remaining negative CID must point at a chunk that is still hot
 	// (resolvable via the active map).
-	for _, v := range recipes.Versions() {
+	vs, err := recipes.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
 		rec, err := recipes.Get(v)
 		if err != nil {
 			t.Fatal(err)
@@ -202,7 +206,10 @@ func TestDeleteOldestVersions(t *testing.T) {
 	e, store, _ := newTestEngine(t, 1)
 	versions := backuptest.Materialize(t, backuptest.SmallWorkload(8, 0))
 	backuptest.BackupAll(t, e, versions)
-	containersBefore := store.Len()
+	containersBefore, err := store.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
 	storedBefore := e.Stats().StoredBytes
 
 	rep, err := e.Delete(1)
@@ -218,7 +225,11 @@ func TestDeleteOldestVersions(t *testing.T) {
 	if rep.ContainersDeleted == 0 || rep.BytesReclaimed == 0 {
 		t.Fatalf("deletion reclaimed nothing: %+v", rep)
 	}
-	if store.Len() >= containersBefore {
+	containersAfter, err := store.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containersAfter >= containersBefore {
 		t.Fatal("container count did not drop")
 	}
 	if e.Stats().StoredBytes >= storedBefore {

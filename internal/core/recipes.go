@@ -18,7 +18,10 @@ import (
 // old version; the engine's Restore does the same and reports the time
 // spent as RecipeUpdateDuration.
 func (e *Engine) FlattenRecipes(floor int) error {
-	versions := e.cfg.Recipes.Versions()
+	versions, err := e.cfg.Recipes.Versions()
+	if err != nil {
+		return fmt.Errorf("core: flatten: %w", err)
+	}
 	if len(versions) == 0 {
 		return nil
 	}

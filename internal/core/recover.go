@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hidestore/internal/container"
+)
+
+// recoverStartup reconciles the on-disk stores with the committed state
+// after a crash. It runs at New whenever a state file was loaded, and
+// restores three invariants, in order:
+//
+//  1. Rollback: recipes newer than the state anchor are removed — the
+//     crash hit a Backup between its recipe write and its state commit,
+//     so the dedup bookkeeping for those versions is lost and their
+//     CID-0 entries can never resolve again. Everything the committed
+//     state references is still on disk (commit order: containers →
+//     recipe → state, with superseded images deleted only post-state),
+//     so the previous versions remain intact.
+//  2. Redo: a recorded deletion batch whose recipe is gone is a Delete
+//     that crashed between its recipe removal (the commit point) and
+//     its state save — finish it by dropping the batch's containers.
+//  3. Sweep: container images nothing references (not an active
+//     container, not batch-owned, not named by any recipe) are crash
+//     debris — copied-on-write predecessors, rolled-back migrations,
+//     half-flushed deferred deletes — and are removed.
+func (e *Engine) recoverStartup() error {
+	versions, err := e.cfg.Recipes.Versions()
+	if err != nil {
+		return fmt.Errorf("core: recovery: %w", err)
+	}
+	committed := versions[:0]
+	rolledBack := false
+	for _, v := range versions {
+		if v > e.version {
+			if err := e.cfg.Recipes.Delete(v); err != nil {
+				return fmt.Errorf("core: recovery: rollback recipe v%d: %w", v, err)
+			}
+			rolledBack = true
+			continue
+		}
+		committed = append(committed, v)
+	}
+	if rolledBack {
+		if err := e.resetDanglingForwards(committed); err != nil {
+			return err
+		}
+	}
+
+	present := make(map[int]bool, len(committed))
+	for _, v := range committed {
+		present[v] = true
+	}
+	batchVersions := make([]int, 0, len(e.batches))
+	for v := range e.batches {
+		batchVersions = append(batchVersions, v)
+	}
+	sort.Ints(batchVersions)
+	stateChanged := false
+	for _, v := range batchVersions {
+		if present[v] {
+			continue
+		}
+		for _, cid := range e.batches[v].containers {
+			if err := e.cfg.Store.Delete(cid); err != nil && !errors.Is(err, container.ErrNotFound) {
+				return fmt.Errorf("core: recovery: redo delete v%d: %w", v, err)
+			}
+		}
+		e.storedBytes -= e.batches[v].bytes
+		delete(e.batches, v)
+		stateChanged = true
+	}
+
+	if err := e.sweepOrphans(committed); err != nil {
+		return err
+	}
+	if stateChanged {
+		return e.saveState()
+	}
+	return nil
+}
+
+// resetDanglingForwards repairs recipes the crashed backup patched in
+// place. The departing recipe is rewritten during a backup — before the
+// state commit — giving its still-hot chunks forward pointers into the
+// version being backed up. Rolling that version back strands those
+// pointers, so they are reset to CID 0: every such chunk was hot when
+// the committed state was saved, and the reloaded fingerprint cache
+// resolves CID 0 entries exactly as the pre-patch recipe did. (Archival
+// CIDs the same patch introduced stay: their containers were written
+// before the patch, and the orphan sweep keeps referenced images.)
+func (e *Engine) resetDanglingForwards(versions []int) error {
+	for _, v := range versions {
+		rec, err := e.cfg.Recipes.Get(v)
+		if err != nil {
+			// An unreadable recipe cannot be repaired here; fsck will
+			// report it. Leave it for the operator.
+			continue
+		}
+		changed := false
+		for i := range rec.Entries {
+			if cid := rec.Entries[i].CID; cid < 0 && int(-cid) > e.version {
+				rec.Entries[i].CID = 0
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		if err := e.cfg.Recipes.Put(rec); err != nil {
+			return fmt.Errorf("core: recovery: unpatch recipe v%d: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// sweepOrphans deletes container images nothing references. The sweep
+// is abandoned (without error) if any recipe fails to decode: with one
+// recipe's references unknown, deleting anything could destroy data it
+// points at — the debris stays and fsck reports the corrupt recipe.
+func (e *Engine) sweepOrphans(versions []int) error {
+	stored, err := e.cfg.Store.IDs()
+	if err != nil {
+		return fmt.Errorf("core: recovery: %w", err)
+	}
+	referenced := make(map[container.ID]struct{})
+	for _, v := range versions {
+		rec, err := e.cfg.Recipes.Get(v)
+		if err != nil {
+			return nil
+		}
+		for _, entry := range rec.Entries {
+			if entry.CID > 0 {
+				referenced[container.ID(entry.CID)] = struct{}{}
+			}
+		}
+	}
+	for _, cid := range stored {
+		if _, active := e.activeContainers[cid]; active {
+			continue
+		}
+		if _, ok := referenced[cid]; ok {
+			continue
+		}
+		if e.batchOwns(cid) {
+			continue
+		}
+		if err := e.cfg.Store.Delete(cid); err != nil && !errors.Is(err, container.ErrNotFound) {
+			return fmt.Errorf("core: recovery: sweep container %d: %w", cid, err)
+		}
+	}
+	return nil
+}

@@ -9,7 +9,6 @@ import (
 	"os"
 	"sort"
 
-	"hidestore/internal/cleanup"
 	"hidestore/internal/container"
 	"hidestore/internal/fp"
 )
@@ -227,42 +226,48 @@ func (e *Engine) unmarshalState(buf []byte) error {
 	return nil
 }
 
-// saveState writes the state file atomically; a no-op without StatePath.
+// saveState commits the state file through Config.WriteState (by
+// default durable.WriteFileAtomic: temp + fsync + rename + dir fsync);
+// a no-op without StatePath. The state write is the commit point of
+// every Backup and Delete — containers and recipes written earlier in
+// the operation become the committed truth only once this succeeds.
 func (e *Engine) saveState() error {
 	if e.cfg.StatePath == "" {
 		return nil
 	}
-	buf := e.marshalState()
-	tmp := e.cfg.StatePath + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := e.cfg.WriteState(e.cfg.StatePath, e.marshalState(), 0o644); err != nil {
 		return fmt.Errorf("core: write state: %w", err)
-	}
-	if err := os.Rename(tmp, e.cfg.StatePath); err != nil {
-		cleanup.Remove(tmp)
-		return fmt.Errorf("core: rename state: %w", err)
 	}
 	return nil
 }
 
-// loadState restores from the state file if one exists.
-func (e *Engine) loadState() error {
+// loadState restores from the state file if one exists, reporting
+// whether it did. A missing file on a directory that already holds
+// recipes is refused: New writes an anchor state on a fresh directory,
+// so "recipes but no state" can only mean the state file was lost
+// (manual deletion, wrong directory) — starting over would reuse
+// version numbers and silently shadow the existing history.
+func (e *Engine) loadState() (bool, error) {
 	if e.cfg.StatePath == "" {
-		return nil
+		return false, nil
 	}
 	buf, err := os.ReadFile(e.cfg.StatePath)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			// A fresh directory has no state — but recipes without state
-			// mean the state file was lost (crash before the first save,
-			// manual deletion). Starting over would reuse version numbers
-			// and silently shadow the existing history, so refuse.
-			if vs := e.cfg.Recipes.Versions(); len(vs) > 0 {
-				return fmt.Errorf("core: state file %s missing but %d recipes exist (through v%d); refusing to restart the version history",
+			vs, verr := e.cfg.Recipes.Versions()
+			if verr != nil {
+				return false, fmt.Errorf("core: list recipes: %w", verr)
+			}
+			if len(vs) > 0 {
+				return false, fmt.Errorf("core: state file %s missing but %d recipes exist (through v%d); refusing to restart the version history",
 					e.cfg.StatePath, len(vs), vs[len(vs)-1])
 			}
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("core: read state: %w", err)
+		return false, fmt.Errorf("core: read state: %w", err)
 	}
-	return e.unmarshalState(buf)
+	if err := e.unmarshalState(buf); err != nil {
+		return false, err
+	}
+	return true, nil
 }

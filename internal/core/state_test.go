@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -124,7 +125,9 @@ func TestStateCorruption(t *testing.T) {
 		name   string
 		mutate func([]byte) []byte
 	}{
-		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		// "torn" is the prefix a non-atomic writer's crash would leave.
+		{"torn", func(b []byte) []byte { return b[:len(b)/2] }},
+		// "bitflip" leaves the length intact but fails the CRC.
 		{"bitflip", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b }},
 		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
 		{"short", func(b []byte) []byte { return b[:8] }},
@@ -142,8 +145,9 @@ func TestStateCorruption(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := New(Config{Store: store, Recipes: recipes, StatePath: path}); err == nil {
-				t.Fatal("corrupt state accepted")
+			_, err = New(Config{Store: store, Recipes: recipes, StatePath: path})
+			if !errors.Is(err, ErrStateCorrupt) {
+				t.Fatalf("corrupt state: got %v, want ErrStateCorrupt", err)
 			}
 		})
 	}

@@ -181,7 +181,11 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	if err := session.flush(); err != nil {
 		return backup.BackupReport{}, err
 	}
-	// Seal the open container so the version is fully restorable.
+	// Durable commit order: containers before the recipe. Sealing the
+	// open container first means every chunk the recipe names is on disk
+	// when the recipe appears — a crash between the two leaves an
+	// orphaned container (wasted space), never a dangling recipe entry
+	// (data loss).
 	if err := e.sealOpen(); err != nil {
 		return backup.BackupReport{}, err
 	}
@@ -361,15 +365,26 @@ func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.
 func (e *Engine) Delete(version int) (backup.DeleteReport, error) {
 	start := time.Now()
 	report := backup.DeleteReport{Version: version}
-	if !e.cfg.Recipes.Has(version) {
+	present, err := e.cfg.Recipes.Has(version)
+	if err != nil {
+		return report, err
+	}
+	if !present {
 		return report, fmt.Errorf("%w: version %d", recipe.ErrNotFound, version)
 	}
+	// Durable commit order (reverse of Backup's): the recipe goes first,
+	// so a crash mid-sweep leaves orphaned chunks (reclaimed by a later
+	// delete's sweep), never a listed version with missing chunks.
 	if err := e.cfg.Recipes.Delete(version); err != nil {
 		return report, err
 	}
 	// Mark: every chunk referenced by any remaining version.
 	live := make(map[fp.FP]struct{})
-	for _, v := range e.cfg.Recipes.Versions() {
+	remaining, err := e.cfg.Recipes.Versions()
+	if err != nil {
+		return report, err
+	}
+	for _, v := range remaining {
 		rec, err := e.cfg.Recipes.Get(v)
 		if err != nil {
 			return report, err
@@ -432,24 +447,38 @@ func (e *Engine) Delete(version int) (backup.DeleteReport, error) {
 	return report, nil
 }
 
-// Versions implements backup.Engine.
+// Versions implements backup.Engine. An enumeration failure yields an
+// empty list; Stats().Degraded carries the underlying error.
 func (e *Engine) Versions() []int {
-	vs := e.cfg.Recipes.Versions()
+	vs, err := e.cfg.Recipes.Versions()
+	if err != nil {
+		return nil
+	}
 	sort.Ints(vs)
 	return vs
 }
 
-// Stats implements backup.Engine.
+// Stats implements backup.Engine. Fields that cannot be computed are
+// left zero and named in Degraded.
 func (e *Engine) Stats() backup.Stats {
-	return backup.Stats{
-		Versions:      len(e.cfg.Recipes.Versions()),
+	s := backup.Stats{
 		LogicalBytes:  e.logicalBytes,
 		StoredBytes:   e.storedBytes,
-		Containers:    e.cfg.Store.Len(),
 		IndexStats:    e.cfg.Index.Stats(),
 		IndexMemBytes: e.cfg.Index.MemoryBytes(),
 		RewriteStats:  e.cfg.Rewriter.Stats(),
 	}
+	if vs, err := e.cfg.Recipes.Versions(); err != nil {
+		s.Degraded = append(s.Degraded, fmt.Sprintf("versions: %v", err))
+	} else {
+		s.Versions = len(vs)
+	}
+	if n, err := e.cfg.Store.Len(); err != nil {
+		s.Degraded = append(s.Degraded, fmt.Sprintf("containers: %v", err))
+	} else {
+		s.Containers = n
+	}
+	return s
 }
 
 func diffIndexStats(before, after index.Stats) index.Stats {

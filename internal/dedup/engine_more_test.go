@@ -83,8 +83,8 @@ func TestDeleteEverything(t *testing.T) {
 			t.Fatalf("delete v%d: %v", v, err)
 		}
 	}
-	if store.Len() != 0 {
-		t.Fatalf("%d containers survive deleting every version", store.Len())
+	if n, err := store.Len(); err != nil || n != 0 {
+		t.Fatalf("%d containers survive deleting every version (err %v)", n, err)
 	}
 	if got := e.Stats().StoredBytes; got != 0 {
 		t.Fatalf("StoredBytes = %d after deleting everything", got)

@@ -196,7 +196,10 @@ func TestDeleteMarkSweep(t *testing.T) {
 	e, store, _ := newTestEngine(t, "ddfs", nil)
 	versions := backuptest.Materialize(t, backuptest.SmallWorkload(6, 0))
 	backuptest.BackupAll(t, e, versions)
-	containersBefore := store.Len()
+	containersBefore, err := store.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	rep, err := e.Delete(1)
 	if err != nil {

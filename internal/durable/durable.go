@@ -1,0 +1,124 @@
+// Package durable holds the fsync discipline of the persistence layer.
+//
+// The stores' temp-file-plus-rename writes are atomic against process
+// crashes, but not against power loss: without an fsync of the file the
+// rename can become durable before the data blocks it points at, leaving
+// a complete-looking file full of garbage; without an fsync of the parent
+// directory the rename (or a remove) itself can vanish. Every durable
+// commit in the tree — container images, recipes, the engine state file —
+// therefore goes through WriteFileAtomic/Remove here, so the crash
+// contract is stated once: after a crash, a committed path holds either
+// its old content or its new content in full, never a prefix.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hidestore/internal/cleanup"
+)
+
+// TempPrefix is the name prefix of in-flight write temp files; stale
+// ones (from a crashed writer) are what SweepTemp removes.
+const TempPrefix = "tmp-"
+
+// SweepTemp removes stale tmp-* files left in dir by writes that
+// crashed between CreateTemp and Rename, returning how many were
+// removed. Call at store open, before any concurrent writers exist —
+// a live writer's temp file is indistinguishable from a stale one.
+func SweepTemp(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("durable: list %s: %w", dir, err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), TempPrefix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("durable: sweep %s: %w", e.Name(), err)
+		}
+		removed++
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	return removed, SyncDir(dir)
+}
+
+// WriteFileAtomic writes data to path durably: a same-directory temp
+// file is written and fsynced, renamed over path, and the parent
+// directory is fsynced so the rename survives power loss.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: temp file for %s: %w", filepath.Base(path), err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		cleanup.Close(tmp)
+		cleanup.Remove(tmpName)
+		return fmt.Errorf("durable: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup.Close(tmp)
+		cleanup.Remove(tmpName)
+		return fmt.Errorf("durable: sync %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup.Remove(tmpName)
+		return fmt.Errorf("durable: close %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		cleanup.Remove(tmpName)
+		return fmt.Errorf("durable: chmod %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		cleanup.Remove(tmpName)
+		return fmt.Errorf("durable: rename %s: %w", filepath.Base(path), err)
+	}
+	return SyncDir(dir)
+}
+
+// Remove deletes path and fsyncs its parent directory, so the removal
+// is durable. A missing path is returned as the os.Remove error,
+// untouched, letting callers keep their fs.ErrNotExist handling.
+func Remove(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// Rename renames old to new and fsyncs the destination's parent
+// directory (both paths must share it for the sync to cover the
+// source's disappearance, which is how the stores use it).
+func Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(newpath))
+}
+
+// SyncDir fsyncs a directory, making renames and removals inside it
+// durable. Platforms whose directory handles reject fsync (some
+// network filesystems) surface their error — silently succeeding here
+// would void the crash contract.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		cleanup.Close(d)
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("durable: close dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package durable
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	want := []byte("first contents")
+	if err := WriteFileAtomic(path, want, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Fatalf("perm = %o, want 600", perm)
+	}
+	// No temp debris after a successful commit.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries after one write, want 1", len(entries))
+	}
+}
+
+func TestWriteFileAtomicOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := WriteFileAtomic(path, []byte("old old old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("read back %q after overwrite, want %q", got, "new")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doomed")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("file survived Remove: %v", err)
+	}
+	// Missing paths surface the raw os.Remove error so callers keep
+	// their fs.ErrNotExist handling.
+	if err := Remove(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Remove of missing path = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "a")
+	newPath := filepath.Join(dir, "b")
+	if err := os.WriteFile(oldPath, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(oldPath); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("source still present after Rename")
+	}
+	got, err := os.ReadFile(newPath)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("destination = %q, %v", got, err)
+	}
+}
+
+func TestSweepTemp(t *testing.T) {
+	dir := t.TempDir()
+	// Two stale temps, one committed file, one directory whose name
+	// matches the prefix (must survive: stores never create those).
+	for _, name := range []string{TempPrefix + "123", TempPrefix + "abc"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "c_0001.hds"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, TempPrefix+"dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := SweepTemp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d files, want 2", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []string
+	for _, e := range entries {
+		left = append(left, e.Name())
+	}
+	if len(left) != 2 {
+		t.Fatalf("left = %v, want the committed file and the directory", left)
+	}
+
+	// Idempotent: nothing left to sweep.
+	if n, err := SweepTemp(dir); err != nil || n != 0 {
+		t.Fatalf("second sweep: n=%d err=%v", n, err)
+	}
+}
+
+func TestSweepTempMissingDir(t *testing.T) {
+	if _, err := SweepTemp(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("sweep of missing dir = %v, want fs.ErrNotExist", err)
+	}
+}

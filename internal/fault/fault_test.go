@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/durable"
+	"hidestore/internal/fp"
+	"hidestore/internal/recipe"
+)
+
+func fillContainer(t *testing.T, id container.ID, chunks int) *container.Container {
+	t.Helper()
+	c := container.New(id)
+	for i := 0; i < chunks; i++ {
+		data := []byte{byte(id), byte(i), 0xAB}
+		if err := c.Add(fp.Of(data), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestInjectorDeadProcess: once a Fail fault trips, every later op
+// fails too — a dead process issues no further writes.
+func TestInjectorDeadProcess(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fail, 2)
+	s := NewStore(container.NewMemStore(), inj, nil)
+	if err := s.Put(fillContainer(t, 1, 1)); err != nil {
+		t.Fatalf("op 1 before the fault failed: %v", err)
+	}
+	if err := s.Put(fillContainer(t, 2, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 = %v, want ErrInjected", err)
+	}
+	if !inj.Tripped() {
+		t.Fatal("injector did not record the trip")
+	}
+	if err := s.Put(fillContainer(t, 3, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 3 after the crash = %v, want ErrInjected (dead process)", err)
+	}
+	if got := inj.Ops(); got != 3 {
+		t.Fatalf("Ops = %d, want 3", got)
+	}
+	if log := inj.OpLog(); len(log) != 3 || !strings.HasPrefix(log[0], "container.Put") {
+		t.Fatalf("OpLog = %v", log)
+	}
+}
+
+// TestInjectorNoSpace: the ENOSPC model is transient — only op N fails.
+func TestInjectorNoSpace(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(NoSpace, 2)
+	s := NewStore(container.NewMemStore(), inj, nil)
+	if err := s.Put(fillContainer(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Put(fillContainer(t, 2, 1))
+	if !errors.Is(err, ErrNoSpace) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 = %v, want ErrNoSpace wrapping ErrInjected", err)
+	}
+	if err := s.Put(fillContainer(t, 3, 1)); err != nil {
+		t.Fatalf("op 3 after transient ENOSPC = %v, want success", err)
+	}
+	if has, err := s.Has(2); err != nil || has {
+		t.Fatal("the failed op left the container behind")
+	}
+}
+
+// TestInjectorDisarmAndRearm: Arm resets counters so one injector
+// drives many matrix cells.
+func TestInjectorDisarmAndRearm(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fail, 1)
+	s := NewStore(container.NewMemStore(), inj, nil)
+	if err := s.Put(fillContainer(t, 1, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed op = %v", err)
+	}
+	inj.Arm(None, 0)
+	if err := s.Put(fillContainer(t, 1, 1)); err != nil {
+		t.Fatalf("disarmed op = %v", err)
+	}
+	if inj.Tripped() {
+		t.Fatal("Arm did not reset the tripped flag")
+	}
+}
+
+// TestTornLeavesTempDebris: a torn container write leaves a half-written
+// temp file beside the final path and never touches the final path.
+func TestTornLeavesTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := container.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector()
+	inj.Arm(Torn, 1)
+	s := NewStore(fs, inj, fs.Path)
+	if err := s.Put(fillContainer(t, 7, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn op = %v", err)
+	}
+	if has, err := fs.Has(7); err != nil || has {
+		t.Fatal("torn write exposed the final path")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	debris := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), durable.TempPrefix) {
+			debris++
+		}
+	}
+	if debris != 1 {
+		t.Fatalf("%d temp files after a torn write, want 1", debris)
+	}
+	// Reopening the store sweeps the debris — the recovery contract.
+	if _, err := container.NewFileStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	n, err := durable.SweepTemp(dir)
+	if err != nil || n != 0 {
+		t.Fatalf("debris survived the reopen sweep: n=%d err=%v", n, err)
+	}
+}
+
+// TestCorruptReadFlipsOnDisk: CorruptRead damages the stored image so
+// the store's CRC rejects it — and the damage is persistent.
+func TestCorruptReadFlipsOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := container.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector()
+	s := NewStore(fs, inj, fs.Path)
+	if err := s.Put(fillContainer(t, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(CorruptRead, 1)
+	if _, err := s.Get(3); err == nil {
+		t.Fatal("corrupted read returned a container")
+	}
+	if !inj.Tripped() {
+		t.Fatal("CorruptRead did not trip")
+	}
+	// Bit rot persists: a later clean read still fails.
+	inj.Arm(None, 0)
+	if _, err := s.Get(3); err == nil {
+		t.Fatal("corruption vanished on the second read")
+	}
+}
+
+// TestRecipeStoreInjection: recipe ops draw from the same counter as
+// container ops, so one index addresses the whole commit sequence.
+func TestRecipeStoreInjection(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fail, 2)
+	cs := NewStore(container.NewMemStore(), inj, nil)
+	rs := NewRecipeStore(recipe.NewMemStore(), inj, nil)
+	if err := cs.Put(fillContainer(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rec := recipe.New(1)
+	data := []byte("x")
+	rec.Append(fp.Of(data), uint32(len(data)), 0)
+	if err := rs.Put(rec); !errors.Is(err, ErrInjected) {
+		t.Fatalf("recipe op 2 = %v, want ErrInjected", err)
+	}
+	if log := inj.OpLog(); len(log) != 2 || !strings.HasPrefix(log[1], "recipe.Put") {
+		t.Fatalf("OpLog = %v", log)
+	}
+}
+
+// TestWrapWriteTorn: a torn state write leaves temp debris and an
+// untouched (here: absent) state file.
+func TestWrapWriteTorn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	inj := NewInjector()
+	inj.Arm(Torn, 1)
+	write := inj.WrapWrite(durable.WriteFileAtomic)
+	if err := write(path, []byte("0123456789"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn write touched the final path: %v", err)
+	}
+	n, err := durable.SweepTemp(dir)
+	if err != nil || n != 1 {
+		t.Fatalf("sweep found %d temp files (err %v), want 1", n, err)
+	}
+}

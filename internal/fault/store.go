@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hidestore/internal/cleanup"
+	"hidestore/internal/container"
+	"hidestore/internal/durable"
+	"hidestore/internal/recipe"
+)
+
+// Store wraps a container.Store with fault injection. The optional
+// path function (container.FileStore.Path for file-backed stores)
+// enables the on-disk kinds: Torn leaves a half-written temp file
+// beside the final path, CorruptRead flips a byte of the stored file
+// so the inner store's CRC check fires. Without it those kinds
+// degrade to clean failures.
+type Store struct {
+	inner container.Store
+	inj   *Injector
+	path  func(container.ID) string
+}
+
+var _ container.Store = (*Store)(nil)
+
+// NewStore wraps inner; path may be nil.
+func NewStore(inner container.Store, inj *Injector, path func(container.ID) string) *Store {
+	return &Store{inner: inner, inj: inj, path: path}
+}
+
+// Put implements container.Store.
+func (s *Store) Put(c *container.Container) error {
+	op := fmt.Sprintf("container.Put(%d)", c.ID())
+	switch act := s.inj.begin(op); act {
+	case actProceed:
+		return s.inner.Put(c)
+	case actTorn:
+		if s.path != nil {
+			if buf, err := c.MarshalBinary(); err == nil {
+				tornTemp(s.path(c.ID()), buf)
+			}
+		}
+		return errFor(act, op)
+	default:
+		return errFor(act, op)
+	}
+}
+
+// Get implements container.Store.
+func (s *Store) Get(id container.ID) (*container.Container, error) {
+	op := fmt.Sprintf("container.Get(%d)", id)
+	if s.inj.beginRead(op) == actCorrupt && s.path != nil {
+		corruptFile(s.path(id))
+	}
+	return s.inner.Get(id)
+}
+
+// Delete implements container.Store. A torn delete is not physically
+// meaningful (unlink is atomic), so Torn degrades to Fail here.
+func (s *Store) Delete(id container.ID) error {
+	op := fmt.Sprintf("container.Delete(%d)", id)
+	if act := s.inj.begin(op); act != actProceed {
+		return errFor(act, op)
+	}
+	return s.inner.Delete(id)
+}
+
+// Has implements container.Store.
+func (s *Store) Has(id container.ID) (bool, error) { return s.inner.Has(id) }
+
+// IDs implements container.Store.
+func (s *Store) IDs() ([]container.ID, error) { return s.inner.IDs() }
+
+// Len implements container.Store.
+func (s *Store) Len() (int, error) { return s.inner.Len() }
+
+// Stats implements container.Store.
+func (s *Store) Stats() container.StoreStats { return s.inner.Stats() }
+
+// ResetStats implements container.Store.
+func (s *Store) ResetStats() { s.inner.ResetStats() }
+
+// Quarantine forwards to the inner store when it can quarantine.
+func (s *Store) Quarantine(id container.ID) (string, error) {
+	q, ok := s.inner.(container.Quarantiner)
+	if !ok {
+		return "", fmt.Errorf("fault: inner store cannot quarantine")
+	}
+	return q.Quarantine(id)
+}
+
+// RecipeStore wraps a recipe.Store with fault injection, drawing from
+// the same op counter as the container wrapper. The optional path
+// function (recipe.FileStore.Path) enables Torn and CorruptRead.
+type RecipeStore struct {
+	inner recipe.Store
+	inj   *Injector
+	path  func(int) string
+}
+
+var _ recipe.Store = (*RecipeStore)(nil)
+
+// NewRecipeStore wraps inner; path may be nil.
+func NewRecipeStore(inner recipe.Store, inj *Injector, path func(int) string) *RecipeStore {
+	return &RecipeStore{inner: inner, inj: inj, path: path}
+}
+
+// Put implements recipe.Store.
+func (s *RecipeStore) Put(r *recipe.Recipe) error {
+	op := fmt.Sprintf("recipe.Put(%d)", r.Version)
+	switch act := s.inj.begin(op); act {
+	case actProceed:
+		return s.inner.Put(r)
+	case actTorn:
+		if s.path != nil {
+			if buf, err := r.MarshalBinary(); err == nil {
+				tornTemp(s.path(r.Version), buf)
+			}
+		}
+		return errFor(act, op)
+	default:
+		return errFor(act, op)
+	}
+}
+
+// Get implements recipe.Store.
+func (s *RecipeStore) Get(version int) (*recipe.Recipe, error) {
+	op := fmt.Sprintf("recipe.Get(%d)", version)
+	if s.inj.beginRead(op) == actCorrupt && s.path != nil {
+		corruptFile(s.path(version))
+	}
+	return s.inner.Get(version)
+}
+
+// Delete implements recipe.Store; Torn degrades to Fail as for
+// containers.
+func (s *RecipeStore) Delete(version int) error {
+	op := fmt.Sprintf("recipe.Delete(%d)", version)
+	if act := s.inj.begin(op); act != actProceed {
+		return errFor(act, op)
+	}
+	return s.inner.Delete(version)
+}
+
+// Has implements recipe.Store.
+func (s *RecipeStore) Has(version int) (bool, error) { return s.inner.Has(version) }
+
+// Versions implements recipe.Store.
+func (s *RecipeStore) Versions() ([]int, error) { return s.inner.Versions() }
+
+// Len implements recipe.Store.
+func (s *RecipeStore) Len() (int, error) { return s.inner.Len() }
+
+// WriteFunc matches core.Config.WriteState: how the engine commits its
+// state file.
+type WriteFunc func(path string, data []byte, perm os.FileMode) error
+
+// WrapWrite routes a state writer through the injector: the state
+// write draws an op index like any other commit step. Torn leaves a
+// half-written temp file beside an intact old state — the only crash
+// artifact durable.WriteFileAtomic can produce, since its rename is
+// atomic. (A prefix at the final path would model a broken writer
+// instead, and reopening would refuse with ErrStateCorrupt rather
+// than recover; the state tests cover that refusal directly.)
+func (inj *Injector) WrapWrite(write WriteFunc) WriteFunc {
+	return func(path string, data []byte, perm os.FileMode) error {
+		const op = "state.Write"
+		switch act := inj.begin(op); act {
+		case actProceed:
+			return write(path, data, perm)
+		case actTorn:
+			tornTemp(path, data)
+			return errFor(act, op)
+		default:
+			return errFor(act, op)
+		}
+	}
+}
+
+// tornTemp leaves a half-written temp file beside path — the crash
+// artifact of an interrupted durable atomic write. The final path is
+// never touched: every persistence layer commits via an atomic
+// rename, so a crash exposes either the old image or the new one,
+// plus temp debris — never a prefix. Best-effort: the op is failing
+// regardless.
+func tornTemp(path string, buf []byte) {
+	f, err := os.CreateTemp(filepath.Dir(path), durable.TempPrefix+"*")
+	if err != nil {
+		return
+	}
+	if _, werr := f.Write(buf[:len(buf)/2]); werr != nil {
+		cleanup.Close(f)
+		return
+	}
+	cleanup.Close(f)
+}
+
+// corruptFile flips one byte in the middle of the file at path, so a
+// CRC-checked reader sees bit rot. Best-effort: if the file cannot be
+// rewritten the read proceeds uncorrupted.
+func corruptFile(path string) {
+	buf, err := os.ReadFile(path)
+	if err != nil || len(buf) == 0 {
+		return
+	}
+	buf[len(buf)/2] ^= 0xFF
+	if werr := os.WriteFile(path, buf, 0o644); werr != nil {
+		return
+	}
+}

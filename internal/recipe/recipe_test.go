@@ -3,10 +3,13 @@ package recipe
 import (
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"testing/quick"
 
+	"hidestore/internal/durable"
 	"hidestore/internal/fp"
 )
 
@@ -187,8 +190,11 @@ func TestStoreCRUD(t *testing.T) {
 			if err := s.Put(r); err != nil {
 				t.Fatal(err)
 			}
-			if !s.Has(3) || s.Has(4) {
-				t.Fatal("Has wrong")
+			if has, err := s.Has(3); err != nil || !has {
+				t.Fatalf("Has(3) = %v, %v", has, err)
+			}
+			if has, err := s.Has(4); err != nil || has {
+				t.Fatalf("Has(4) = %v, %v", has, err)
 			}
 			got, err := s.Get(3)
 			if err != nil {
@@ -218,7 +224,10 @@ func TestStoreVersionsSorted(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			got := s.Versions()
+			got, err := s.Versions()
+			if err != nil {
+				t.Fatal(err)
+			}
 			want := []int{1, 2, 4}
 			if len(got) != len(want) {
 				t.Fatalf("Versions = %v", got)
@@ -228,8 +237,8 @@ func TestStoreVersionsSorted(t *testing.T) {
 					t.Fatalf("Versions = %v, want %v", got, want)
 				}
 			}
-			if s.Len() != 3 {
-				t.Fatalf("Len = %d", s.Len())
+			if n, err := s.Len(); err != nil || n != 3 {
+				t.Fatalf("Len = %d, %v", n, err)
 			}
 		})
 	}
@@ -290,5 +299,64 @@ func TestFileStoreReopen(t *testing.T) {
 	}
 	if got.NumChunks() != 7 {
 		t.Fatal("recipe not persisted")
+	}
+}
+
+// TestFileStoreSweepsTempsAtOpen: stale tmp-* debris a crashed writer
+// left behind is removed when the store is reopened; committed recipes
+// are untouched.
+func TestFileStoreSweepsTempsAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(sampleRecipe(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, durable.TempPrefix+"654321")
+	if err := os.WriteFile(stale, []byte("half a recipe"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file survived reopen: %v", err)
+	}
+	if has, err := s2.Has(1); err != nil || !has {
+		t.Fatalf("committed recipe lost by the sweep: %v, %v", has, err)
+	}
+}
+
+// TestFileStoreErrorsSurface: when the store directory itself is
+// unreadable, Has/Versions/Len report the failure instead of reading
+// as "absent"/"empty". (The directory is replaced with a regular file;
+// chmod tricks don't work when the suite runs as root.)
+func TestFileStoreErrorsSurface(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "recipes")
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(sampleRecipe(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Has(1); err == nil {
+		t.Fatal("Has() on an unreadable store dir returned nil error")
+	}
+	if _, err := s.Versions(); err == nil {
+		t.Fatal("Versions() on an unreadable store dir returned nil error")
+	}
+	if _, err := s.Len(); err == nil {
+		t.Fatal("Len() on an unreadable store dir returned nil error")
 	}
 }

@@ -11,7 +11,7 @@ import (
 	"strings"
 	"sync"
 
-	"hidestore/internal/cleanup"
+	"hidestore/internal/durable"
 )
 
 // Store persists recipes keyed by version number. Implementations must be
@@ -22,10 +22,15 @@ type Store interface {
 	Put(r *Recipe) error
 	Get(version int) (*Recipe, error)
 	Delete(version int) error
-	Has(version int) bool
-	// Versions returns stored version numbers in ascending order.
-	Versions() []int
-	Len() int
+	// Has reports whether the version exists; the error is non-nil only
+	// when existence could not be determined (an I/O failure).
+	Has(version int) (bool, error)
+	// Versions returns stored version numbers in ascending order, or
+	// the error that prevented enumerating them — recovery and GC
+	// delete containers based on this list, so a silently empty answer
+	// from an unreadable directory would be catastrophic.
+	Versions() ([]int, error)
+	Len() (int, error)
 }
 
 // MemStore is an in-memory recipe store.
@@ -79,15 +84,15 @@ func (s *MemStore) Delete(version int) error {
 }
 
 // Has implements Store.
-func (s *MemStore) Has(version int) bool {
+func (s *MemStore) Has(version int) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.recipes[version]
-	return ok
+	return ok, nil
 }
 
 // Versions implements Store.
-func (s *MemStore) Versions() []int {
+func (s *MemStore) Versions() ([]int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]int, 0, len(s.recipes))
@@ -95,18 +100,18 @@ func (s *MemStore) Versions() []int {
 		out = append(out, v)
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }
 
 // Len implements Store.
-func (s *MemStore) Len() int {
+func (s *MemStore) Len() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.recipes)
+	return len(s.recipes), nil
 }
 
 // FileStore is a recipe store backed by one file per version (r_<n>.rcp),
-// written atomically via temp file + rename.
+// written durably via temp file + fsync + rename + directory fsync.
 type FileStore struct {
 	dir string
 }
@@ -115,10 +120,14 @@ var _ Store = (*FileStore)(nil)
 
 const _fileExt = ".rcp"
 
-// NewFileStore opens (creating if needed) a file-backed store at dir.
+// NewFileStore opens (creating if needed) a file-backed store at dir,
+// sweeping any stale tmp-* files a crashed writer left behind.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("recipe: create store dir: %w", err)
+	}
+	if _, err := durable.SweepTemp(dir); err != nil {
+		return nil, fmt.Errorf("recipe: sweep stale temp files: %w", err)
 	}
 	return &FileStore{dir: dir}, nil
 }
@@ -126,6 +135,11 @@ func NewFileStore(dir string) (*FileStore, error) {
 func (s *FileStore) path(version int) string {
 	return filepath.Join(s.dir, "r_"+strconv.Itoa(version)+_fileExt)
 }
+
+// Path returns the on-disk path of a version's recipe. Exported for
+// fault injection and forensics tooling; normal clients go through
+// Store.
+func (s *FileStore) Path(version int) string { return s.path(version) }
 
 // Put implements Store.
 func (s *FileStore) Put(r *Recipe) error {
@@ -139,23 +153,8 @@ func (s *FileStore) Put(r *Recipe) error {
 	if err != nil {
 		return fmt.Errorf("recipe: marshal v%d: %w", r.Version, err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "tmp-*")
-	if err != nil {
-		return fmt.Errorf("recipe: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(buf); err != nil {
-		cleanup.Close(tmp)
-		cleanup.Remove(tmpName)
-		return fmt.Errorf("recipe: write v%d: %w", r.Version, err)
-	}
-	if err := tmp.Close(); err != nil {
-		cleanup.Remove(tmpName)
-		return fmt.Errorf("recipe: close v%d: %w", r.Version, err)
-	}
-	if err := os.Rename(tmpName, s.path(r.Version)); err != nil {
-		cleanup.Remove(tmpName)
-		return fmt.Errorf("recipe: rename v%d: %w", r.Version, err)
+	if err := durable.WriteFileAtomic(s.path(r.Version), buf, 0o644); err != nil {
+		return fmt.Errorf("recipe: put v%d: %w", r.Version, err)
 	}
 	return nil
 }
@@ -176,9 +175,11 @@ func (s *FileStore) Get(version int) (*Recipe, error) {
 	return r, nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The removal is fsynced: the engines delete
+// the recipe before reclaiming its containers, and that ordering only
+// protects against crashes if the recipe cannot reappear.
 func (s *FileStore) Delete(version int) error {
-	err := os.Remove(s.path(version))
+	err := durable.Remove(s.path(version))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("%w: version %d", ErrNotFound, version)
@@ -188,17 +189,25 @@ func (s *FileStore) Delete(version int) error {
 	return nil
 }
 
-// Has implements Store.
-func (s *FileStore) Has(version int) bool {
+// Has implements Store. A stat failure other than not-exist surfaces
+// instead of reading as "absent".
+func (s *FileStore) Has(version int) (bool, error) {
 	_, err := os.Stat(s.path(version))
-	return err == nil
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, fs.ErrNotExist):
+		return false, nil
+	default:
+		return false, fmt.Errorf("recipe: stat v%d: %w", version, err)
+	}
 }
 
 // Versions implements Store.
-func (s *FileStore) Versions() []int {
+func (s *FileStore) Versions() ([]int, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("recipe: list store dir: %w", err)
 	}
 	out := make([]int, 0, len(entries))
 	for _, e := range entries {
@@ -213,8 +222,14 @@ func (s *FileStore) Versions() []int {
 		out = append(out, n)
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }
 
 // Len implements Store.
-func (s *FileStore) Len() int { return len(s.Versions()) }
+func (s *FileStore) Len() (int, error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return 0, err
+	}
+	return len(versions), nil
+}
