@@ -8,17 +8,27 @@
 //
 // Experiments: table1, fig3, fig8, fig9, fig10, fig11, fig12, deletion,
 // all. Output is aligned text: the same rows/series the paper plots.
+//
+// With -json DIR, every experiment additionally writes a
+// machine-readable BENCH_<exp>.json summary to DIR: wall time,
+// throughput, restore container reads and cache hits, per-stage
+// latency quantiles, and the full metrics-registry snapshot of the
+// run. Experiments that never touch a storage engine (the
+// metadata-only index studies) emit zeros for the engine counters.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"hidestore/internal/chunker"
 	"hidestore/internal/experiments"
+	"hidestore/internal/obs"
 	"hidestore/internal/workload"
 )
 
@@ -39,6 +49,7 @@ func run(args []string) error {
 		ctnSize   = fs.Int("container", 1<<20, "container capacity in bytes")
 		deletes   = fs.Int("deletes", 0, "versions to expire in the deletion experiment (0 = half)")
 		format    = fs.String("format", "table", "output format: table|csv")
+		jsonDir   = fs.String("json", "", "directory for machine-readable BENCH_<exp>.json summaries (created if missing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +66,10 @@ func run(args []string) error {
 	}
 	run := func(id string) error {
 		start := time.Now()
+		opts := opts // per-run copy, so each experiment gets a fresh registry
+		if *jsonDir != "" {
+			opts.Metrics = obs.NewRegistry()
+		}
 		switch id {
 		case "table1":
 			res, err := experiments.Table1(names, opts)
@@ -169,6 +184,13 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
+		if *jsonDir != "" {
+			path, err := writeBenchJSON(*jsonDir, id, names, time.Since(start), opts.Metrics)
+			if err != nil {
+				return fmt.Errorf("%s: write JSON summary: %w", id, err)
+			}
+			fmt.Printf("[wrote %s]\n", path)
+		}
 		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -199,4 +221,66 @@ func safeDiv(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// stageLatency is one pipeline stage's latency summary in BENCH_<exp>.json.
+type stageLatency struct {
+	Count uint64  `json:"count"`
+	P50NS float64 `json:"p50_ns"`
+	P99NS float64 `json:"p99_ns"`
+}
+
+// benchSummary is the machine-readable document written per experiment.
+// Engine counters accumulate over every scheme and workload the
+// experiment ran; throughput normalizes bytes by the experiment's wall
+// clock, so it is a lower bound on any single engine's rate.
+type benchSummary struct {
+	Experiment      string                  `json:"experiment"`
+	Workloads       []string                `json:"workloads"`
+	WallSeconds     float64                 `json:"wall_seconds"`
+	LogicalBytes    int64                   `json:"logical_bytes"`
+	RestoredBytes   int64                   `json:"restored_bytes"`
+	BackupMBPerSec  float64                 `json:"backup_mb_per_sec"`
+	RestoreMBPerSec float64                 `json:"restore_mb_per_sec"`
+	ContainerReads  int64                   `json:"container_reads"`
+	CacheHits       int64                   `json:"cache_hits"`
+	Stages          map[string]stageLatency `json:"stages"`
+	Registry        obs.SnapshotJSON        `json:"registry"`
+}
+
+// writeBenchJSON renders the experiment's registry into
+// DIR/BENCH_<exp>.json and returns the written path.
+func writeBenchJSON(dir, exp string, workloads []string, wall time.Duration, reg *obs.Registry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	snap := reg.Snapshot()
+	sum := benchSummary{
+		Experiment:     exp,
+		Workloads:      workloads,
+		WallSeconds:    wall.Seconds(),
+		LogicalBytes:   snap.Counters["hidestore_backup_logical_bytes_total"].Value,
+		RestoredBytes:  snap.Counters["hidestore_restore_bytes_total"].Value,
+		ContainerReads: snap.Counters["hidestore_restore_container_reads_total"].Value,
+		CacheHits:      snap.Counters["hidestore_restore_cache_hits_total"].Value,
+		Stages:         map[string]stageLatency{},
+	}
+	if s := wall.Seconds(); s > 0 {
+		sum.BackupMBPerSec = float64(sum.LogicalBytes) / (1 << 20) / s
+		sum.RestoreMBPerSec = float64(sum.RestoredBytes) / (1 << 20) / s
+	}
+	for name, h := range snap.Histograms {
+		stage, ok := strings.CutPrefix(name, "hidestore_stage_")
+		if !ok {
+			continue
+		}
+		sum.Stages[stage] = stageLatency{Count: h.Count, P50NS: h.P50, P99NS: h.P99}
+	}
+	sum.Registry = snap
+	path := filepath.Join(dir, "BENCH_"+exp+".json")
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }

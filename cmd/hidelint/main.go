@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	hidelint [-root dir] [-checks a,b,c] [-list]
+//	hidelint [-root dir] [-checks a,b,c] [-unused-suppressions] [-list]
 //
 // Exit status is 1 when any diagnostic survives suppression, 2 on
 // operational failure (unparsable or untypecheckable tree).
+//
+// With -unused-suppressions, every //hidelint:ignore directive that
+// silenced no finding of the checks that ran is itself reported as an
+// "unused-suppression" finding, so stale suppressions cannot outlive
+// the code they excused.
 //
 // Suppress a finding with a trailing or preceding-line comment:
 //
@@ -40,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	root := fs.String("root", "", "module root to lint (default: nearest go.mod above the working directory)")
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
 	list := fs.Bool("list", false, "list registered checks and exit")
+	unused := fs.Bool("unused-suppressions", false, "also flag hidelint:ignore comments that suppress nothing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,7 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sayf(stderr, "hidelint: %v\n", err)
 		return 2
 	}
-	diags, err := analysis.Run(pkgs, names, analysis.DefaultConfig())
+	cfg := analysis.DefaultConfig()
+	cfg.ReportUnusedSuppressions = *unused
+	diags, err := analysis.Run(pkgs, names, cfg)
 	if err != nil {
 		sayf(stderr, "hidelint: %v\n", err)
 		return 2

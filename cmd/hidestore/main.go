@@ -9,6 +9,15 @@
 //	hidestore -dir /backups delete  <version>
 //	hidestore -dir /backups versions
 //	hidestore -dir /backups stats
+//	hidestore trace <trace.jsonl>                  # summarize a JSONL trace
+//	hidestore checkmetrics <metrics.prom>          # validate an exposition dump
+//
+// Observability: -trace FILE appends JSONL spans for the invocation (the
+// file accumulates across invocations; summarize with `hidestore trace`),
+// -debug-addr ADDR serves /metrics, /metrics.json, /debug/vars and
+// /debug/pprof for the life of the command, and -metrics-out FILE dumps
+// the Prometheus exposition on exit. All three are off by default and add
+// no overhead when unset.
 //
 // Directory backups serialize the tree (sorted walk, path+size headers +
 // file contents) into one stream, so adjacent snapshots of the same tree
@@ -30,9 +39,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"hidestore"
 	"hidestore/internal/cleanup"
+	"hidestore/internal/obs"
 )
 
 func main() {
@@ -54,9 +65,14 @@ func run(args []string) error {
 		prefetch = fs.Int("prefetch", 0, "restore read-ahead depth in containers (0 = default, negative disables)")
 		compress = fs.Bool("compress", false, "DEFLATE-compress containers at rest")
 		repair   = fs.Bool("repair", false, "fsck only: quarantine corrupt containers and name affected versions")
+
+		tracePath  = fs.String("trace", "", "append JSONL spans for this invocation to FILE")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on ADDR for the life of the command")
+		metricsOut = fs.String("metrics-out", "", "dump the Prometheus exposition to FILE on exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats> [args]")
+		fmt.Fprintln(os.Stderr, "       hidestore trace <trace.jsonl> | hidestore checkmetrics <metrics.prom>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -67,9 +83,33 @@ func run(args []string) error {
 		fs.Usage()
 		return errors.New("missing command")
 	}
+	// Offline analysis commands work on files, not a store: no -dir.
+	switch rest[0] {
+	case "trace":
+		return runTraceSummary(rest[1:])
+	case "checkmetrics":
+		return runCheckMetrics(rest[1:])
+	}
 	if *dir == "" {
 		return errors.New("-dir is required")
 	}
+
+	// The observability plane: all three switches are independent, but
+	// the metrics registry exists if any consumer (server or dump file)
+	// wants it.
+	var reg *obs.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		t, err := obs.OpenTraceFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		tracer = t
+	}
+
 	sys, err := hidestore.Open(hidestore.Config{
 		Dir:           *dir,
 		Window:        *window,
@@ -78,14 +118,52 @@ func run(args []string) error {
 		RestoreCache:  *cache,
 		PrefetchDepth: *prefetch,
 		Compress:      *compress,
+		Metrics:       reg,
+		Tracer:        tracer,
 	})
 	if err != nil {
+		//hidelint:ignore discarded-error tracer teardown on the Open error path; the Open failure is the error that matters
+		_ = tracer.Close()
 		return err
 	}
 	// Interrupts cancel in-flight work (restores stop within one
 	// container read) instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			//hidelint:ignore discarded-error tracer teardown on the listen error path; the listen failure is the error that matters
+			_ = tracer.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics\n", srv.Addr())
+		// Shut down with the command (or the interrupt that cancelled
+		// it): the server must never outlive run, and Shutdown reaps the
+		// serving goroutine so an interrupted process exits cleanly.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "hidestore: debug server shutdown:", err)
+			}
+		}()
+	}
+	if tracer != nil {
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hidestore: trace:", err)
+			}
+		}()
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := os.WriteFile(*metricsOut, []byte(reg.PrometheusText()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "hidestore: metrics dump:", err)
+			}
+		}()
+	}
 	switch cmd := rest[0]; cmd {
 	case "backup":
 		if len(rest) != 2 {
@@ -239,6 +317,44 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	return nil
+}
+
+// runTraceSummary aggregates a JSONL trace file into per-stage latency
+// and throughput tables.
+func runTraceSummary(args []string) error {
+	if len(args) != 1 {
+		return errors.New("trace needs exactly one JSONL file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer cleanup.Close(f) // read-only input
+	sum, err := obs.SummarizeTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum.Render())
+	return nil
+}
+
+// runCheckMetrics validates a Prometheus text exposition dump (such as a
+// -metrics-out file or a scraped /metrics body); CI fails the build on a
+// malformed exposition.
+func runCheckMetrics(args []string) error {
+	if len(args) != 1 {
+		return errors.New("checkmetrics needs exactly one exposition file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer cleanup.Close(f) // read-only input
+	if err := obs.ValidateExposition(f); err != nil {
+		return err
+	}
+	fmt.Println("exposition is well-formed")
 	return nil
 }
 

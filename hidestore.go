@@ -46,6 +46,7 @@ import (
 	"hidestore/internal/index/extbin"
 	"hidestore/internal/index/silo"
 	"hidestore/internal/index/sparse"
+	"hidestore/internal/obs"
 	"hidestore/internal/recipe"
 	"hidestore/internal/restorecache"
 	"hidestore/internal/rewrite"
@@ -85,6 +86,16 @@ type Config struct {
 	// Compression composes with deduplication: dedup removes repeated
 	// chunks, compression shrinks what remains.
 	Compress bool
+	// Metrics, when set, mirrors the engine's counters and per-stage
+	// latencies into the registry (expose it with obs.StartDebugServer
+	// or Registry.WritePrometheus). Nil — the default — disables the
+	// observability plane entirely; the hot paths then cost one nil
+	// check per instrumentation site.
+	Metrics *obs.Registry
+	// Tracer, when set, records per-operation spans (backup, restore,
+	// container fetches, recovery events) as JSONL. Nil disables
+	// tracing. The caller owns the tracer and must Close it.
+	Tracer *obs.Tracer
 }
 
 func (c Config) chunkParams() chunker.Params {
@@ -243,6 +254,8 @@ func Open(cfg Config) (*System, error) {
 		RestoreCache:      rc,
 		PrefetchDepth:     cfg.PrefetchDepth,
 		StatePath:         statePath,
+		Metrics:           cfg.Metrics,
+		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -309,6 +322,8 @@ func OpenBaseline(cfg BaselineConfig) (*System, error) {
 		Recipes:           rs,
 		ContainerCapacity: cfg.ContainerSize,
 		PrefetchDepth:     cfg.PrefetchDepth,
+		Metrics:           cfg.Metrics,
+		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

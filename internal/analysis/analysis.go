@@ -58,6 +58,12 @@ type Config struct {
 	// LibraryExemptDirs lists path elements (e.g. "cmd", "examples")
 	// whose packages are binaries: exempt from no-panic/no-print.
 	LibraryExemptDirs []string
+	// ReportUnusedSuppressions turns on the -unused-suppressions mode:
+	// every well-formed //hidelint:ignore directive that silenced no
+	// finding of the checks that ran becomes an "unused-suppression"
+	// diagnostic. Directives naming checks outside the selected set are
+	// never reported — a partial run cannot prove them stale.
+	ReportUnusedSuppressions bool
 }
 
 // DefaultConfig is the policy for the hidestore tree.
@@ -205,6 +211,9 @@ func Run(pkgs []*Package, names []string, cfg Config) ([]Diagnostic, error) {
 		}
 	}
 	diags = sup.filter(diags)
+	if cfg.ReportUnusedSuppressions {
+		diags = append(diags, sup.unused(checks)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -35,7 +35,15 @@ func goldenCases() []goldenCase {
 		{name: "storeownership", checks: []string{"store-ownership"}, cfg: DefaultConfig},
 		{name: "accounting", checks: []string{"accounting"}, cfg: DefaultConfig},
 		{name: "suppress", checks: []string{"no-panic"}, cfg: DefaultConfig},
+		{name: "unusedsuppress", checks: []string{"no-panic"}, cfg: withUnusedSuppressions},
 	}
+}
+
+// withUnusedSuppressions turns on the -unused-suppressions mode.
+func withUnusedSuppressions() Config {
+	cfg := DefaultConfig()
+	cfg.ReportUnusedSuppressions = true
+	return cfg
 }
 
 // TestGolden seeds each defect class and asserts the exact diagnostic

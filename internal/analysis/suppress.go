@@ -13,6 +13,11 @@ import (
 // itself.
 const suppressionCheck = "suppression"
 
+// unusedSuppressionCheck is the pseudo-check name under which stale
+// //hidelint:ignore comments are reported in -unused-suppressions
+// mode. Like "suppression", it is not registered.
+const unusedSuppressionCheck = "unused-suppression"
+
 const ignorePrefix = "//hidelint:ignore"
 
 // suppressKey addresses one (file, line, check) a suppression covers.
@@ -22,8 +27,20 @@ type suppressKey struct {
 	check string
 }
 
+// directive is one well-formed //hidelint:ignore comment, tracked so
+// stale suppressions can be reported.
+type directive struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
 type suppressions struct {
-	keys map[suppressKey]bool
+	// keys maps each covered (file, line, check) to the indices of the
+	// directives covering it — two directives can cover the same line
+	// (a trailing comment and a standalone one above).
+	keys       map[suppressKey][]int
+	directives []directive
 }
 
 // collect scans every comment in files for //hidelint:ignore
@@ -34,7 +51,7 @@ type suppressions struct {
 // are reported into diags under the "suppression" pseudo-check.
 func (s *suppressions) collect(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) {
 	if s.keys == nil {
-		s.keys = make(map[suppressKey]bool)
+		s.keys = make(map[suppressKey][]int)
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -64,21 +81,51 @@ func (s *suppressions) collect(fset *token.FileSet, files []*ast.File, diags *[]
 						Message: "hidelint:ignore " + name + " needs a reason"})
 					continue
 				}
-				s.keys[suppressKey{pos.Filename, pos.Line, name}] = true
-				s.keys[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+				idx := len(s.directives)
+				s.directives = append(s.directives, directive{pos: pos, check: name})
+				own := suppressKey{pos.Filename, pos.Line, name}
+				below := suppressKey{pos.Filename, pos.Line + 1, name}
+				s.keys[own] = append(s.keys[own], idx)
+				s.keys[below] = append(s.keys[below], idx)
 			}
 		}
 	}
 }
 
-// filter drops diagnostics covered by a collected suppression.
+// filter drops diagnostics covered by a collected suppression and
+// marks the covering directives used.
 func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
-		if d.Check != suppressionCheck && s.keys[suppressKey{d.Pos.Filename, d.Pos.Line, d.Check}] {
-			continue
+		if d.Check != suppressionCheck {
+			if idxs := s.keys[suppressKey{d.Pos.Filename, d.Pos.Line, d.Check}]; len(idxs) > 0 {
+				for _, i := range idxs {
+					s.directives[i].used = true
+				}
+				continue
+			}
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+// unused reports every well-formed directive that suppressed nothing,
+// restricted to directives whose check actually ran (ranChecks) — a
+// partial-check run cannot prove a suppression for an unselected
+// check stale.
+func (s *suppressions) unused(ranChecks []Check) []Diagnostic {
+	ran := make(map[string]bool, len(ranChecks))
+	for _, c := range ranChecks {
+		ran[c.Name] = true
+	}
+	var out []Diagnostic
+	for _, d := range s.directives {
+		if d.used || !ran[d.check] {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: d.pos, Check: unusedSuppressionCheck,
+			Message: fmt.Sprintf("hidelint:ignore %s matches no finding; remove the stale suppression", d.check)})
 	}
 	return out
 }

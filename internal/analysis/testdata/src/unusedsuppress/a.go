@@ -1,0 +1,21 @@
+// Package unusedsuppress seeds the -unused-suppressions mode: a live
+// directive (it silences a real finding) must stay quiet, a stale one
+// (it silences nothing) must be flagged, and one naming a check
+// outside the selected set must be left alone — a partial run cannot
+// prove it stale.
+package unusedsuppress
+
+func live() {
+	//hidelint:ignore no-panic golden-file fixture for a suppression that earns its keep
+	panic("suppressed")
+}
+
+func stale() int {
+	//hidelint:ignore no-panic golden-file fixture for a suppression with nothing to suppress
+	return 1 // finding: the directive above covers no panic
+}
+
+func outOfScope() int {
+	//hidelint:ignore discarded-error the golden case runs no-panic only, so this cannot be proven stale
+	return 2
+}

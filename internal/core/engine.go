@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hidestore/internal/backup"
@@ -17,6 +18,7 @@ import (
 	"hidestore/internal/durable"
 	"hidestore/internal/fp"
 	"hidestore/internal/index"
+	"hidestore/internal/obs"
 	"hidestore/internal/pipeline"
 	"hidestore/internal/recipe"
 	"hidestore/internal/restorecache"
@@ -59,6 +61,13 @@ type Config struct {
 	// i.e. temp file + fsync + rename + directory fsync). Tests inject
 	// fault wrappers here; production code leaves it nil.
 	WriteState func(path string, data []byte, perm os.FileMode) error
+	// Metrics, when set, mirrors the engine's counters and per-stage
+	// latencies into the registry. Nil (the default) disables the
+	// observability plane at the cost of one nil check per site.
+	Metrics *obs.Registry
+	// Tracer, when set, records per-operation spans (backup, restore,
+	// container.fetch, recovery events) as JSONL. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -134,6 +143,13 @@ type Engine struct {
 
 	logicalBytes uint64
 	storedBytes  uint64
+
+	// Observability bundles; all nil when Config.Metrics is nil, in
+	// which case every instrumentation site reduces to one nil check.
+	mx     *obs.BackupMetrics
+	rmx    *obs.RestoreMetrics
+	rcv    *obs.RecoveryMetrics
+	tracer *obs.Tracer
 }
 
 var _ backup.Engine = (*Engine)(nil)
@@ -149,6 +165,10 @@ func New(cfg Config) (*Engine, error) {
 		activeByFP:       make(map[fp.FP]container.ID),
 		activeContainers: make(map[container.ID]*container.Container),
 		batches:          make(map[int]*archivalBatch),
+		mx:               obs.NewBackupMetrics(cfg.Metrics),
+		rmx:              obs.NewRestoreMetrics(cfg.Metrics),
+		rcv:              obs.NewRecoveryMetrics(cfg.Metrics),
+		tracer:           cfg.Tracer,
 	}
 	if e.cfg.StatePath != "" {
 		// A crash during a state write can leave a half-written temp file
@@ -214,6 +234,19 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	var logical, stored uint64
 	var chunks, unique int
 
+	// obsOn gates every hot-path clock read: with the plane off, a
+	// backup performs exactly one extra boolean test per chunk. The
+	// histograms are hoisted into locals so the per-chunk record is a
+	// nil-safe method call even when only the tracer is live.
+	obsOn := e.mx != nil || e.tracer != nil
+	span := e.tracer.Start("backup", nil)
+	var chunkNS, lookupNS int64 // single-goroutine stages
+	var fpNS atomic.Int64       // fingerprinting runs on HashWorkers goroutines
+	var mxChunk, mxFP, mxLookup *obs.Histogram
+	if e.mx != nil {
+		mxChunk, mxFP, mxLookup = e.mx.ChunkingNS, e.mx.FingerprintNS, e.mx.IndexLookupNS
+	}
+
 	ch, err := chunker.New(e.cfg.Chunker, version, e.cfg.ChunkParams)
 	if err != nil {
 		return backup.BackupReport{}, err
@@ -221,7 +254,16 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	g, _ := pipeline.WithContext(ctx)
 	raw := pipeline.Produce(g, 64, func(emit func(hashedChunk) bool) error {
 		for seq := 0; ; seq++ {
+			var t0 time.Time
+			if obsOn {
+				t0 = time.Now()
+			}
 			data, err := ch.Next()
+			if obsOn {
+				d := time.Since(t0)
+				chunkNS += int64(d)
+				mxChunk.Observe(uint64(d))
+			}
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
@@ -234,13 +276,32 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 		}
 	})
 	hashed := pipeline.Transform(g, e.cfg.HashWorkers, 64, raw, func(c hashedChunk) (hashedChunk, error) {
+		var t0 time.Time
+		if obsOn {
+			t0 = time.Now()
+		}
 		c.fp = fp.Of(c.data)
+		if obsOn {
+			d := time.Since(t0)
+			fpNS.Add(int64(d))
+			mxFP.Observe(uint64(d))
+		}
 		return c, nil
 	})
 	process := func(item hashedChunk) error {
 		logical += uint64(len(item.data))
 		chunks++
-		if _, dup := e.cache.lookupOne(item.fp, uint32(len(item.data))); !dup {
+		var t0 time.Time
+		if obsOn {
+			t0 = time.Now()
+		}
+		_, dup := e.cache.lookupOne(item.fp, uint32(len(item.data)))
+		if obsOn {
+			d := time.Since(t0)
+			lookupNS += int64(d)
+			mxLookup.Observe(uint64(d))
+		}
+		if !dup {
 			cid, err := e.storeActive(item.fp, item.data)
 			if err != nil {
 				return err
@@ -275,8 +336,12 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	if err := e.sealOpenActive(); err != nil {
 		return backup.BackupReport{}, err
 	}
+	commitStart := time.Now()
 	if err := e.cfg.Recipes.Put(rec); err != nil {
 		return backup.BackupReport{}, err
+	}
+	if e.mx != nil {
+		e.mx.RecipeCommitNS.Observe(uint64(time.Since(commitStart)))
 	}
 
 	// Post-version maintenance: classify cold chunks, migrate them to
@@ -289,8 +354,15 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	if err != nil {
 		return backup.BackupReport{}, err
 	}
+	if e.mx != nil {
+		e.mx.MigrateNS.Observe(uint64(time.Since(migrateStart)))
+	}
+	mergeStart := time.Now()
 	if err := e.mergeSparseActives(); err != nil {
 		return backup.BackupReport{}, err
+	}
+	if e.mx != nil {
+		e.mx.MergeNS.Observe(uint64(time.Since(mergeStart)))
 	}
 	migrateDur := time.Since(migrateStart)
 
@@ -302,11 +374,37 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 
 	e.logicalBytes += logical
 	e.storedBytes += stored
+	stateStart := time.Now()
 	if err := e.saveState(); err != nil {
 		return backup.BackupReport{}, err
 	}
+	if e.mx != nil {
+		e.mx.StateCommitNS.Observe(uint64(time.Since(stateStart)))
+	}
 	if err := e.flushPendingDeletes(); err != nil {
 		return backup.BackupReport{}, err
+	}
+	if e.mx != nil {
+		e.mx.Versions.Inc()
+		e.mx.LogicalBytes.Add(logical)
+		e.mx.StoredBytes.Add(stored)
+		e.mx.Chunks.Add(uint64(chunks))
+		e.mx.UniqueChunks.Add(uint64(unique))
+	}
+	if e.tracer != nil {
+		// Chunking and fingerprinting run interleaved with the dedup
+		// sink, so their cost is the per-item sum, not a wall interval.
+		e.tracer.EmitStage("stage.chunking", span, start, time.Duration(chunkNS),
+			map[string]int64{"chunks": int64(chunks), "bytes": int64(logical)})
+		e.tracer.EmitStage("stage.fingerprint", span, start, time.Duration(fpNS.Load()),
+			map[string]int64{"chunks": int64(chunks), "bytes": int64(logical)})
+		e.tracer.EmitStage("stage.index_lookup", span, start, time.Duration(lookupNS),
+			map[string]int64{"chunks": int64(chunks)})
+		span.SetAttr("version", int64(v))
+		span.SetAttr("bytes", int64(logical))
+		span.SetAttr("chunks", int64(chunks))
+		span.SetAttr("unique", int64(unique))
+		span.End()
 	}
 	statsAfter := e.cache.Stats()
 	return backup.BackupReport{
@@ -357,8 +455,15 @@ func (e *Engine) sealOpenActive() error {
 		return nil
 	}
 	e.activeContainers[e.openActive.ID()] = e.openActive
+	var t0 time.Time
+	if e.mx != nil {
+		t0 = time.Now()
+	}
 	if err := e.cfg.Store.Put(e.openActive); err != nil {
 		return err
+	}
+	if e.mx != nil {
+		e.mx.ContainerWriteNS.Observe(uint64(time.Since(t0)))
 	}
 	e.openActive = nil
 	return nil
@@ -408,6 +513,10 @@ func (e *Engine) migrateCold(v int) (map[fp.FP]container.ID, error) {
 		}
 		if err := e.cfg.Store.Put(archival); err != nil {
 			return err
+		}
+		if e.mx != nil {
+			e.mx.ArchivalContainers.Inc()
+			e.mx.MigratedChunks.Add(uint64(archival.Len()))
 		}
 		batch.containers = append(batch.containers, archival.ID())
 		batch.bytes += uint64(archival.LiveSize())
@@ -609,9 +718,18 @@ func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.
 // VerifyRestore interpose integrity checking.
 func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetch restorecache.Fetcher) (backup.RestoreReport, error) {
 	start := time.Now()
+	obsOn := e.rmx != nil || e.tracer != nil
+	span := e.tracer.Start("restore", nil)
 	rec, err := e.cfg.Recipes.Get(version)
 	if err != nil {
 		return backup.RestoreReport{}, err
+	}
+	if obsOn {
+		d := time.Since(start)
+		if e.rmx != nil {
+			e.rmx.RecipeReadNS.Observe(uint64(d))
+		}
+		e.tracer.EmitStage("recipe.read", span, start, d, map[string]int64{"version": int64(version)})
 	}
 	var flattenDur time.Duration
 	if hasForward(rec) {
@@ -620,6 +738,13 @@ func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetc
 			return backup.RestoreReport{}, err
 		}
 		flattenDur = time.Since(flattenStart)
+		if obsOn {
+			if e.rmx != nil {
+				e.rmx.FlattenNS.Observe(uint64(flattenDur))
+			}
+			e.tracer.EmitStage("recipe.flatten", span, flattenStart, flattenDur,
+				map[string]int64{"version": int64(version)})
+		}
 		rec, err = e.cfg.Recipes.Get(version)
 		if err != nil {
 			return backup.RestoreReport{}, err
@@ -640,12 +765,27 @@ func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetc
 		}
 		resolved[i] = recipe.Entry{FP: entry.FP, Size: entry.Size, CID: int32(cid)}
 	}
-	fetch, done := restorecache.MaybePrefetch(fetch, resolved, e.cfg.PrefetchDepth)
+	// The observed fetcher sits *above* the prefetch layer — the same
+	// position as the policy's countingFetcher — so the trace's
+	// container.fetch span count, the registry counter and the run's
+	// Stats.ContainerReads are equal by construction.
+	fetch, done := restorecache.MaybePrefetchObserved(fetch, resolved, e.cfg.PrefetchDepth, e.rmx)
 	defer done()
+	fetch = restorecache.ObserveFetcher(fetch, e.rmx, e.tracer, span)
 	stats, err := e.cfg.RestoreCache.Restore(ctx, resolved, fetch, w)
 	if err != nil {
 		return backup.RestoreReport{}, err
 	}
+	if e.rmx != nil {
+		e.rmx.Restores.Inc()
+		e.rmx.BytesRestored.Add(stats.BytesRestored)
+		e.rmx.CacheHits.Add(stats.CacheHits)
+		e.rmx.Chunks.Add(stats.Chunks)
+	}
+	span.SetAttr("version", int64(version))
+	span.SetAttr("bytes", int64(stats.BytesRestored))
+	span.SetAttr("container_reads", int64(stats.ContainerReads))
+	span.End()
 	return backup.RestoreReport{
 		Version:              version,
 		Stats:                stats,

@@ -31,6 +31,7 @@ func (e *Engine) recoverStartup() error {
 	if err != nil {
 		return fmt.Errorf("core: recovery: %w", err)
 	}
+	repaired := false
 	committed := versions[:0]
 	rolledBack := false
 	for _, v := range versions {
@@ -38,6 +39,11 @@ func (e *Engine) recoverStartup() error {
 			if err := e.cfg.Recipes.Delete(v); err != nil {
 				return fmt.Errorf("core: recovery: rollback recipe v%d: %w", v, err)
 			}
+			if e.rcv != nil {
+				e.rcv.Rollbacks.Inc()
+			}
+			e.tracer.Event("recovery.rollback", nil, map[string]int64{"version": int64(v)})
+			repaired = true
 			rolledBack = true
 			continue
 		}
@@ -70,11 +76,23 @@ func (e *Engine) recoverStartup() error {
 		}
 		e.storedBytes -= e.batches[v].bytes
 		delete(e.batches, v)
+		if e.rcv != nil {
+			e.rcv.RedoDeletes.Inc()
+		}
+		e.tracer.Event("recovery.redo_delete", nil, map[string]int64{"version": int64(v)})
+		repaired = true
 		stateChanged = true
 	}
 
-	if err := e.sweepOrphans(committed); err != nil {
+	swept, err := e.sweepOrphans(committed)
+	if err != nil {
 		return err
+	}
+	if swept > 0 {
+		repaired = true
+	}
+	if !repaired && e.rcv != nil {
+		e.rcv.StartupsClean.Inc()
 	}
 	if stateChanged {
 		return e.saveState()
@@ -116,20 +134,21 @@ func (e *Engine) resetDanglingForwards(versions []int) error {
 	return nil
 }
 
-// sweepOrphans deletes container images nothing references. The sweep
-// is abandoned (without error) if any recipe fails to decode: with one
-// recipe's references unknown, deleting anything could destroy data it
-// points at — the debris stays and fsck reports the corrupt recipe.
-func (e *Engine) sweepOrphans(versions []int) error {
+// sweepOrphans deletes container images nothing references, reporting
+// how many it removed. The sweep is abandoned (without error) if any
+// recipe fails to decode: with one recipe's references unknown,
+// deleting anything could destroy data it points at — the debris stays
+// and fsck reports the corrupt recipe.
+func (e *Engine) sweepOrphans(versions []int) (int, error) {
 	stored, err := e.cfg.Store.IDs()
 	if err != nil {
-		return fmt.Errorf("core: recovery: %w", err)
+		return 0, fmt.Errorf("core: recovery: %w", err)
 	}
 	referenced := make(map[container.ID]struct{})
 	for _, v := range versions {
 		rec, err := e.cfg.Recipes.Get(v)
 		if err != nil {
-			return nil
+			return 0, nil
 		}
 		for _, entry := range rec.Entries {
 			if entry.CID > 0 {
@@ -137,6 +156,7 @@ func (e *Engine) sweepOrphans(versions []int) error {
 			}
 		}
 	}
+	swept := 0
 	for _, cid := range stored {
 		if _, active := e.activeContainers[cid]; active {
 			continue
@@ -148,8 +168,13 @@ func (e *Engine) sweepOrphans(versions []int) error {
 			continue
 		}
 		if err := e.cfg.Store.Delete(cid); err != nil && !errors.Is(err, container.ErrNotFound) {
-			return fmt.Errorf("core: recovery: sweep container %d: %w", cid, err)
+			return swept, fmt.Errorf("core: recovery: sweep container %d: %w", cid, err)
 		}
+		swept++
+		if e.rcv != nil {
+			e.rcv.OrphansSwept.Inc()
+		}
+		e.tracer.Event("recovery.orphan_sweep", nil, map[string]int64{"cid": int64(cid)})
 	}
-	return nil
+	return swept, nil
 }

@@ -57,6 +57,7 @@ func runHidestoreConfig(cfg workload.Config, o Options, window int, mergeUtil fl
 		Chunker:           alg,
 		RestoreCache:      rc,
 		PrefetchDepth:     prefetch,
+		Metrics:           o.Metrics,
 	})
 	if err != nil {
 		return AblationRow{}, err

@@ -35,6 +35,7 @@ import (
 	"hidestore/internal/index/extbin"
 	"hidestore/internal/index/silo"
 	"hidestore/internal/index/sparse"
+	"hidestore/internal/obs"
 	"hidestore/internal/recipe"
 	"hidestore/internal/restorecache"
 	"hidestore/internal/rewrite"
@@ -55,6 +56,12 @@ type Options struct {
 	ContainerCapacity int
 	// ChunkParams defaults to 2/4/16 KB (the paper's).
 	ChunkParams chunker.Params
+	// Metrics, when non-nil, is threaded into every engine the
+	// experiment builds, so callers (cmd/bench -json) can export
+	// machine-readable counters and per-stage latency histograms for
+	// the run. Counters accumulate across schemes and workloads within
+	// one experiment.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -229,6 +236,7 @@ func baselineEngine(o Options, indexName, rewriterName, cacheName string) (backu
 		ContainerCapacity: o.ContainerCapacity,
 		ChunkParams:       o.ChunkParams,
 		Chunker:           chunker.FastCDC,
+		Metrics:           o.Metrics,
 	})
 }
 
@@ -242,6 +250,7 @@ func hidestoreEngine(o Options, w workload.Config) (backup.Engine, error) {
 		ChunkParams:       o.ChunkParams,
 		Chunker:           chunker.FastCDC,
 		RestoreCache:      restorecache.NewFAA(0),
+		Metrics:           o.Metrics,
 	})
 }
 

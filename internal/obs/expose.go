@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusText renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, counter and
+// gauge samples, and cumulative histogram buckets with le labels.
+// A nil registry renders empty text.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	for _, inst := range r.sorted() {
+		switch m := inst.(type) {
+		case *Counter:
+			writeHeader(&b, m.name, m.help, "counter")
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.Value())
+		case *Gauge:
+			writeHeader(&b, m.name, m.help, "gauge")
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.Value())
+		case *Histogram:
+			writeHeader(&b, m.name, m.help, "histogram")
+			counts, sum, count := m.snapshot()
+			var cum uint64
+			top := highestBucket(counts)
+			for i := 0; i <= top; i++ {
+				cum += counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", m.name, BucketUpper(i), cum)
+			}
+			// The +Inf bucket must agree with _count; cum (the finite
+			// buckets) may trail it if observations land mid-snapshot.
+			if cum > count {
+				count = cum
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, count)
+			fmt.Fprintf(&b, "%s_sum %d\n", m.name, sum)
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, count)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes PrometheusText to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, r.PrometheusText())
+	return err
+}
+
+// highestBucket returns the index of the last non-zero bucket (0 when
+// the histogram is empty), bounding exposition size to observed range.
+func highestBucket(counts [histBuckets]uint64) int {
+	top := 0
+	for i, c := range counts {
+		if c != 0 {
+			top = i
+		}
+	}
+	return top
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// HistogramJSON is one histogram in the JSON exposition.
+type HistogramJSON struct {
+	Help    string       `json:"help,omitempty"`
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	P50     float64      `json:"p50"`
+	P99     float64      `json:"p99"`
+	Buckets []BucketJSON `json:"buckets,omitempty"`
+}
+
+// BucketJSON is one non-cumulative histogram bucket.
+type BucketJSON struct {
+	LE    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// ScalarJSON is one counter or gauge in the JSON exposition.
+type ScalarJSON struct {
+	Help  string `json:"help,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// SnapshotJSON is the registry's JSON exposition document.
+type SnapshotJSON struct {
+	Counters   map[string]ScalarJSON    `json:"counters,omitempty"`
+	Gauges     map[string]ScalarJSON    `json:"gauges,omitempty"`
+	Histograms map[string]HistogramJSON `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. Individual reads
+// are atomic; the snapshot as a whole is not a consistent cut (see the
+// registry tests for the exact guarantee). Nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() SnapshotJSON {
+	snap := SnapshotJSON{
+		Counters:   map[string]ScalarJSON{},
+		Gauges:     map[string]ScalarJSON{},
+		Histograms: map[string]HistogramJSON{},
+	}
+	for _, inst := range r.sorted() {
+		switch m := inst.(type) {
+		case *Counter:
+			snap.Counters[m.name] = ScalarJSON{Help: m.help, Value: int64(m.Value())}
+		case *Gauge:
+			snap.Gauges[m.name] = ScalarJSON{Help: m.help, Value: m.Value()}
+		case *Histogram:
+			counts, sum, count := m.snapshot()
+			hj := HistogramJSON{
+				Help:  m.help,
+				Count: count,
+				Sum:   sum,
+				P50:   m.Quantile(0.50),
+				P99:   m.Quantile(0.99),
+			}
+			for i, c := range counts {
+				if c != 0 {
+					hj.Buckets = append(hj.Buckets, BucketJSON{LE: BucketUpper(i), Count: c})
+				}
+			}
+			snap.Histograms[m.name] = hj
+		}
+	}
+	return snap
+}
+
+// WriteJSON renders the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ValidateExposition parses Prometheus text exposition and reports the
+// first structural violation: malformed sample lines, TYPE/HELP lines
+// for metrics that never appear, histogram bucket counts that are not
+// cumulative, or histograms missing their le="+Inf"/_sum/_count
+// samples. It accepts any metric source, not just this registry — the
+// CI gate runs it over the live /metrics scrape.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	hists := make(map[string]*histState)
+	typed := make(map[string]string)
+	sampled := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if len(fields) < 3 {
+					return fmt.Errorf("line %d: %s without a metric name", lineNo, fields[1])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return fmt.Errorf("line %d: TYPE without a type", lineNo)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+					}
+					typed[fields[2]] = fields[3]
+					if fields[3] == "histogram" {
+						hists[fields[2]] = &histState{}
+					}
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sampled[base(name)] = true
+		if st := histFor(hists, name); st != nil {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				v := uint64(value)
+				if le, ok := labels["le"]; !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				} else if le == "+Inf" {
+					st.infSeen = true
+					st.infCount = v
+				} else {
+					if _, err := strconv.ParseFloat(le, 64); err != nil {
+						return fmt.Errorf("line %d: unparsable le=%q", lineNo, le)
+					}
+					if v < st.lastCum {
+						return fmt.Errorf("line %d: histogram %s buckets not cumulative (%d after %d)",
+							lineNo, base(name), v, st.lastCum)
+					}
+					st.lastCum = v
+				}
+			case strings.HasSuffix(name, "_sum"):
+				st.sumSeen = true
+			case strings.HasSuffix(name, "_count"):
+				st.cntSeen = true
+				st.count = uint64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, typ := range typed {
+		if !sampled[name] {
+			return fmt.Errorf("metric %s declared TYPE %s but has no samples", name, typ)
+		}
+	}
+	for name, st := range hists {
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", name)
+		}
+		if !st.sumSeen || !st.cntSeen {
+			return fmt.Errorf("histogram %s missing _sum or _count", name)
+		}
+		if st.lastCum > st.infCount {
+			return fmt.Errorf("histogram %s +Inf bucket %d below finite bucket %d", name, st.infCount, st.lastCum)
+		}
+		if st.infCount != st.count {
+			return fmt.Errorf("histogram %s +Inf bucket %d != _count %d", name, st.infCount, st.count)
+		}
+	}
+	return nil
+}
+
+// base strips histogram sample suffixes back to the declared name.
+func base(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// histState tracks per-histogram validation across a scrape.
+type histState struct {
+	lastCum  uint64
+	infSeen  bool
+	sumSeen  bool
+	cntSeen  bool
+	infCount uint64
+	count    uint64
+}
+
+// histFor returns the histogram state a sample belongs to, or nil for
+// non-histogram samples. A plain metric named like x_count only
+// matches when x was declared a histogram.
+func histFor(hists map[string]*histState, name string) *histState {
+	return hists[base(name)]
+}
+
+// parseSample splits one exposition sample line into metric name,
+// label map and value. Timestamps (an optional trailing integer) are
+// accepted and ignored.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		if err := parseLabels(line[i+1:j], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if name == "" || !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparsable value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst.
+func parseLabels(s string, dst map[string]string) error {
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", s)
+		}
+		dst[key] = rest[1 : 1+end]
+		s = strings.TrimPrefix(strings.TrimSpace(rest[end+2:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+func validMetricName(name string) bool {
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return name != ""
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrometheusTextRoundTripsThroughValidator(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hidestore_reads_total", "container reads").Add(42)
+	reg.Gauge("hidestore_occupancy", "window occupancy").Set(-3)
+	h := reg.Histogram("hidestore_fetch_ns", "fetch latency")
+	for _, v := range []uint64{0, 1, 3, 900, 1_000_000} {
+		h.Observe(v)
+	}
+	text := reg.PrometheusText()
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("our own exposition failed validation: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE hidestore_reads_total counter",
+		"hidestore_reads_total 42",
+		"hidestore_occupancy -3",
+		`hidestore_fetch_ns_bucket{le="+Inf"} 5`,
+		"hidestore_fetch_ns_sum 1000904",
+		"hidestore_fetch_ns_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestValidateExpositionCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"non-cumulative buckets": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 10
+h_count 5
+`,
+		"missing +Inf": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_sum 10
+h_count 5
+`,
+		"missing _sum": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 5
+h_count 5
+`,
+		"+Inf disagrees with _count": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 5
+h_sum 10
+h_count 6
+`,
+		"declared but unsampled": `# TYPE ghost counter
+real 1
+`,
+		"bucket without le": `# TYPE h histogram
+h_bucket 5
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"unparsable value": "m not_a_number\n",
+		"bad metric name":  "9bad 1\n",
+		"unknown TYPE":     "# TYPE m frobnitz\nm 1\n",
+	}
+	for name, body := range cases {
+		if err := ValidateExposition(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsForeignFormats(t *testing.T) {
+	// Labels, timestamps, untyped metrics, float values: all legal.
+	body := `# HELP go_goroutines Number of goroutines.
+# TYPE go_goroutines gauge
+go_goroutines 42
+http_requests{method="get",code="200"} 1027 1395066363000
+free_metric 3.14
+`
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("legal foreign exposition rejected: %v", err)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "help c").Add(7)
+	reg.Gauge("g", "").Set(-1)
+	reg.Histogram("h_ns", "").Observe(100)
+	snap := reg.Snapshot()
+	if snap.Counters["c_total"].Value != 7 {
+		t.Error("counter missing from snapshot")
+	}
+	if snap.Gauges["g"].Value != -1 {
+		t.Error("gauge missing from snapshot")
+	}
+	hj := snap.Histograms["h_ns"]
+	if hj.Count != 1 || hj.Sum != 100 || len(hj.Buckets) != 1 {
+		t.Errorf("histogram snapshot wrong: %+v", hj)
+	}
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"c_total"`) {
+		t.Error("JSON exposition missing counter")
+	}
+}

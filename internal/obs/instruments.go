@@ -1,0 +1,124 @@
+package obs
+
+// This file is the instrument catalog: every metric the backup and
+// restore pipelines export, grouped into the bundles the engines hold.
+// Names follow Prometheus conventions (unit-suffixed, _total for
+// counters); the catalog is documented in DESIGN.md "Observability".
+//
+// Bundles are nil when the registry is nil: engines guard hot-path
+// clock reads with one `!= nil` check and skip instrumentation
+// entirely when the plane is off.
+
+// BackupMetrics instruments the backup pipeline.
+type BackupMetrics struct {
+	Versions     *Counter
+	LogicalBytes *Counter
+	StoredBytes  *Counter
+	Chunks       *Counter
+	UniqueChunks *Counter
+
+	// Per-item stage latencies (nanoseconds).
+	ChunkingNS       *Histogram // one chunker.Next call
+	FingerprintNS    *Histogram // one fp.Of call
+	IndexLookupNS    *Histogram // one cache/index classification
+	ContainerWriteNS *Histogram // one Store.Put of a sealed container
+	RecipeCommitNS   *Histogram // one Recipes.Put
+	StateCommitNS    *Histogram // one state-file commit
+
+	// Per-version maintenance (nanoseconds per version).
+	MigrateNS *Histogram
+	MergeNS   *Histogram
+
+	// Chunk-filter migration volume.
+	MigratedChunks     *Counter
+	ArchivalContainers *Counter
+}
+
+// NewBackupMetrics registers the backup instruments; nil registry
+// yields a nil bundle (instrumentation off).
+func NewBackupMetrics(r *Registry) *BackupMetrics {
+	if r == nil {
+		return nil
+	}
+	return &BackupMetrics{
+		Versions:     r.Counter("hidestore_backup_versions_total", "backup versions committed"),
+		LogicalBytes: r.Counter("hidestore_backup_logical_bytes_total", "logical stream bytes backed up"),
+		StoredBytes:  r.Counter("hidestore_backup_stored_bytes_total", "unique payload bytes written"),
+		Chunks:       r.Counter("hidestore_backup_chunks_total", "chunks classified"),
+		UniqueChunks: r.Counter("hidestore_backup_unique_chunks_total", "chunks stored as unique"),
+
+		ChunkingNS:       r.Histogram("hidestore_stage_chunking_ns", "per-chunk chunking latency (ns)"),
+		FingerprintNS:    r.Histogram("hidestore_stage_fingerprint_ns", "per-chunk fingerprint latency (ns)"),
+		IndexLookupNS:    r.Histogram("hidestore_stage_index_lookup_ns", "per-chunk index/cache lookup latency (ns)"),
+		ContainerWriteNS: r.Histogram("hidestore_stage_container_write_ns", "per-container store write latency (ns)"),
+		RecipeCommitNS:   r.Histogram("hidestore_stage_recipe_commit_ns", "per-recipe commit latency (ns)"),
+		StateCommitNS:    r.Histogram("hidestore_stage_state_commit_ns", "per-state-file commit latency (ns)"),
+
+		MigrateNS: r.Histogram("hidestore_stage_migrate_ns", "per-version cold-chunk migration latency (ns)"),
+		MergeNS:   r.Histogram("hidestore_stage_merge_ns", "per-version sparse-container merge latency (ns)"),
+
+		MigratedChunks:     r.Counter("hidestore_migrated_chunks_total", "chunks exiled to archival containers"),
+		ArchivalContainers: r.Counter("hidestore_archival_containers_total", "archival containers created"),
+	}
+}
+
+// RestoreMetrics instruments the restore pipeline.
+type RestoreMetrics struct {
+	Restores       *Counter
+	BytesRestored  *Counter
+	ContainerReads *Counter // identical by construction to restorecache.Stats.ContainerReads
+	CacheHits      *Counter
+	Chunks         *Counter
+
+	RecipeReadNS     *Histogram // one Recipes.Get
+	FlattenNS        *Histogram // one recipe-chain flattening pass
+	ContainerFetchNS *Histogram // one policy-issued container acquire
+
+	// Prefetch pipeline state.
+	PrefetchOccupancy *Gauge   // containers currently in the read-ahead window
+	PrefetchPlanned   *Counter // containers entered into read-ahead plans
+}
+
+// NewRestoreMetrics registers the restore instruments; nil registry
+// yields a nil bundle.
+func NewRestoreMetrics(r *Registry) *RestoreMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RestoreMetrics{
+		Restores:       r.Counter("hidestore_restore_total", "restore runs completed"),
+		BytesRestored:  r.Counter("hidestore_restore_bytes_total", "logical bytes restored"),
+		ContainerReads: r.Counter("hidestore_restore_container_reads_total", "container reads issued by restore cache policies"),
+		CacheHits:      r.Counter("hidestore_restore_cache_hits_total", "chunks served without a container read"),
+		Chunks:         r.Counter("hidestore_restore_chunks_total", "chunk references restored"),
+
+		RecipeReadNS:     r.Histogram("hidestore_stage_recipe_read_ns", "per-restore recipe read latency (ns)"),
+		FlattenNS:        r.Histogram("hidestore_stage_flatten_ns", "per-restore recipe flattening latency (ns)"),
+		ContainerFetchNS: r.Histogram("hidestore_stage_container_fetch_ns", "per-read container acquire latency (ns)"),
+
+		PrefetchOccupancy: r.Gauge("hidestore_prefetch_occupancy", "containers currently held in the read-ahead window"),
+		PrefetchPlanned:   r.Counter("hidestore_prefetch_planned_total", "containers entered into read-ahead plans"),
+	}
+}
+
+// RecoveryMetrics instruments startup recovery and durability events.
+type RecoveryMetrics struct {
+	Rollbacks     *Counter // recipes rolled back at startup
+	RedoDeletes   *Counter // half-finished deletes completed at startup
+	OrphansSwept  *Counter // unreferenced container images removed
+	StartupsClean *Counter // startups that found nothing to repair
+}
+
+// NewRecoveryMetrics registers the recovery instruments; nil registry
+// yields a nil bundle.
+func NewRecoveryMetrics(r *Registry) *RecoveryMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RecoveryMetrics{
+		Rollbacks:     r.Counter("hidestore_recovery_rollbacks_total", "uncommitted recipes rolled back at startup"),
+		RedoDeletes:   r.Counter("hidestore_recovery_redo_deletes_total", "half-finished deletes completed at startup"),
+		OrphansSwept:  r.Counter("hidestore_recovery_orphans_total", "orphaned container images swept at startup"),
+		StartupsClean: r.Counter("hidestore_recovery_clean_startups_total", "startups with nothing to repair"),
+	}
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the log2 bucketing: bucket 0 holds
+// zero, bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21},
+		{1<<20 - 1, 20},
+		{math.MaxUint64, 64},
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		h.Observe(tc.v)
+		counts, sum, count := h.snapshot()
+		if counts[tc.bucket] != 1 {
+			got := -1
+			for i, c := range counts {
+				if c != 0 {
+					got = i
+				}
+			}
+			t.Errorf("Observe(%d): landed in bucket %d, want %d", tc.v, got, tc.bucket)
+		}
+		if sum != tc.v || count != 1 {
+			t.Errorf("Observe(%d): sum=%d count=%d", tc.v, sum, count)
+		}
+		// The bucket's upper bound must cover the value, and the previous
+		// bucket's must not.
+		if upper := BucketUpper(tc.bucket); upper < tc.v {
+			t.Errorf("BucketUpper(%d)=%d < observed %d", tc.bucket, upper, tc.v)
+		}
+		if tc.bucket > 0 {
+			if lower := BucketUpper(tc.bucket - 1); lower >= tc.v {
+				t.Errorf("BucketUpper(%d)=%d >= observed %d: value belongs one bucket down",
+					tc.bucket-1, lower, tc.v)
+			}
+		}
+	}
+}
+
+func TestBucketUpperEdges(t *testing.T) {
+	if got := BucketUpper(0); got != 0 {
+		t.Errorf("BucketUpper(0) = %d, want 0", got)
+	}
+	if got := BucketUpper(1); got != 1 {
+		t.Errorf("BucketUpper(1) = %d, want 1", got)
+	}
+	if got := BucketUpper(64); got != math.MaxUint64 {
+		t.Errorf("BucketUpper(64) = %d, want MaxUint64", got)
+	}
+	if got := BucketUpper(histBuckets - 1); got != math.MaxUint64 {
+		t.Errorf("BucketUpper(top) = %d, want MaxUint64", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations of 1000 (bucket 10: [512, 1023]).
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 512 || p50 > 1023 {
+		t.Errorf("p50 = %f outside the observed bucket [512, 1023]", p50)
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile should be 0")
+	}
+}
+
+// TestSnapshotUnderConcurrentIncrements pins the snapshot guarantee:
+// while writers race, every scraped value is atomic (no torn reads) and
+// monotone — a later snapshot never reports less than an earlier one
+// for counters and histogram counts.
+func TestSnapshotUnderConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h_ns", "")
+	const writers, perWriter = 8, 5000
+
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// One reader snapshotting continuously, checking monotonicity.
+	readerErr := make(chan string, 1)
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var prevC, prevH uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := reg.Snapshot()
+			cv := uint64(snap.Counters["c_total"].Value)
+			hv := snap.Histograms["h_ns"].Count
+			if cv < prevC || hv < prevH {
+				select {
+				case readerErr <- "snapshot went backwards":
+				default:
+				}
+				return
+			}
+			prevC, prevH = cv, hv
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	select {
+	case msg := <-readerErr:
+		t.Fatal(msg)
+	default:
+	}
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("final counter %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("final histogram count %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same", "")
+	b := reg.Counter("same", "")
+	if a != b {
+		t.Error("same name should return the same counter")
+	}
+	// A kind conflict yields a detached (but functional) instrument and
+	// must not clobber the registered one.
+	g := reg.Gauge("same", "")
+	g.Set(7)
+	a.Inc()
+	if a.Value() != 1 {
+		t.Error("registered counter affected by detached gauge")
+	}
+	if strings.Contains(reg.PrometheusText(), "gauge") {
+		t.Error("detached instrument leaked into exposition")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":    "ok_name",
+		"has space":  "has_space",
+		"1leading":   "_leading",
+		"tail9":      "tail9",
+		"":           "_",
+		"dots.too":   "dots_too",
+		"colons:are": "colons:are",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestNilSafety exercises every nil-receiver path the engines rely on.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("y", "")
+	h := reg.Histogram("z", "")
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	if reg.PrometheusText() != "" {
+		t.Error("nil registry must render empty exposition")
+	}
+	if got := reg.Snapshot(); len(got.Counters) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	if NewBackupMetrics(nil) != nil || NewRestoreMetrics(nil) != nil || NewRecoveryMetrics(nil) != nil {
+		t.Error("nil registry must yield nil bundles")
+	}
+}
+
+// TestNoopPathAllocs pins the disabled plane's overhead: zero
+// allocations per instrument call and per span operation.
+func TestNoopPathAllocs(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	h := reg.Histogram("y", "")
+	var tr *Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(123)
+		span := tr.Start("op", nil)
+		span.SetAttr("k", 1)
+		span.End()
+		tr.Event("e", nil, nil)
+	}); n != 0 {
+		t.Errorf("disabled plane allocates %.1f per op, want 0", n)
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// expvarOnce guards the process-wide expvar publication: expvar's
+// registry is global and rejects duplicate names, so only the first
+// debug server publishes (later servers still serve /debug/vars, which
+// reads the same global registry).
+var expvarOnce sync.Once
+
+// DebugServer is the live-introspection HTTP endpoint: /metrics
+// (Prometheus text), /metrics.json, /debug/vars (expvar) and
+// /debug/pprof. It binds its own mux — nothing leaks into
+// http.DefaultServeMux — and shuts down cleanly, leaving no serving
+// goroutine behind.
+type DebugServer struct {
+	srv  *http.Server
+	lis  net.Listener
+	done chan error
+}
+
+// StartDebugServer listens on addr (e.g. "127.0.0.1:6060", or ":0" for
+// an ephemeral port) and serves reg. The caller must Shutdown it; wire
+// that to ctx cancellation to satisfy clean-exit on SIGINT.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("hidestore_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//hidelint:ignore discarded-error HTTP response write; the client sees the truncation, the server has no recourse
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		//hidelint:ignore discarded-error HTTP response write; the client sees the truncation, the server has no recourse
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis:  lis,
+		done: make(chan error, 1),
+	}
+	go func() { d.done <- d.srv.Serve(lis) }()
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.lis.Addr().String()
+}
+
+// Shutdown stops the server gracefully and waits for the serving
+// goroutine to exit. Safe on nil and after a prior Shutdown.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil {
+		return nil
+	}
+	err := d.srv.Shutdown(ctx)
+	// Serve always returns once Shutdown begins; reap the goroutine so
+	// the leak checks in the CLI tests stay clean. ErrServerClosed is
+	// the expected verdict.
+	if serr := <-d.done; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	d.done = closedErrChan // subsequent Shutdowns don't block
+	return err
+}
+
+// closedErrChan is a pre-closed channel so repeated Shutdown calls
+// return immediately.
+var closedErrChan = func() chan error {
+	ch := make(chan error)
+	close(ch)
+	return ch
+}()

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one JSONL trace line: a span (Dur > 0 or a completed
+// interval) or a point event (Dur == 0, no children). Start and Dur
+// are nanoseconds on the tracer's monotonic clock, relative to the
+// tracer's creation; Unix is the wall-clock anchor recorded once in
+// the synthetic "trace.open" record so offsets can be mapped back to
+// wall time.
+type TraceRecord struct {
+	// ID and Parent link spans into a tree; Parent 0 means root.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"par,omitempty"`
+	// Name is the span taxonomy entry ("backup", "restore",
+	// "container.fetch", "stage.chunking", ...).
+	Name string `json:"span"`
+	// Start is the span's begin offset in nanoseconds (monotonic).
+	Start int64 `json:"start_ns"`
+	// Dur is the span's duration in nanoseconds; 0 for events.
+	Dur int64 `json:"dur_ns"`
+	// Unix is set only on the "trace.open" anchor record.
+	Unix int64 `json:"unix,omitempty"`
+	// Attrs carries small span-scoped values (version, cid, bytes).
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Tracer serializes spans to one JSONL stream. All methods are safe
+// for concurrent use; a nil *Tracer is the disabled tracer (Start
+// returns a nil span, Event is a no-op) and costs one nil check.
+//
+// Durations come from Go's monotonic clock (time.Since on the tracer's
+// anchor), so spans are immune to wall-clock steps.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+	anchor time.Time
+	nextID atomic.Uint64
+	err    error // sticky: first write failure, reported by Close
+}
+
+// NewTracer writes JSONL records to w, starting with a "trace.open"
+// anchor that records the wall clock. If w is also an io.Closer,
+// Close closes it.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: w, anchor: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	t.emit(TraceRecord{
+		ID:   t.nextID.Add(1),
+		Name: "trace.open",
+		Unix: t.anchor.Unix(),
+	})
+	return t
+}
+
+// OpenTraceFile appends a tracer to the JSONL file at path, creating
+// it if needed. Append mode lets one trace file collect several CLI
+// invocations; each contributes its own "trace.open" anchor.
+func OpenTraceFile(path string) (*Tracer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open trace: %w", err)
+	}
+	return NewTracer(f), nil
+}
+
+// Span is one in-flight interval. A nil *Span is the disabled span:
+// End and SetAttr are no-ops, and a nil span is a valid parent
+// (children become roots). Spans are not reusable after End.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Duration
+	mu     sync.Mutex
+	attrs  map[string]int64
+}
+
+// Start begins a span under parent (nil for a root span). Returns nil
+// when the tracer is nil.
+func (t *Tracer) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		t:     t,
+		id:    t.nextID.Add(1),
+		name:  name,
+		start: time.Since(t.anchor),
+	}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	return s
+}
+
+// SetAttr attaches a small integer attribute (version, cid, bytes,
+// chunks) to the span. No-op on a nil span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]int64, 4)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// End completes the span and writes its record. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Since(s.t.anchor)
+	s.mu.Lock()
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.t.emit(TraceRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  int64(s.start),
+		Dur:    int64(end - s.start),
+		Attrs:  attrs,
+	})
+}
+
+// Event writes a point record (Dur 0) under parent. No-op on a nil
+// tracer. The attrs map is consumed as-is; pass nil for none.
+func (t *Tracer) Event(name string, parent *Span, attrs map[string]int64) {
+	if t == nil {
+		return
+	}
+	rec := TraceRecord{
+		ID:    t.nextID.Add(1),
+		Name:  name,
+		Start: int64(time.Since(t.anchor)),
+		Attrs: attrs,
+	}
+	if parent != nil {
+		rec.Parent = parent.id
+	}
+	t.emit(rec)
+}
+
+// EmitStage writes a stage-aggregate record under parent: a pipeline
+// stage (chunking, fingerprinting) runs interleaved with its peers, so
+// its cost is the sum of per-item latencies, not one wall interval.
+// The record carries that cumulative duration with the phase start as
+// its offset; the trace summary aggregates it like any span.
+func (t *Tracer) EmitStage(name string, parent *Span, start time.Time, cum time.Duration, attrs map[string]int64) {
+	if t == nil {
+		return
+	}
+	rec := TraceRecord{
+		ID:    t.nextID.Add(1),
+		Name:  name,
+		Start: int64(start.Sub(t.anchor)),
+		Dur:   int64(cum),
+		Attrs: attrs,
+	}
+	if parent != nil {
+		rec.Parent = parent.id
+	}
+	t.emit(rec)
+}
+
+// emit serializes one record. Failures are sticky and surfaced by
+// Close: tracing must never fail the operation it observes.
+func (t *Tracer) emit(rec TraceRecord) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// Unreachable for TraceRecord's field types; recorded anyway.
+		t.mu.Lock()
+		if t.err == nil {
+			t.err = err
+		}
+		t.mu.Unlock()
+		return
+	}
+	data = append(data, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(data); err != nil {
+		t.err = err
+	}
+}
+
+// Close flushes and closes the underlying stream and reports the first
+// write error, if any. Safe on a nil tracer.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	err := t.err
+	t.mu.Unlock()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+		t.closer = nil
+	}
+	return err
+}

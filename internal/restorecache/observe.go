@@ -1,0 +1,66 @@
+package restorecache
+
+import (
+	"context"
+	"time"
+
+	"hidestore/internal/container"
+	"hidestore/internal/obs"
+)
+
+// observedFetcher mirrors every policy-issued container read into the
+// observability plane: one "container.fetch" span (a child of the
+// restore span), the cumulative container-read counter, and the
+// acquire-latency histogram.
+//
+// Placement is what makes the accounting identity hold by
+// construction: the engines install it directly under the cache
+// policy — the same position as the policy's own countingFetcher — and
+// above the prefetch layer. Every successful policy-issued Get is seen
+// exactly once by both, so the trace's container.fetch span count, the
+// registry's hidestore_restore_container_reads_total and the run's
+// Stats.ContainerReads are always equal. Failed reads are mirrored as
+// "container.fetch.error" events and counted by neither.
+//
+// With prefetch on, the observed latency is the *acquire* latency —
+// how long the policy waited for the container, which read-ahead may
+// have already fetched — i.e. the latency the pipeline failed to hide.
+type observedFetcher struct {
+	inner  Fetcher
+	mx     *obs.RestoreMetrics
+	tracer *obs.Tracer
+	parent *obs.Span
+}
+
+// ObserveFetcher wraps inner so every successful Get is mirrored into
+// mx and tracer (either may be nil; both nil returns inner unchanged).
+// parent becomes the container.fetch spans' parent.
+func ObserveFetcher(inner Fetcher, mx *obs.RestoreMetrics, tracer *obs.Tracer, parent *obs.Span) Fetcher {
+	if mx == nil && tracer == nil {
+		return inner
+	}
+	return &observedFetcher{inner: inner, mx: mx, tracer: tracer, parent: parent}
+}
+
+// Get implements Fetcher.
+func (o *observedFetcher) Get(ctx context.Context, id container.ID) (*container.Container, error) {
+	span := o.tracer.Start("container.fetch", o.parent)
+	start := time.Now()
+	c, err := o.inner.Get(ctx, id)
+	if err != nil {
+		// Mirror the failure as an event, not a fetch span: the policy's
+		// accounting does not count failed reads either.
+		o.tracer.Event("container.fetch.error", o.parent, map[string]int64{"cid": int64(id)})
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if span != nil {
+		span.SetAttr("cid", int64(id))
+		span.End()
+	}
+	if o.mx != nil {
+		o.mx.ContainerReads.Inc()
+		o.mx.ContainerFetchNS.Observe(uint64(elapsed))
+	}
+	return c, nil
+}

@@ -3,8 +3,10 @@ package restorecache
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"hidestore/internal/container"
+	"hidestore/internal/obs"
 	"hidestore/internal/pipeline"
 	"hidestore/internal/recipe"
 )
@@ -54,6 +56,13 @@ type PrefetchFetcher struct {
 	// stash holds queue items popped while searching for an earlier
 	// request; keys are container IDs not yet consumed.
 	stash map[container.ID]*prefetchItem
+
+	// mx, when set, exposes the read-ahead window's live occupancy:
+	// incremented by the dispatcher as items enter the window,
+	// decremented as the policy consumes them (outstanding tracks the
+	// balance so Close can zero the gauge on an aborted restore).
+	mx          *obs.RestoreMetrics
+	outstanding atomic.Int64
 }
 
 // fetchOutcome is one completed (or failed) container read.
@@ -116,6 +125,7 @@ func (p *PrefetchFetcher) run(ctx context.Context) {
 			it := &prefetchItem{id: id, ch: make(chan fetchOutcome, 1)}
 			select {
 			case p.queue <- it:
+				p.windowEnter()
 			case <-gctx.Done():
 				return gctx.Err()
 			}
@@ -161,6 +171,7 @@ func (p *PrefetchFetcher) Get(ctx context.Context, id container.ID) (*container.
 	delete(p.planned, id) // consumed: later requests read through
 	if it, ok := p.stash[id]; ok {
 		delete(p.stash, id)
+		p.windowLeave()
 		return p.await(ctx, it)
 	}
 	for {
@@ -173,6 +184,7 @@ func (p *PrefetchFetcher) Get(ctx context.Context, id container.ID) (*container.
 				return p.inner.Get(ctx, id)
 			}
 			if it.id == id {
+				p.windowLeave()
 				return p.await(ctx, it)
 			}
 			p.stash[it.id] = it
@@ -202,10 +214,47 @@ func (p *PrefetchFetcher) await(ctx context.Context, it *prefetchItem) (*contain
 	}
 }
 
+// windowEnter marks one container entering the read-ahead window.
+func (p *PrefetchFetcher) windowEnter() {
+	if p.mx == nil {
+		return
+	}
+	p.outstanding.Add(1)
+	p.mx.PrefetchOccupancy.Add(1)
+}
+
+// windowLeave marks one container handed over to the policy.
+func (p *PrefetchFetcher) windowLeave() {
+	if p.mx == nil {
+		return
+	}
+	p.outstanding.Add(-1)
+	p.mx.PrefetchOccupancy.Add(-1)
+}
+
+// Observe exposes the read-ahead window through mx: the occupancy
+// gauge tracks containers currently in flight or stashed, and the
+// planned counter advances by the plan length. Call before the first
+// Get; nil mx is a no-op.
+func (p *PrefetchFetcher) Observe(mx *obs.RestoreMetrics) {
+	if mx == nil {
+		return
+	}
+	p.mx = mx
+	mx.PrefetchPlanned.Add(uint64(len(p.plan)))
+}
+
 // Close cancels outstanding read-ahead and waits for the worker pool to
 // drain. Safe to call when Get never started the pipeline, and more than
 // once.
 func (p *PrefetchFetcher) Close() {
+	// An aborted restore leaves unconsumed items in the window; return
+	// their occupancy so the gauge reads 0 between restores.
+	if p.mx != nil {
+		if n := p.outstanding.Swap(0); n != 0 {
+			p.mx.PrefetchOccupancy.Add(-n)
+		}
+	}
 	if p.cancel == nil {
 		return
 	}
@@ -220,9 +269,16 @@ func (p *PrefetchFetcher) Close() {
 // negative disables prefetching, zero selects DefaultPrefetchDepth. The
 // returned func must be called once the restore finishes.
 func MaybePrefetch(fetch Fetcher, entries []recipe.Entry, depth int) (Fetcher, func()) {
+	return MaybePrefetchObserved(fetch, entries, depth, nil)
+}
+
+// MaybePrefetchObserved is MaybePrefetch with the read-ahead window
+// wired into mx (nil for no instrumentation).
+func MaybePrefetchObserved(fetch Fetcher, entries []recipe.Entry, depth int, mx *obs.RestoreMetrics) (Fetcher, func()) {
 	if depth < 0 {
 		return fetch, func() {}
 	}
 	pf := NewPrefetchFetcher(fetch, entries, depth)
+	pf.Observe(mx)
 	return pf, pf.Close
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"hidestore/internal/container"
 	"hidestore/internal/recipe"
@@ -126,7 +127,11 @@ func validate(entries []recipe.Entry) error {
 	return nil
 }
 
-// countingFetcher wraps a Fetcher, tallying reads into stats.
+// countingFetcher wraps a Fetcher, tallying reads into stats. The
+// increment is atomic: today every policy issues Gets from a single
+// goroutine, but the counter is the §5.3 accounting ground truth and
+// must stay exact if a future policy (or the obs plane's race tier,
+// which hammers restores while scraping /metrics) overlaps reads.
 type countingFetcher struct {
 	inner Fetcher
 	stats *Stats
@@ -137,6 +142,6 @@ func (f *countingFetcher) Get(ctx context.Context, id container.ID) (*container.
 	if err != nil {
 		return nil, err
 	}
-	f.stats.ContainerReads++
+	atomic.AddUint64(&f.stats.ContainerReads, 1)
 	return c, nil
 }
