@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet lint crash check
+.PHONY: build test race bench microbench vet lint crash check
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Regenerate the committed benchmark snapshots with the same pinned
+# flags the BENCH_*_pre.json baselines were captured with. Compare any
+# two snapshots with
+#   $(GO) run ./cmd/benchdiff BENCH_backup_pre.json BENCH_backup.json
+# (report-only: deltas inform review, they do not gate).
 bench:
+	$(GO) run ./cmd/bench -exp backup -workloads kernel -scale 8 -versions 8 -json .
+	$(GO) run ./cmd/bench -exp chunkers -scale 8 -json .
+
+# Go micro-benchmarks: raw chunker scan loops, the pooled chunk path,
+# container/restore internals. Use -benchmem to see the allocation
+# deltas the pooled path exists for.
+microbench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 vet:

@@ -7,7 +7,9 @@
 //	bench -exp fig8 -scale 16 -versions 30
 //
 // Experiments: table1, fig3, fig8, fig9, fig10, fig11, fig12, deletion,
-// all. Output is aligned text: the same rows/series the paper plots.
+// throughput, backup, chunkers, ablations, all. Output is aligned text:
+// the same rows/series the paper plots, plus the write-hot-path
+// trajectory experiments (backup, chunkers) used by make bench.
 //
 // With -json DIR, every experiment additionally writes a
 // machine-readable BENCH_<exp>.json summary to DIR: wall time,
@@ -42,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: table1|fig3|fig8|fig9|fig10|fig11|fig12|deletion|throughput|ablations|all")
+		exp       = fs.String("exp", "all", "experiment: table1|fig3|fig8|fig9|fig10|fig11|fig12|deletion|throughput|backup|chunkers|ablations|all")
 		workloads = fs.String("workloads", "", "comma-separated workloads (default: all four presets)")
 		scale     = fs.Int("scale", 8, "approximate per-version size in MB")
 		versions  = fs.Int("versions", 20, "versions per workload (0 = preset's full count)")
@@ -70,6 +72,7 @@ func run(args []string) error {
 		if *jsonDir != "" {
 			opts.Metrics = obs.NewRegistry()
 		}
+		extra := map[string]float64{}
 		switch id {
 		case "table1":
 			res, err := experiments.Table1(names, opts)
@@ -162,6 +165,26 @@ func run(args []string) error {
 				}
 				fmt.Println(res.Render())
 			}
+		case "backup":
+			for _, name := range names {
+				res, err := experiments.BackupPerf(name, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(res.Render())
+				for k, v := range res.Extras() {
+					extra[name+"_"+k] = v
+				}
+			}
+		case "chunkers":
+			res, err := experiments.Chunkers(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			for k, v := range res.Extras() {
+				extra[k] = v
+			}
 		case "ablations":
 			type runner func(string, experiments.Options) (*experiments.AblationResult, error)
 			sweeps := []runner{
@@ -185,7 +208,7 @@ func run(args []string) error {
 			return fmt.Errorf("unknown experiment %q", id)
 		}
 		if *jsonDir != "" {
-			path, err := writeBenchJSON(*jsonDir, id, names, time.Since(start), opts.Metrics)
+			path, err := writeBenchJSON(*jsonDir, id, names, time.Since(start), opts.Metrics, extra)
 			if err != nil {
 				return fmt.Errorf("%s: write JSON summary: %w", id, err)
 			}
@@ -195,7 +218,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *exp == "all" {
-		for _, id := range []string{"table1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "deletion", "throughput", "ablations"} {
+		for _, id := range []string{"table1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "deletion", "throughput", "backup", "chunkers", "ablations"} {
 			if err := run(id); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -245,12 +268,15 @@ type benchSummary struct {
 	ContainerReads  int64                   `json:"container_reads"`
 	CacheHits       int64                   `json:"cache_hits"`
 	Stages          map[string]stageLatency `json:"stages"`
-	Registry        obs.SnapshotJSON        `json:"registry"`
+	// Extra carries experiment-specific scalar metrics (per-scheme MB/s,
+	// allocs per chunk, ...) that cmd/benchdiff can diff by key.
+	Extra    map[string]float64 `json:"extra,omitempty"`
+	Registry obs.SnapshotJSON   `json:"registry"`
 }
 
 // writeBenchJSON renders the experiment's registry into
 // DIR/BENCH_<exp>.json and returns the written path.
-func writeBenchJSON(dir, exp string, workloads []string, wall time.Duration, reg *obs.Registry) (string, error) {
+func writeBenchJSON(dir, exp string, workloads []string, wall time.Duration, reg *obs.Registry, extra map[string]float64) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
@@ -275,6 +301,9 @@ func writeBenchJSON(dir, exp string, workloads []string, wall time.Duration, reg
 			continue
 		}
 		sum.Stages[stage] = stageLatency{Count: h.Count, P50NS: h.P50, P99NS: h.P99}
+	}
+	if len(extra) > 0 {
+		sum.Extra = extra
 	}
 	sum.Registry = snap
 	path := filepath.Join(dir, "BENCH_"+exp+".json")

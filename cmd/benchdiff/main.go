@@ -1,0 +1,151 @@
+// Command benchdiff compares two BENCH_<exp>.json snapshots written by
+// cmd/bench and prints a per-metric old/new/delta table. It is
+// report-only by design: deltas inform review, they do not gate —
+// benchmark noise on shared CI runners would make a hard threshold
+// flaky. Usage:
+//
+//	go run ./cmd/benchdiff BENCH_backup_pre.json BENCH_backup.json
+//
+// By default the stage-latency subtree is summarized along with the
+// top-level throughput numbers and the experiment's extra metrics;
+// -all includes every numeric leaf.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	all := fs.Bool("all", false, "include every numeric leaf (histogram percentiles, counts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-all] OLD.json NEW.json")
+	}
+	oldM, err := flattenFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newM, err := flattenFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	keys := make(map[string]bool)
+	for k := range oldM {
+		keys[k] = true
+	}
+	for k := range newM {
+		keys[k] = true
+	}
+	var sorted []string
+	for k := range keys {
+		if !*all && strings.HasPrefix(k, "stages.") && !strings.HasSuffix(k, ".p50_ns") {
+			continue
+		}
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	var werr error
+	row := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
+	row("metric\told\tnew\tdelta\t\n")
+	for _, k := range sorted {
+		ov, haveOld := oldM[k]
+		nv, haveNew := newM[k]
+		switch {
+		case !haveOld:
+			row("%s\t-\t%s\tnew\t\n", k, num(nv))
+		case !haveNew:
+			row("%s\t%s\t-\tgone\t\n", k, num(ov))
+		default:
+			row("%s\t%s\t%s\t%s\t\n", k, num(ov), num(nv), delta(ov, nv))
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+	return w.Flush()
+}
+
+// flattenFile reads a JSON document and returns its numeric leaves
+// keyed by dotted path.
+func flattenFile(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			flatten(fmt.Sprintf("%s.%d", prefix, i), e, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func delta(oldV, newV float64) string {
+	d := newV - oldV
+	signed := num(d)
+	if d >= 0 {
+		signed = "+" + signed
+	}
+	if oldV == 0 {
+		if d == 0 {
+			return "0"
+		}
+		return signed
+	}
+	return fmt.Sprintf("%s (%+.1f%%)", signed, 100*d/oldV)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFlattenAndDelta(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", `{"backup_mb_per_sec": 100, "extra": {"allocs_per_chunk": 2.5}, "stages": {"chunking_ns": {"p50_ns": 10, "count": 5}}}`)
+	newP := write(t, dir, "new.json", `{"backup_mb_per_sec": 150, "extra": {"allocs_per_chunk": 0.1}, "stages": {"chunking_ns": {"p50_ns": 6, "count": 5}}}`)
+
+	oldM, err := flattenFile(oldP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldM["backup_mb_per_sec"] != 100 || oldM["extra.allocs_per_chunk"] != 2.5 || oldM["stages.chunking_ns.p50_ns"] != 10 {
+		t.Fatalf("flatten: %v", oldM)
+	}
+	if err := run([]string{oldP, newP}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := delta(100, 150); got != "+50 (+50.0%)" {
+		t.Fatalf("delta = %q", got)
+	}
+	if got := delta(2.5, 0.1); got != "-2.400 (-96.0%)" {
+		t.Fatalf("delta = %q", got)
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	if err := run([]string{"only-one.json"}); err == nil {
+		t.Fatal("run with one arg should fail")
+	}
+	if err := run([]string{"nope1.json", "nope2.json"}); err == nil {
+		t.Fatal("run with missing files should fail")
+	}
+}

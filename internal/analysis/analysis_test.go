@@ -34,6 +34,7 @@ func goldenCases() []goldenCase {
 		{name: "nopanic", checks: []string{"no-panic"}, cfg: DefaultConfig},
 		{name: "storeownership", checks: []string{"store-ownership"}, cfg: DefaultConfig},
 		{name: "accounting", checks: []string{"accounting"}, cfg: DefaultConfig},
+		{name: "pooledescape", checks: []string{"pooled-escape"}, cfg: DefaultConfig},
 		{name: "suppress", checks: []string{"no-panic"}, cfg: DefaultConfig},
 		{name: "unusedsuppress", checks: []string{"no-panic"}, cfg: withUnusedSuppressions},
 	}
@@ -114,7 +115,7 @@ func TestRunRejectsUnknownCheck(t *testing.T) {
 }
 
 func TestRegisteredChecks(t *testing.T) {
-	want := []string{"accounting", "discarded-error", "ignored-ctx", "no-panic", "store-ownership"}
+	want := []string{"accounting", "discarded-error", "ignored-ctx", "no-panic", "pooled-escape", "store-ownership"}
 	got := CheckNames()
 	if len(got) != len(want) {
 		t.Fatalf("CheckNames() = %v, want %v", got, want)

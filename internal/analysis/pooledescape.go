@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	register(Check{
+		Name: "pooled-escape",
+		Doc: "bufpool ownership: a buffer obtained from bufpool.Pool.Get may not " +
+			"escape into a field, map, slice, channel, or composite literal (the " +
+			"pool will hand the same memory to someone else after Release), and " +
+			"may not be used after it was Released. Returning a pooled buffer is " +
+			"an ownership transfer and is allowed.",
+		Run: runPooledEscape,
+	})
+}
+
+func runPooledEscape(pass *Pass) {
+	if PathHasSuffix(pass.Pkg.Path(), []string{"internal/bufpool"}) {
+		return // the pool's own free lists legitimately retain its buffers
+	}
+	funcDecls(pass.Files, func(_ *ast.File, decl *ast.FuncDecl) {
+		checkPooledEscapes(pass, decl)
+		checkUseAfterRelease(pass, decl)
+	})
+}
+
+// isBufpoolMethod reports whether the call invokes the named method on
+// a bufpool.Pool receiver (value or pointer).
+func isBufpoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Pool" && obj.Pkg() != nil &&
+		PathHasSuffix(obj.Pkg().Path(), []string{"internal/bufpool"})
+}
+
+// checkPooledEscapes flags pooled buffers (results of Pool.Get in this
+// function) that land somewhere outliving the hot-loop iteration: a
+// field, map or slice element, a channel, a composite literal, or an
+// append. A plain local rebind stays legal — locals die with the frame.
+func checkPooledEscapes(pass *Pass, decl *ast.FuncDecl) {
+	pooled := make(map[types.Object]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBufpoolMethod(pass.Info, call, "Get") {
+			return true
+		}
+		if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				pooled[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				pooled[obj] = true
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return
+	}
+	isPooled := func(expr ast.Expr) bool {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.Info.Uses[id]
+		return obj != nil && pooled[obj]
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) {
+					break
+				}
+				escaped := isPooled(rhs)
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "append") {
+					for _, arg := range call.Args[1:] {
+						if isPooled(arg) {
+							escaped = true
+						}
+					}
+				}
+				if !escaped {
+					continue
+				}
+				if _, plainLocal := ast.Unparen(node.Lhs[i]).(*ast.Ident); plainLocal {
+					continue
+				}
+				pass.Reportf(rhs.Pos(), "pooled buffer escapes into a field, map, or slice; copy it or transfer ownership explicitly")
+			}
+		case *ast.SendStmt:
+			if isPooled(node.Value) {
+				pass.Reportf(node.Value.Pos(), "pooled buffer sent on a channel; the receiver outlives this frame's ownership")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isPooled(v) {
+					pass.Reportf(v.Pos(), "pooled buffer placed in a composite literal; copy it or transfer ownership explicitly")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprPath flattens an ident or ident.sel… chain into a dotted path
+// ("buf", "item.data"); anything else yields "".
+func exprPath(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// checkUseAfterRelease flags uses of an expression after it was passed
+// to Pool.Release: Release returns the memory to the pool, so any later
+// read or write races with the next Get. Matching is by dotted path and
+// source position within one function — coarse (loops re-enter earlier
+// positions legally), but exact for the straight-line hot paths this
+// gate protects. Rebinding the path's root after the Release starts a
+// fresh buffer and ends the taint.
+func checkUseAfterRelease(pass *Pass, decl *ast.FuncDecl) {
+	type release struct {
+		pos  token.Pos // end of the Release call
+		call *ast.CallExpr
+	}
+	released := make(map[string]release)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 || !isBufpoolMethod(pass.Info, call, "Release") {
+			return true
+		}
+		path := exprPath(call.Args[0])
+		if path == "" {
+			return true
+		}
+		if prev, ok := released[path]; !ok || call.End() < prev.pos {
+			released[path] = release{pos: call.End(), call: call}
+		}
+		return true
+	})
+	if len(released) == 0 {
+		return
+	}
+	// A plain rebind of the path's root after the Release clears it.
+	rebound := make(map[string]token.Pos)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for path, rel := range released {
+				if id.Name != rootOf(path) || assign.Pos() <= rel.pos {
+					continue
+				}
+				if prev, ok := rebound[path]; !ok || assign.Pos() < prev {
+					rebound[path] = assign.Pos()
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		path := exprPath(expr)
+		rel, ok := released[path]
+		if !ok || expr.Pos() <= rel.pos {
+			return true
+		}
+		// Skip the Release call's own argument and anything cleared by a
+		// later rebind.
+		if expr.Pos() >= rel.call.Pos() && expr.End() <= rel.call.End() {
+			return true
+		}
+		if rb, ok := rebound[path]; ok && expr.Pos() >= rb {
+			return true // the rebinding itself and everything after it
+		}
+		pass.Reportf(expr.Pos(), "%s used after Release; the pool may already have handed this memory to another Get", path)
+		return false // don't re-report the path's sub-expressions
+	})
+}
+
+// rootOf returns the leading identifier of a dotted path.
+func rootOf(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			return path[:i]
+		}
+	}
+	return path
+}

@@ -1,0 +1,66 @@
+// Package pooledescape seeds the bufpool ownership defects: pooled
+// buffers escaping into longer-lived structures, and buffers used after
+// they were Released back to the pool.
+package pooledescape
+
+import "hidestore/internal/bufpool"
+
+type holder struct {
+	buf  []byte
+	bufs [][]byte
+}
+
+type box struct {
+	data []byte
+}
+
+// escapes seeds every escape shape the check must catch.
+func escapes(p *bufpool.Pool, h *holder, m map[int][]byte, ch chan []byte) box {
+	b := p.Get(64)
+	h.buf = b                   // finding: field store
+	m[0] = b                    // finding: map store
+	h.bufs[0] = b               // finding: slice-element store
+	h.bufs = append(h.bufs, b)  // finding: retained via append
+	ch <- b                     // finding: channel send
+	bx := box{data: b}          // finding: composite literal
+	_ = [][]byte{b}             // finding: composite literal (positional)
+	return bx
+}
+
+// useAfterRelease seeds the second defect class.
+func useAfterRelease(p *bufpool.Pool) byte {
+	b := p.Get(32)
+	b[0] = 1
+	p.Release(b)
+	return b[0] // finding: use after Release
+}
+
+// selectorRelease releases through a selector path; later uses of the
+// same path are findings, sibling fields are not.
+func selectorRelease(p *bufpool.Pool, bx *box) int {
+	n := len(bx.data)
+	p.Release(bx.data)
+	n += len(bx.data) // finding: bx.data used after Release
+	return n
+}
+
+// ok shows the legal patterns: local aliasing, copying out, returning
+// (ownership transfer), and rebinding after a Release.
+func ok(p *bufpool.Pool, h *holder) []byte {
+	b := p.Get(16)
+	alias := b // local alias is fine until something retains it
+	_ = alias
+	snapshot := make([]byte, len(b))
+	copy(snapshot, b)
+	h.buf = snapshot // the copy escapes, not the pooled buffer
+	p.Release(b)
+	b = p.Get(16) // rebind ends the released taint
+	return b      // returning transfers ownership to the caller
+}
+
+// suppressed shows an audited ownership transfer riding on the
+// suppression mechanism.
+func suppressed(p *bufpool.Pool, ch chan []byte) {
+	b := p.Get(8)
+	ch <- b //hidelint:ignore pooled-escape receiver releases; audited handoff for this seed corpus
+}

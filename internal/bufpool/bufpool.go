@@ -1,0 +1,206 @@
+// Package bufpool is a slab-backed, size-classed pool for the chunk
+// payload buffers that dominate the backup hot loop. Before it existed,
+// chunker.Next allocated a fresh []byte per chunk — at 4 KB average
+// chunk size that is ~256k allocations per GB backed up, all of them
+// garbage the moment the chunk is found duplicate or copied into a
+// container.
+//
+// Ownership contract (enforced by the hidelint pooled-escape check and
+// documented in DESIGN.md §"Backup write path"):
+//
+//   - Get hands the caller exclusive ownership of the returned slice.
+//   - Ownership may be transferred (e.g. through a pipeline channel),
+//     but exactly one owner exists at a time.
+//   - The final owner calls Release exactly once, after which the slice
+//     must not be read or written. Double release corrupts the pool.
+//   - Holders must not store the slice into longer-lived structures;
+//     anything that must outlive the ownership window gets a copy
+//     (container.Add already copies).
+//
+// Buffers are carved from slabs (slabBuffers buffers per allocation)
+// using full slice expressions, so an out-of-bounds append on one
+// pooled buffer can never bleed into its neighbor. Requests larger
+// than the largest class fall through to plain make and Release
+// recognizes them as foreign (their capacity is never a class size).
+//
+// All methods are nil-safe: a nil *Pool degrades to plain allocation,
+// so callers can thread an optional pool without branching.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits fixes the smallest class at 256 B: smaller chunks
+	// exist (Params.Min can be tiny in tests) but sub-256 B classes
+	// would multiply bookkeeping for no measurable win.
+	minClassBits = 8
+	// slabBuffers is how many buffers one slab allocation yields.
+	slabBuffers = 16
+)
+
+// Stats is a point-in-time snapshot of pool activity, exported as obs
+// gauges by the engines.
+type Stats struct {
+	// Gets counts every Get, pooled or oversize.
+	Gets uint64
+	// Releases counts Release calls that returned a buffer to a class.
+	Releases uint64
+	// SlabAllocs counts slab allocations (each slabBuffers buffers).
+	SlabAllocs uint64
+	// Oversize counts Gets larger than the largest class, served by
+	// plain make.
+	Oversize uint64
+	// Foreign counts Release calls whose argument was not carved from
+	// this pool's classes (oversize buffers land here by design).
+	Foreign uint64
+	// InUse is the number of pooled buffers currently checked out.
+	InUse int64
+	// InUseBytes is the pooled capacity currently checked out.
+	InUseBytes int64
+}
+
+// Pool is a size-classed buffer pool. Classes are powers of two from
+// 256 B up to the next power of two >= the maxSize given to New.
+// Get and Release are safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free [][][]byte // per-class stacks of released buffers
+
+	classBits int // log2 of the largest class size
+	maxClass  int // largest class size in bytes (1 << classBits)
+
+	gets       atomic.Uint64
+	releases   atomic.Uint64
+	slabAllocs atomic.Uint64
+	oversize   atomic.Uint64
+	foreign    atomic.Uint64
+	inUse      atomic.Int64
+	inUseBytes atomic.Int64
+}
+
+// New builds a pool whose largest class covers maxSize (the chunker's
+// Params.Max, typically). maxSize <= 0 falls back to 64 KB.
+func New(maxSize int) *Pool {
+	if maxSize <= 0 {
+		maxSize = 64 << 10
+	}
+	top := classFor(maxSize)
+	n := top - minClassBits + 1
+	return &Pool{
+		free:      make([][][]byte, n),
+		classBits: top,
+		maxClass:  1 << top,
+	}
+}
+
+// classFor returns bits.Len of the class that fits n bytes, clamped to
+// the minimum class.
+func classFor(n int) int {
+	b := bits.Len(uint(n - 1))
+	if n <= 1 {
+		b = 0
+	}
+	if b < minClassBits {
+		b = minClassBits
+	}
+	return b
+}
+
+// Get returns a slice with len == n, owned by the caller until it is
+// released or ownership is handed off. Contents are unspecified (the
+// caller overwrites exactly the bytes it uses). On a nil pool, or for
+// n larger than the largest class, Get falls back to plain make.
+func (p *Pool) Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil {
+		return make([]byte, n)
+	}
+	p.gets.Add(1)
+	b := classFor(n)
+	if b > p.classBits {
+		p.oversize.Add(1)
+		return make([]byte, n)
+	}
+	idx := b - minClassBits
+	cls := 1 << b
+
+	p.mu.Lock()
+	for len(p.free[idx]) == 0 {
+		// Refill outside the lock; loop in case a concurrent Get
+		// drained the fresh slab before we reacquired.
+		p.mu.Unlock()
+		p.slab(idx, cls)
+		p.mu.Lock()
+	}
+	stack := p.free[idx]
+	buf := stack[len(stack)-1]
+	p.free[idx] = stack[:len(stack)-1]
+	p.mu.Unlock()
+
+	p.inUse.Add(1)
+	p.inUseBytes.Add(int64(cls))
+	return buf[:n]
+}
+
+// slab allocates one slab for class idx and pushes its buffers onto the
+// free stack. The three-index carve caps every buffer's capacity at its
+// class size, so appends cannot cross into a neighbor.
+func (p *Pool) slab(idx, cls int) {
+	p.slabAllocs.Add(1)
+	slab := make([]byte, cls*slabBuffers)
+	bufs := make([][]byte, 0, slabBuffers)
+	for off := 0; off < len(slab); off += cls {
+		bufs = append(bufs, slab[off:off+cls:off+cls])
+	}
+	p.mu.Lock()
+	p.free[idx] = append(p.free[idx], bufs...)
+	p.mu.Unlock()
+}
+
+// Release returns a buffer obtained from Get to its class. It is a
+// safe no-op for nil slices, nil pools, and foreign slices (anything
+// whose capacity is not one of this pool's class sizes — which covers
+// the oversize fallback path by construction). Releasing the same
+// buffer twice is a contract violation the pool cannot detect: the
+// next two Gets would share memory.
+func (p *Pool) Release(b []byte) {
+	if p == nil || b == nil {
+		return
+	}
+	c := cap(b)
+	if c < 1<<minClassBits || c > p.maxClass || c&(c-1) != 0 {
+		p.foreign.Add(1)
+		return
+	}
+	idx := bits.Len(uint(c)) - 1 - minClassBits
+	buf := b[:c]
+	p.mu.Lock()
+	p.free[idx] = append(p.free[idx], buf)
+	p.mu.Unlock()
+	p.releases.Add(1)
+	p.inUse.Add(-1)
+	p.inUseBytes.Add(-int64(c))
+}
+
+// Stats returns a snapshot of the pool's counters. Zero value on a nil
+// pool.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		Gets:       p.gets.Load(),
+		Releases:   p.releases.Load(),
+		SlabAllocs: p.slabAllocs.Load(),
+		Oversize:   p.oversize.Load(),
+		Foreign:    p.foreign.Load(),
+		InUse:      p.inUse.Load(),
+		InUseBytes: p.inUseBytes.Load(),
+	}
+}

@@ -1,0 +1,177 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndClassCap(t *testing.T) {
+	p := New(16 << 10)
+	cases := []struct {
+		n       int
+		wantCap int
+	}{
+		{1, 256},
+		{255, 256},
+		{256, 256},
+		{257, 512},
+		{1000, 1024},
+		{1024, 1024},
+		{16 << 10, 16 << 10},
+	}
+	for _, tc := range cases {
+		b := p.Get(tc.n)
+		if len(b) != tc.n {
+			t.Errorf("Get(%d): len = %d, want %d", tc.n, len(b), tc.n)
+		}
+		if cap(b) != tc.wantCap {
+			t.Errorf("Get(%d): cap = %d, want class %d", tc.n, cap(b), tc.wantCap)
+		}
+		p.Release(b)
+	}
+}
+
+func TestReuseAfterRelease(t *testing.T) {
+	p := New(4 << 10)
+	b := p.Get(1024)
+	b[0] = 0xAB
+	p.Release(b)
+	// Drain the class: the released buffer must come back out before a
+	// new slab is carved.
+	seen := false
+	var held [][]byte
+	for i := 0; i < slabBuffers; i++ {
+		g := p.Get(1024)
+		if &g[0] == &b[0] {
+			seen = true
+		}
+		held = append(held, g)
+	}
+	if !seen {
+		t.Fatal("released buffer was not reused within one slab's worth of Gets")
+	}
+	for _, g := range held {
+		p.Release(g)
+	}
+	st := p.Stats()
+	if st.InUse != 0 || st.InUseBytes != 0 {
+		t.Fatalf("after releasing everything: InUse = %d (%d bytes), want 0", st.InUse, st.InUseBytes)
+	}
+}
+
+func TestNeighborIsolation(t *testing.T) {
+	p := New(1 << 10)
+	// Check out a whole slab's worth of one class, mark each buffer,
+	// then append past every buffer's end: the three-index carve caps
+	// capacity at the class size, so the appends must reallocate rather
+	// than spill into the neighboring buffer in the slab.
+	bufs := make([][]byte, slabBuffers)
+	for i := range bufs {
+		bufs[i] = p.Get(256)
+		bufs[i][0] = byte(i + 1)
+	}
+	if got := p.Stats().SlabAllocs; got != 1 {
+		t.Fatalf("expected one slab for %d same-class Gets, got %d slab allocs", slabBuffers, got)
+	}
+	for i := range bufs {
+		if cap(bufs[i]) != 256 {
+			t.Fatalf("buffer %d: cap = %d, want exactly the class size", i, cap(bufs[i]))
+		}
+		_ = append(bufs[i], 0xFF)
+	}
+	for i := range bufs {
+		if bufs[i][0] != byte(i+1) {
+			t.Fatalf("buffer %d clobbered by a neighbor's append", i)
+		}
+	}
+	for _, b := range bufs {
+		p.Release(b)
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	p := New(4 << 10)
+	b := p.Get(64 << 10)
+	if len(b) != 64<<10 {
+		t.Fatalf("oversize Get returned len %d", len(b))
+	}
+	st := p.Stats()
+	if st.Oversize != 1 {
+		t.Fatalf("Oversize = %d, want 1", st.Oversize)
+	}
+	if st.InUse != 0 {
+		t.Fatalf("oversize buffers must not count as pooled in-use, got %d", st.InUse)
+	}
+	p.Release(b)
+	st = p.Stats()
+	if st.Foreign != 1 {
+		t.Fatalf("releasing an oversize buffer should count Foreign, got %d", st.Foreign)
+	}
+	if st.Releases != 0 {
+		t.Fatalf("oversize release must not enter a class, Releases = %d", st.Releases)
+	}
+}
+
+func TestForeignAndNilRelease(t *testing.T) {
+	p := New(4 << 10)
+	p.Release(nil)
+	p.Release(make([]byte, 100)) // cap 100: not a class size
+	if got := p.Stats().Foreign; got != 1 {
+		t.Fatalf("Foreign = %d, want 1", got)
+	}
+	var nilPool *Pool
+	b := nilPool.Get(128)
+	if len(b) != 128 {
+		t.Fatalf("nil pool Get returned len %d", len(b))
+	}
+	nilPool.Release(b)
+	if nilPool.Stats() != (Stats{}) {
+		t.Fatal("nil pool stats should be zero")
+	}
+}
+
+func TestConcurrentGetRelease(t *testing.T) {
+	p := New(8 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sizes := []int{200, 700, 4096, 8192, 33}
+			for i := 0; i < 2000; i++ {
+				n := sizes[(i+seed)%len(sizes)]
+				b := p.Get(n)
+				if len(b) != n {
+					t.Errorf("len = %d, want %d", len(b), n)
+					return
+				}
+				b[0] = byte(i)
+				b[n-1] = byte(i >> 8)
+				p.Release(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.InUse != 0 {
+		t.Fatalf("InUse = %d after all releases", st.InUse)
+	}
+	if st.Gets != 8*2000 {
+		t.Fatalf("Gets = %d, want %d", st.Gets, 8*2000)
+	}
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	p := New(8 << 10)
+	// Warm the classes once; AllocsPerRun's own warmup run also covers
+	// slab growth, so steady-state Get/Release must be allocation-free.
+	warm := p.Get(4096)
+	p.Release(warm)
+	avg := testing.AllocsPerRun(200, func() {
+		b := p.Get(4096)
+		p.Release(b)
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state Get/Release allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -18,12 +18,40 @@ type ae struct {
 	window int
 }
 
-func newAE(r io.Reader, p Params) *ae {
+func newAE(s *scanner, p Params) *ae {
 	w := int(float64(p.Avg) / 1.72)
 	if w < 1 {
 		w = 1
 	}
-	return &ae{s: newScanner(r, p.Max), p: p, window: w}
+	return &ae{s: s, p: p, window: w}
+}
+
+// aeScan returns the cut offset in win. The reference loop (kept in
+// reference_test.go) scans from 0 but ignores every byte before Min, so
+// the hot loop starts at Min-1 directly, seeds the extremum with the
+// first considered byte, and drops the per-byte "have we seen a
+// maximum yet" test. Pinned bit-identical by the differential fuzz
+// harness.
+func aeScan(win []byte, min, window int) int {
+	n := len(win)
+	i := min - 1
+	if i < 0 {
+		i = 0
+	}
+	// n > min >= 1, so the seed position exists.
+	maxVal := _gear[win[i]]
+	maxPos := i
+	for i++; i < n; i++ {
+		v := _gear[win[i]]
+		if v > maxVal {
+			maxVal, maxPos = v, i
+			continue
+		}
+		if i-maxPos >= window {
+			return i + 1
+		}
+	}
+	return n
 }
 
 func (c *ae) Next() ([]byte, error) {
@@ -37,22 +65,5 @@ func (c *ae) Next() ([]byte, error) {
 	if len(win) <= c.p.Min {
 		return c.s.take(len(win)), nil
 	}
-	maxVal := uint64(0)
-	maxPos := -1
-	cut := len(win)
-	for i := 0; i < len(win); i++ {
-		v := _gear[win[i]]
-		if i+1 < c.p.Min {
-			continue
-		}
-		if maxPos < 0 || v > maxVal {
-			maxVal, maxPos = v, i
-			continue
-		}
-		if i-maxPos >= c.window {
-			cut = i + 1
-			break
-		}
-	}
-	return c.s.take(cut), nil
+	return c.s.take(aeScan(win, c.p.Min, c.window)), nil
 }

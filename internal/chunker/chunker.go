@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"hidestore/internal/bufpool"
 )
 
 // Algorithm selects a chunking algorithm.
@@ -108,22 +110,34 @@ type Chunker interface {
 	Next() ([]byte, error)
 }
 
-// New constructs a Chunker of the given algorithm over r.
+// New constructs a Chunker of the given algorithm over r. Chunks are
+// plain allocations owned by the caller.
 func New(alg Algorithm, r io.Reader, p Params) (Chunker, error) {
+	return NewPooled(alg, r, p, nil)
+}
+
+// NewPooled is New with chunk buffers drawn from pool: every slice
+// Next returns is a pooled buffer the consumer must Release (or hand
+// off to an owner who will) once the chunk is dealt with. A nil pool
+// degrades to plain allocation. Cut points are identical to New's —
+// pooling changes only where the copy lands.
+func NewPooled(alg Algorithm, r io.Reader, p Params, pool *bufpool.Pool) (Chunker, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	s := newScanner(r, p.Max)
+	s.pool = pool
 	switch alg {
 	case Fixed:
-		return newFixed(r, p), nil
+		return newFixed(s, p), nil
 	case Rabin:
-		return newRabin(r, p), nil
+		return newRabin(s, p), nil
 	case TTTD:
-		return newTTTD(r, p), nil
+		return newTTTD(s, p), nil
 	case FastCDC:
-		return newFastCDC(r, p), nil
+		return newFastCDC(s, p), nil
 	case AE:
-		return newAE(r, p), nil
+		return newAE(s, p), nil
 	default:
 		return nil, fmt.Errorf("chunker: unknown algorithm %v", alg)
 	}
@@ -171,6 +185,7 @@ type scanner struct {
 	start int // first unconsumed byte
 	end   int // one past last valid byte
 	err   error
+	pool  *bufpool.Pool // nil: take() allocates
 }
 
 func newScanner(r io.Reader, maxChunk int) *scanner {
@@ -205,9 +220,16 @@ func (s *scanner) window(want int) []byte {
 	return s.buf[s.start : s.start+want]
 }
 
-// take consumes n bytes from the window and returns them as a fresh copy.
+// take consumes n bytes from the window and returns them as a fresh
+// copy — pooled when the scanner has a pool (the caller then owns the
+// buffer until Release), plain-allocated otherwise.
 func (s *scanner) take(n int) []byte {
-	out := make([]byte, n)
+	var out []byte
+	if s.pool != nil {
+		out = s.pool.Get(n)
+	} else {
+		out = make([]byte, n)
+	}
 	copy(out, s.buf[s.start:s.start+n])
 	s.start += n
 	return out
@@ -228,8 +250,8 @@ type fixed struct {
 	size int
 }
 
-func newFixed(r io.Reader, p Params) *fixed {
-	return &fixed{s: newScanner(r, p.Max), size: p.Avg}
+func newFixed(s *scanner, p Params) *fixed {
+	return &fixed{s: s, size: p.Avg}
 }
 
 func (f *fixed) Next() ([]byte, error) {

@@ -1,0 +1,169 @@
+package chunker
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hidestore/internal/bufpool"
+)
+
+// diffAlgorithms are the content-defined chunkers whose inner loops
+// were restructured; Fixed rides along as a sanity case.
+var diffAlgorithms = []Algorithm{Fixed, Rabin, TTTD, FastCDC, AE}
+
+// diffParams stresses the phase boundaries of the restructured loops:
+// Min below/at/above the 48-byte Rabin window and the 64-bit FastCDC
+// influence window, tiny divisors, and the defaults.
+func diffParams() []Params {
+	return []Params{
+		{Min: 1, Avg: 2, Max: 8},
+		{Min: 2, Avg: 4, Max: 64},
+		{Min: 40, Avg: 64, Max: 100},
+		{Min: 47, Avg: 64, Max: 128},
+		{Min: 48, Avg: 64, Max: 129},
+		{Min: 49, Avg: 128, Max: 256},
+		{Min: 64, Avg: 256, Max: 1024},
+		{Min: 65, Avg: 128, Max: 300},
+		{Min: 512, Avg: 1024, Max: 4096},
+		{Min: 1000, Avg: 1024, Max: 1025},
+		DefaultParams(),
+	}
+}
+
+// diffCorpus returns deterministic streams covering the interesting
+// shapes: empty, shorter than Min, zeros (guard-byte path), constant
+// bytes, a ramp, and seeded random data around the window sizes.
+func diffCorpus() map[string][]byte {
+	rng := rand.New(rand.NewSource(42))
+	random := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	ramp := make([]byte, 8192)
+	for i := range ramp {
+		ramp[i] = byte(i)
+	}
+	return map[string][]byte{
+		"empty":      nil,
+		"one":        {0x7F},
+		"tiny":       random(37),
+		"zeros":      make([]byte, 6000),
+		"ones":       bytes.Repeat([]byte{0x01}, 6000),
+		"ramp":       ramp,
+		"rand-47":    random(47),
+		"rand-48":    random(48),
+		"rand-49":    random(49),
+		"rand-1k":    random(1024),
+		"rand-100k":  random(100 << 10),
+		"rand-1M":    random(1 << 20),
+		"mixed-runs": append(append(random(5000), make([]byte, 5000)...), random(5000)...),
+	}
+}
+
+// assertIdentical chunks data both ways and fails on the first
+// divergence in chunk count, length, or content digest.
+func assertIdentical(t *testing.T, alg Algorithm, data []byte, p Params) {
+	t.Helper()
+	got, err := Split(alg, data, p)
+	if err != nil {
+		t.Fatalf("%v %+v: Split: %v", alg, p, err)
+	}
+	want := refSplit(alg, data, p)
+	if len(got) != len(want) {
+		t.Fatalf("%v %+v: %d chunks, reference %d", alg, p, len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%v %+v: chunk %d len %d, reference %d", alg, p, i, len(got[i]), len(want[i]))
+		}
+		if sha1.Sum(got[i]) != sha1.Sum(want[i]) {
+			t.Fatalf("%v %+v: chunk %d content diverges from reference", alg, p, i)
+		}
+	}
+}
+
+// TestDifferentialAgainstReference is the deterministic pin: every
+// algorithm, every boundary-stressing parameter set, every corpus
+// shape must reproduce the pre-optimization cut points exactly.
+func TestDifferentialAgainstReference(t *testing.T) {
+	corpus := diffCorpus()
+	for _, alg := range diffAlgorithms {
+		for _, p := range diffParams() {
+			for name, data := range corpus {
+				t.Run(fmt.Sprintf("%v/%d-%d-%d/%s", alg, p.Min, p.Avg, p.Max, name), func(t *testing.T) {
+					assertIdentical(t, alg, data, p)
+				})
+			}
+		}
+	}
+}
+
+// TestPooledCutPointsMatchUnpooled pins that pooling changes only
+// buffer provenance, never cut decisions.
+func TestPooledCutPointsMatchUnpooled(t *testing.T) {
+	data := diffCorpus()["rand-100k"]
+	p := DefaultParams()
+	pool := bufpool.New(p.Max)
+	for _, alg := range diffAlgorithms {
+		plain, err := Split(alg, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := NewPooled(alg, bytes.NewReader(data), p, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for {
+			chunk, err := ch.Next()
+			if err != nil {
+				break
+			}
+			if i >= len(plain) {
+				t.Fatalf("%v: pooled produced extra chunk %d", alg, i)
+			}
+			if !bytes.Equal(chunk, plain[i]) {
+				t.Fatalf("%v: pooled chunk %d differs", alg, i)
+			}
+			pool.Release(chunk)
+			i++
+		}
+		if i != len(plain) {
+			t.Fatalf("%v: pooled produced %d chunks, plain %d", alg, i, len(plain))
+		}
+	}
+}
+
+// FuzzChunkerDifferential lets the fuzzer hunt for inputs where a
+// restructured loop diverges from its reference. Parameters are
+// derived from the fuzz input so boundary-adjacent Min/Avg/Max values
+// get explored too.
+func FuzzChunkerDifferential(f *testing.F) {
+	f.Add([]byte("hello world, hello world, hello world"), uint16(4), uint16(4), uint16(6))
+	f.Add(make([]byte, 4096), uint16(48), uint16(16), uint16(64))
+	f.Add(bytes.Repeat([]byte{0xA5, 0x01, 0x00}, 2000), uint16(63), uint16(1), uint16(1000))
+	rng := rand.New(rand.NewSource(7))
+	big := make([]byte, 32<<10)
+	rng.Read(big)
+	f.Add(big, uint16(512), uint16(512), uint16(3072))
+	f.Fuzz(func(t *testing.T, data []byte, minRaw, avgSpread, maxSpread uint16) {
+		p := Params{
+			Min: 1 + int(minRaw)%2048,
+		}
+		p.Avg = p.Min + int(avgSpread)%2048
+		p.Max = p.Avg + int(maxSpread)%4096
+		if p.Validate() != nil {
+			t.Skip()
+		}
+		if len(data) > 1<<20 {
+			data = data[:1<<20]
+		}
+		for _, alg := range diffAlgorithms {
+			assertIdentical(t, alg, data, p)
+		}
+	})
+}

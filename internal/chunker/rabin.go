@@ -68,53 +68,87 @@ func calcRabinTables(pol Poly, window int) *rabinTables {
 // fixed so the table is computed once.
 var _rabinTab = calcRabinTables(_rabinPoly, _rabinWindow)
 
-// rabinHash is a rolling Rabin fingerprint over a fixed-size window.
-type rabinHash struct {
-	tab    *rabinTables
-	window [_rabinWindow]byte
-	wpos   int
-	digest Poly
-}
+// _rabinSeed is the digest after the rolling hash's reset: one 0x01
+// guard byte folded into an all-zero window, so an all-zero stream does
+// not yield digest 0 (which would match any mask immediately). Computed
+// from the tables rather than hard-coded so it tracks _rabinPoly.
+var _rabinSeed = func() Poly {
+	var d Poly
+	d ^= _rabinTab.out[0] // the zero byte leaving an empty window
+	idx := byte(d >> _rabinTab.shift)
+	d = d<<8 | 1
+	d ^= _rabinTab.mod[idx]
+	return d
+}()
 
-func (h *rabinHash) reset() {
-	h.window = [_rabinWindow]byte{}
-	h.wpos = 0
-	h.digest = 0
-	// Feed a single 1-byte so an all-zero window does not yield digest 0
-	// (which would match any mask immediately).
-	h.slide(1)
-}
-
-func (h *rabinHash) slide(b byte) {
-	out := h.window[h.wpos]
-	h.window[h.wpos] = b
-	h.digest ^= h.tab.out[out]
-	h.wpos++
-	if h.wpos >= _rabinWindow {
-		h.wpos = 0
+// rabinScan returns the cut offset (1..len(win)) the rolling Rabin
+// fingerprint picks in win: the first position >= min whose digest
+// matches mask, or len(win) if none does.
+//
+// It is the hot-loop form of the textbook implementation (kept as
+// refRabinHash in reference_test.go and pinned bit-identical by the
+// differential fuzz harness): instead of maintaining a circular window
+// buffer and calling a slide method per byte, the loop derives the
+// outgoing window byte positionally in three phases —
+//
+//	phase 1, i < window-1: the outgoing byte is one of the reset's
+//	  zeros, and tab.out[0] == 0, so the fold-out is a no-op;
+//	phase 2, i == window-1: the 0x01 guard byte leaves;
+//	phase 3, i >= window: win[i-window] leaves.
+func rabinScan(tab *rabinTables, win []byte, min int, mask Poly) int {
+	n := len(win)
+	shift := tab.shift
+	digest := _rabinSeed
+	i := 0
+	p1 := _rabinWindow - 1
+	if p1 > n {
+		p1 = n
 	}
-	index := byte(h.digest >> h.tab.shift)
-	h.digest <<= 8
-	h.digest |= Poly(b)
-	h.digest ^= h.tab.mod[index]
+	for ; i < p1; i++ {
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if i+1 >= min && digest&mask == mask {
+			return i + 1
+		}
+	}
+	if i < n {
+		digest ^= tab.out[1]
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if i+1 >= min && digest&mask == mask {
+			return i + 1
+		}
+		i++
+	}
+	for ; i < n; i++ {
+		digest ^= tab.out[win[i-_rabinWindow]]
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if i+1 >= min && digest&mask == mask {
+			return i + 1
+		}
+	}
+	return n
 }
 
 // rabin is the Rabin-based content-defined chunker.
 type rabin struct {
 	s    *scanner
-	h    rabinHash
+	tab  *rabinTables
 	p    Params
 	mask Poly
 }
 
-func newRabin(r io.Reader, p Params) *rabin {
-	c := &rabin{
-		s:    newScanner(r, p.Max),
+func newRabin(s *scanner, p Params) *rabin {
+	return &rabin{
+		s:    s,
+		tab:  _rabinTab,
 		p:    p,
 		mask: Poly(nextPow2(p.Avg) - 1),
 	}
-	c.h.tab = _rabinTab
-	return c
 }
 
 func (c *rabin) Next() ([]byte, error) {
@@ -128,17 +162,5 @@ func (c *rabin) Next() ([]byte, error) {
 	if len(win) <= c.p.Min {
 		return c.s.take(len(win)), nil
 	}
-	c.h.reset()
-	cut := len(win)
-	for i := 0; i < len(win); i++ {
-		c.h.slide(win[i])
-		if i+1 < c.p.Min {
-			continue
-		}
-		if c.h.digest&c.mask == c.mask {
-			cut = i + 1
-			break
-		}
-	}
-	return c.s.take(cut), nil
+	return c.s.take(rabinScan(c.tab, win, c.p.Min, c.mask)), nil
 }

@@ -11,13 +11,13 @@ import "io"
 // forced cuts content-defined instead of positional.
 type tttd struct {
 	s       *scanner
-	h       rabinHash
+	tab     *rabinTables
 	p       Params
 	mainDiv Poly
 	backDiv Poly
 }
 
-func newTTTD(r io.Reader, p Params) *tttd {
+func newTTTD(s *scanner, p Params) *tttd {
 	// Divisors derived from the target average: with min-size skipping, the
 	// expected chunk size is roughly Min + D, so choose D = Avg - Min
 	// (rounded to a power of two for cheap masking).
@@ -25,14 +25,77 @@ func newTTTD(r io.Reader, p Params) *tttd {
 	if d < 2 {
 		d = 2
 	}
-	c := &tttd{
-		s:       newScanner(r, p.Max),
+	return &tttd{
+		s:       s,
+		tab:     _rabinTab,
 		p:       p,
 		mainDiv: Poly(d - 1),
 		backDiv: Poly(d/2 - 1),
 	}
-	c.h.tab = _rabinTab
-	return c
+}
+
+// tttdScan returns the cut offset in win: the first position >= min
+// matching the main divisor; failing that, the last position matching
+// the backup divisor if the window is a full max-size window; failing
+// that, len(win). Same three-phase digest walk as rabinScan (the
+// outgoing window byte is derived positionally); bit-identical to the
+// reference implementation by the differential fuzz harness.
+func tttdScan(tab *rabinTables, win []byte, min int, mainDiv, backDiv Poly, isMaxWindow bool) int {
+	n := len(win)
+	shift := tab.shift
+	digest := _rabinSeed
+	backup := 0
+	i := 0
+	p1 := _rabinWindow - 1
+	if p1 > n {
+		p1 = n
+	}
+	for ; i < p1; i++ {
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if i+1 >= min {
+			if digest&backDiv == backDiv {
+				backup = i + 1
+			}
+			if digest&mainDiv == mainDiv {
+				return i + 1
+			}
+		}
+	}
+	if i < n {
+		digest ^= tab.out[1]
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if i+1 >= min {
+			if digest&backDiv == backDiv {
+				backup = i + 1
+			}
+			if digest&mainDiv == mainDiv {
+				return i + 1
+			}
+		}
+		i++
+	}
+	for ; i < n; i++ {
+		digest ^= tab.out[win[i-_rabinWindow]]
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if i+1 >= min {
+			if digest&backDiv == backDiv {
+				backup = i + 1
+			}
+			if digest&mainDiv == mainDiv {
+				return i + 1
+			}
+		}
+	}
+	if isMaxWindow && backup > 0 {
+		return backup
+	}
+	return n
 }
 
 func (c *tttd) Next() ([]byte, error) {
@@ -46,25 +109,6 @@ func (c *tttd) Next() ([]byte, error) {
 	if len(win) <= c.p.Min {
 		return c.s.take(len(win)), nil
 	}
-	c.h.reset()
-	backup := 0
-	cut := len(win) // forced cut at max (or end of stream)
-	for i := 0; i < len(win); i++ {
-		c.h.slide(win[i])
-		if i+1 < c.p.Min {
-			continue
-		}
-		if c.h.digest&c.backDiv == c.backDiv {
-			backup = i + 1
-		}
-		if c.h.digest&c.mainDiv == c.mainDiv {
-			cut = i + 1
-			backup = 0
-			break
-		}
-	}
-	if cut == len(win) && len(win) == c.p.Max && backup > 0 {
-		cut = backup
-	}
+	cut := tttdScan(c.tab, win, c.p.Min, c.mainDiv, c.backDiv, len(win) == c.p.Max)
 	return c.s.take(cut), nil
 }

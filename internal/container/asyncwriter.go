@@ -1,0 +1,124 @@
+package container
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"hidestore/internal/pipeline"
+)
+
+// AsyncWriter hides container-commit latency behind the backup hot
+// loop: sealed container images are queued to one background goroutine
+// that issues the Store.Put (an fsync'd file write on the durable
+// store), so chunking/hashing/lookup proceed while the previous
+// container commits. This is the write-path symmetric of PR 1's
+// restore read-ahead, after destor's pipelined container log.
+//
+// Correctness constraints, relied on by the engines' crash matrix:
+//
+//   - Single writer goroutine, channel-ordered: Puts reach the store in
+//     seal order, exactly as the synchronous path did, keeping the
+//     fault injector's op sequence deterministic.
+//   - The producer must not mutate a container after queueing it; the
+//     channel handoff is the ownership transfer. (The engines only
+//     mutate sealed actives during post-barrier maintenance.)
+//   - Errors are never dropped: a failed Put is reported by the next
+//     Put call or, at the latest, by Barrier, which the engines invoke
+//     before the recipe commit — preserving the documented
+//     containers → recipe → state crash-consistency order.
+type AsyncWriter struct {
+	store   Store
+	ch      chan *Container
+	g       *pipeline.Group
+	ctx     context.Context
+	flushed func(c *Container, start time.Time, d time.Duration)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewAsyncWriter starts the background writer. depth bounds how many
+// sealed images may be queued (and thus held in memory) ahead of the
+// store; depth <= 0 selects the default of 2. flushed, when non-nil,
+// is called from the writer goroutine after each successful Put —
+// callers use it for metrics/trace emission and it must be
+// concurrency-safe with the producing goroutines.
+func NewAsyncWriter(ctx context.Context, store Store, depth int, flushed func(*Container, time.Time, time.Duration)) *AsyncWriter {
+	if depth <= 0 {
+		depth = 2
+	}
+	g, gctx := pipeline.WithContext(ctx)
+	w := &AsyncWriter{
+		store:   store,
+		ch:      make(chan *Container, depth),
+		g:       g,
+		ctx:     gctx,
+		flushed: flushed,
+	}
+	g.Go(func() error {
+		for {
+			select {
+			case c, ok := <-w.ch:
+				if !ok {
+					return nil
+				}
+				start := time.Now()
+				if err := store.Put(c); err != nil {
+					// Returning cancels the group context, which
+					// unblocks any Put waiting on a full queue; queued
+					// images are abandoned (the backup fails past this
+					// point anyway).
+					return err
+				}
+				if w.flushed != nil {
+					w.flushed(c, start, time.Since(start))
+				}
+			case <-gctx.Done():
+				// Parent cancellation: stop promptly so Put/Barrier
+				// callers observing the context are not left waiting
+				// for a close that may never come.
+				return gctx.Err()
+			}
+		}
+	})
+	return w
+}
+
+// Put queues a sealed container for a background commit, blocking only
+// when depth images are already in flight. It returns the writer's
+// first error if one has occurred — a failed background Put surfaces
+// on the next seal, never silently.
+func (w *AsyncWriter) Put(c *Container) error {
+	w.mu.Lock()
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return errors.New("container: AsyncWriter.Put after Barrier")
+	}
+	select {
+	case w.ch <- c:
+		return nil
+	case <-w.ctx.Done():
+		if err := w.g.Wait(); err != nil {
+			return err
+		}
+		return w.ctx.Err()
+	}
+}
+
+// Barrier closes the queue and blocks until every queued image is
+// durably in the store, returning the writer's first error. It is the
+// commit-order fence: engines call it after the last seal and before
+// the recipe Put. Barrier is idempotent; the writer accepts no Puts
+// afterwards.
+func (w *AsyncWriter) Barrier() error {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.ch)
+	}
+	w.mu.Unlock()
+	return w.g.Wait()
+}

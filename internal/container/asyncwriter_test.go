@@ -1,0 +1,136 @@
+package container
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// orderedStore wraps a MemStore and records Put order, optionally
+// failing the nth Put (1-based).
+type orderedStore struct {
+	*MemStore
+	mu     sync.Mutex
+	order  []ID
+	failAt int
+	puts   int
+	errPut error
+}
+
+func (s *orderedStore) Put(c *Container) error {
+	s.mu.Lock()
+	s.puts++
+	fail := s.failAt > 0 && s.puts == s.failAt
+	s.mu.Unlock()
+	if fail {
+		return s.errPut
+	}
+	if err := s.MemStore.Put(c); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.order = append(s.order, c.ID())
+	s.mu.Unlock()
+	return nil
+}
+
+func sealed(t *testing.T, id ID) *Container {
+	t.Helper()
+	c := NewWithCapacity(id, 1<<20)
+	if err := c.Add([20]byte{byte(id)}, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAsyncWriterCommitsInOrder(t *testing.T) {
+	st := &orderedStore{MemStore: NewMemStore()}
+	var flushes []ID
+	w := NewAsyncWriter(context.Background(), st, 2, func(c *Container, _ time.Time, _ time.Duration) {
+		flushes = append(flushes, c.ID()) // writer goroutine only; read after Barrier
+	})
+	for id := ID(1); id <= 5; id++ {
+		if err := w.Put(sealed(t, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.order) != 5 {
+		t.Fatalf("store saw %d puts, want 5", len(st.order))
+	}
+	for i, id := range st.order {
+		if id != ID(i+1) {
+			t.Fatalf("put order %v: seal order not preserved", st.order)
+		}
+	}
+	if len(flushes) != 5 {
+		t.Fatalf("flushed callback ran %d times, want 5", len(flushes))
+	}
+}
+
+func TestAsyncWriterSurfacesErrorOnPutOrBarrier(t *testing.T) {
+	boom := errors.New("disk full")
+	st := &orderedStore{MemStore: NewMemStore(), failAt: 1, errPut: boom}
+	w := NewAsyncWriter(context.Background(), st, 1, nil)
+	// The first queued Put fails in the background. Keep queueing until
+	// the error surfaces, then confirm Barrier reports it too.
+	var got error
+	for i := 0; i < 100 && got == nil; i++ {
+		got = w.Put(sealed(t, ID(i+1)))
+	}
+	if got != nil && !errors.Is(got, boom) {
+		t.Fatalf("Put surfaced %v, want %v", got, boom)
+	}
+	if err := w.Barrier(); !errors.Is(err, boom) {
+		t.Fatalf("Barrier = %v, want %v", err, boom)
+	}
+}
+
+func TestAsyncWriterBarrierIdempotentAndFinal(t *testing.T) {
+	st := &orderedStore{MemStore: NewMemStore()}
+	w := NewAsyncWriter(context.Background(), st, 2, nil)
+	if err := w.Put(sealed(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatalf("second Barrier = %v, want nil", err)
+	}
+	if err := w.Put(sealed(t, 2)); err == nil {
+		t.Fatal("Put after Barrier succeeded; want error")
+	}
+}
+
+func TestAsyncWriterUnblocksOnParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &orderedStore{MemStore: NewMemStore()}
+	w := NewAsyncWriter(ctx, st, 1, nil)
+	cancel()
+	// With the context gone the writer exits; Put must not hang even if
+	// the queue backs up.
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 10 && err == nil; i++ {
+			err = w.Put(sealed(t, ID(i+1)))
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Put kept succeeding after cancel; want context error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put blocked past context cancellation")
+	}
+	if err := w.Barrier(); err == nil {
+		t.Fatal("Barrier after cancel = nil, want context error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hidestore/internal/backup"
+	"hidestore/internal/bufpool"
 	"hidestore/internal/chunker"
 	"hidestore/internal/container"
 	"hidestore/internal/durable"
@@ -52,6 +53,13 @@ type Config struct {
 	PrefetchDepth int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
+	// AsyncCommitDepth bounds the asynchronous container-commit queue:
+	// sealed containers are committed by a background writer while
+	// chunking continues, and a barrier before the recipe write
+	// preserves the containers → recipe → state durability order.
+	// 0 selects the default depth of 2 (async on); negative disables
+	// the writer and commits synchronously at each seal.
+	AsyncCommitDepth int
 	// StatePath, when set, persists the engine's resumable state (the
 	// fingerprint cache, active-container locations and deletion batches)
 	// after every Backup and Delete, and restores it at New — so a
@@ -107,6 +115,15 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
+// rawBufDepth and hashedBufDepth size the backup pipeline's channels.
+// Together with HashWorkers they determine how many chunks can sit
+// between the chunker and the in-order sink, which is what the sink's
+// reorder credit cap is computed from (see Backup).
+const (
+	rawBufDepth    = 64
+	hashedBufDepth = 64
+)
+
 // archivalBatch records the archival containers created when one
 // version's exclusive chunks went cold — the unit of §4.5 deletion.
 type archivalBatch struct {
@@ -144,6 +161,22 @@ type Engine struct {
 	logicalBytes uint64
 	storedBytes  uint64
 
+	// pool recycles chunk buffers through the backup hot loop: the
+	// chunker fills a pooled buffer per chunk, the dedup sink releases
+	// it once the payload is classified duplicate or copied into a
+	// container (Container.Add copies). See DESIGN.md "Backup write
+	// path" for the ownership rules.
+	pool *bufpool.Pool
+	// writer is the asynchronous container committer, non-nil only
+	// while a Backup with async commit enabled is running.
+	writer *container.AsyncWriter
+
+	// Test hooks, nil in production. hashDelay stalls the fingerprint
+	// stage for a chunk to force pipeline reordering; reorderObserve
+	// sees the sink's parked-chunk count after each arrival.
+	hashDelay      func(seq int)
+	reorderObserve func(parked int)
+
 	// Observability bundles; all nil when Config.Metrics is nil, in
 	// which case every instrumentation site reduces to one nil check.
 	mx     *obs.BackupMetrics
@@ -165,6 +198,7 @@ func New(cfg Config) (*Engine, error) {
 		activeByFP:       make(map[fp.FP]container.ID),
 		activeContainers: make(map[container.ID]*container.Container),
 		batches:          make(map[int]*archivalBatch),
+		pool:             bufpool.New(cfg.ChunkParams.Max),
 		mx:               obs.NewBackupMetrics(cfg.Metrics),
 		rmx:              obs.NewRestoreMetrics(cfg.Metrics),
 		rcv:              obs.NewRecoveryMetrics(cfg.Metrics),
@@ -198,7 +232,10 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// hashedChunk is one chunk flowing through the backup pipeline.
+// hashedChunk is one chunk flowing through the backup pipeline. data is
+// a pool-owned buffer: the producer fills it (via the pooled chunker),
+// the stages in between must not retain it, and the in-order sink
+// releases it back to the engine's pool after classification.
 type hashedChunk struct {
 	seq  int
 	fp   fp.FP
@@ -226,7 +263,7 @@ type hashedChunk struct {
 // Metadata never runs ahead of the container log: at any crash point,
 // everything the previous state references is still on disk, so reopening
 // rolls forward or back to a consistent history (see recoverStartup).
-func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupReport, error) {
+func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.BackupReport, retErr error) {
 	start := time.Now()
 	v := e.version + 1
 	statsBefore := e.cache.Stats()
@@ -247,12 +284,46 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 		mxChunk, mxFP, mxLookup = e.mx.ChunkingNS, e.mx.FingerprintNS, e.mx.IndexLookupNS
 	}
 
-	ch, err := chunker.New(e.cfg.Chunker, version, e.cfg.ChunkParams)
+	ch, err := chunker.NewPooled(e.cfg.Chunker, version, e.cfg.ChunkParams, e.pool)
 	if err != nil {
 		return backup.BackupReport{}, err
 	}
-	g, _ := pipeline.WithContext(ctx)
-	raw := pipeline.Produce(g, 64, func(emit func(hashedChunk) bool) error {
+	if e.cfg.AsyncCommitDepth >= 0 {
+		e.writer = container.NewAsyncWriter(ctx, e.cfg.Store, e.cfg.AsyncCommitDepth,
+			func(c *container.Container, t0 time.Time, d time.Duration) {
+				// Writer-goroutine callback; both sinks are safe for
+				// concurrent use.
+				if e.mx != nil {
+					e.mx.ContainerWriteNS.Observe(uint64(d))
+				}
+				if e.tracer != nil {
+					e.tracer.EmitStage("container.flush.async", span, t0, d,
+						map[string]int64{"container": int64(c.ID()), "bytes": int64(c.LiveSize())})
+				}
+			})
+		defer func() {
+			// Backstop for early-error returns: no queued commit may
+			// outlive Backup, and no commit failure may go unreported.
+			// The happy path has already barriered and cleared e.writer.
+			if e.writer != nil {
+				w := e.writer
+				e.writer = nil
+				if werr := w.Barrier(); werr != nil && retErr == nil {
+					retErr = werr
+				}
+			}
+		}()
+	}
+	g, gctx := pipeline.WithContext(ctx)
+	// credits bounds the chunks in flight between the chunker and the
+	// in-order sink: the producer takes one credit per emitted chunk and
+	// the sink returns it after processing. The cap — everything the
+	// channels and worker hands can hold, plus the one chunk the
+	// producer may block on — is therefore also a ceiling on the sink's
+	// reorder map, so one slow fingerprint worker cannot make the parked
+	// set grow without bound.
+	credits := make(chan struct{}, rawBufDepth+hashedBufDepth+e.cfg.HashWorkers+1)
+	raw := pipeline.Produce(g, rawBufDepth, func(emit func(hashedChunk) bool) error {
 		for seq := 0; ; seq++ {
 			var t0 time.Time
 			if obsOn {
@@ -270,12 +341,20 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 			if err != nil {
 				return fmt.Errorf("core: chunking: %w", err)
 			}
+			select {
+			case credits <- struct{}{}:
+			case <-gctx.Done():
+				return nil
+			}
 			if !emit(hashedChunk{seq: seq, data: data}) {
 				return nil
 			}
 		}
 	})
-	hashed := pipeline.Transform(g, e.cfg.HashWorkers, 64, raw, func(c hashedChunk) (hashedChunk, error) {
+	hashed := pipeline.Transform(g, e.cfg.HashWorkers, hashedBufDepth, raw, func(c hashedChunk) (hashedChunk, error) {
+		if e.hashDelay != nil {
+			e.hashDelay(c.seq)
+		}
 		var t0 time.Time
 		if obsOn {
 			t0 = time.Now()
@@ -289,13 +368,14 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 		return c, nil
 	})
 	process := func(item hashedChunk) error {
-		logical += uint64(len(item.data))
+		size := uint32(len(item.data))
+		logical += uint64(size)
 		chunks++
 		var t0 time.Time
 		if obsOn {
 			t0 = time.Now()
 		}
-		_, dup := e.cache.lookupOne(item.fp, uint32(len(item.data)))
+		_, dup := e.cache.lookupOne(item.fp, size)
 		if obsOn {
 			d := time.Since(t0)
 			lookupNS += int64(d)
@@ -308,16 +388,22 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 			}
 			e.cache.commitOne(item.fp, cid)
 			e.activeByFP[item.fp] = cid
-			stored += uint64(len(item.data))
+			stored += uint64(size)
 			unique++
 		}
-		rec.Append(item.fp, uint32(len(item.data)), 0)
+		// The payload is either a duplicate or copied into the open
+		// container by Add; either way the pooled buffer is done.
+		e.pool.Release(item.data)
+		rec.Append(item.fp, size, 0)
 		return nil
 	}
 	reorder := make(map[int]hashedChunk)
 	next := 0
 	pipeline.Sink(g, hashed, func(c hashedChunk) error {
 		reorder[c.seq] = c
+		if e.reorderObserve != nil {
+			e.reorderObserve(len(reorder))
+		}
 		for {
 			item, ok := reorder[next]
 			if !ok {
@@ -325,7 +411,9 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 			}
 			delete(reorder, next)
 			next++
-			if err := process(item); err != nil {
+			err := process(item)
+			<-credits
+			if err != nil {
 				return err
 			}
 		}
@@ -335,6 +423,19 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	}
 	if err := e.sealOpenActive(); err != nil {
 		return backup.BackupReport{}, err
+	}
+	// Async-commit barrier: every sealed container must be durable
+	// before the recipe can name its chunks (commit-order step 1 → 2).
+	// Clearing e.writer first returns the post-barrier maintenance
+	// paths (migrate/merge/copy-on-write) to direct synchronous Puts —
+	// they mutate sealed images, which may not happen while a writer
+	// could still be reading them.
+	if e.writer != nil {
+		w := e.writer
+		e.writer = nil
+		if err := w.Barrier(); err != nil {
+			return backup.BackupReport{}, err
+		}
 	}
 	commitStart := time.Now()
 	if err := e.cfg.Recipes.Put(rec); err != nil {
@@ -390,6 +491,10 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 		e.mx.StoredBytes.Add(stored)
 		e.mx.Chunks.Add(uint64(chunks))
 		e.mx.UniqueChunks.Add(uint64(unique))
+		ps := e.pool.Stats()
+		e.mx.PoolInUse.Set(ps.InUse)
+		e.mx.PoolInUseBytes.Set(ps.InUseBytes)
+		e.mx.PoolSlabs.Set(int64(ps.SlabAllocs))
 	}
 	if e.tracer != nil {
 		// Chunking and fingerprinting run interleaved with the dedup
@@ -455,6 +560,17 @@ func (e *Engine) sealOpenActive() error {
 		return nil
 	}
 	e.activeContainers[e.openActive.ID()] = e.openActive
+	if e.writer != nil {
+		// Hand the sealed image to the background committer. From here
+		// until the barrier the image is read-only: the engine does not
+		// touch sealed actives during the hot loop, and the maintenance
+		// paths that do mutate them run only after the barrier.
+		if err := e.writer.Put(e.openActive); err != nil {
+			return err
+		}
+		e.openActive = nil
+		return nil
+	}
 	var t0 time.Time
 	if e.mx != nil {
 		t0 = time.Now()

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReorderMapStaysBounded pins the sink's reorder bound under an
+// adversarial schedule: the fingerprint worker holding chunk 0 stalls,
+// so every later chunk must park in the reorder map until the stall
+// lifts. Without the credit cap the producer would keep chunking and
+// the parked set would grow with the stream (the whole backup, in the
+// worst case); with it, the parked set can never exceed the in-flight
+// ceiling no matter how unlucky the scheduling.
+func TestReorderMapStaysBounded(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1)
+	creditCap := rawBufDepth + hashedBufDepth + e.cfg.HashWorkers + 1
+
+	// ~2 MB at ~2 KB/chunk: far more chunks than the credit cap, so an
+	// unbounded map would comfortably overshoot it during the stall.
+	data := make([]byte, 2<<20)
+	rand.New(rand.NewSource(17)).Read(data)
+
+	release := make(chan struct{})
+	var once sync.Once
+	free := func() { once.Do(func() { close(release) }) }
+	// Watchdog: if the bound (or the pipeline) wedges, fail visibly
+	// instead of hanging the suite.
+	timer := time.AfterFunc(30*time.Second, free)
+	defer timer.Stop()
+
+	e.hashDelay = func(seq int) {
+		if seq == 0 {
+			<-release
+		}
+	}
+	maxParked := 0
+	e.reorderObserve = func(parked int) { // sink goroutine only; read after Backup returns
+		if parked > maxParked {
+			maxParked = parked
+		}
+		// Quiescence: chunk 0 holds one credit, so the map can reach at
+		// most creditCap-1 entries. Once it does, every other credit is
+		// parked — the adversarial peak — and the stall can end.
+		if parked >= creditCap-1 {
+			free()
+		}
+	}
+
+	if _, err := e.Backup(context.Background(), bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if maxParked > creditCap {
+		t.Fatalf("reorder map reached %d entries, credit cap is %d", maxParked, creditCap)
+	}
+	if maxParked < creditCap-1 {
+		t.Fatalf("stall parked only %d chunks (cap %d); the adversarial schedule did not engage", maxParked, creditCap)
+	}
+	if st := e.pool.Stats(); st.InUse != 0 {
+		t.Fatalf("%d pooled buffers leaked through the stalled pipeline", st.InUse)
+	}
+
+	// The reordered stream must still commit and restore byte-identically.
+	var out bytes.Buffer
+	if _, err := e.Restore(context.Background(), 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("restore after adversarial scheduling diverged from the source")
+	}
+}

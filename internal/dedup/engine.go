@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hidestore/internal/backup"
+	"hidestore/internal/bufpool"
 	"hidestore/internal/chunker"
 	"hidestore/internal/container"
 	"hidestore/internal/fp"
@@ -56,6 +57,12 @@ type Config struct {
 	PrefetchDepth int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
+	// AsyncCommitDepth bounds the asynchronous container-commit queue:
+	// sealed containers are committed by a background writer while
+	// chunking continues, with a barrier before the recipe write. 0
+	// selects the default depth of 2 (async on); negative disables the
+	// writer and commits synchronously at each seal.
+	AsyncCommitDepth int
 	// Metrics, when set, mirrors backup/restore counters into the
 	// registry; nil disables the observability plane.
 	Metrics *obs.Registry
@@ -112,6 +119,14 @@ type Engine struct {
 	logicalBytes uint64
 	storedBytes  uint64
 
+	// pool recycles chunk buffers through the backup hot loop; the
+	// segment processor releases each buffer once the payload is
+	// classified duplicate or copied into a container.
+	pool *bufpool.Pool
+	// writer is the asynchronous container committer, non-nil only
+	// while a Backup with async commit enabled is running.
+	writer *container.AsyncWriter
+
 	// Observability bundles; nil when Config.Metrics is nil.
 	mx     *obs.BackupMetrics
 	rmx    *obs.RestoreMetrics
@@ -127,13 +142,23 @@ func New(cfg Config) (*Engine, error) {
 	}
 	return &Engine{
 		cfg:    cfg,
+		pool:   bufpool.New(cfg.ChunkParams.Max),
 		mx:     obs.NewBackupMetrics(cfg.Metrics),
 		rmx:    obs.NewRestoreMetrics(cfg.Metrics),
 		tracer: cfg.Tracer,
 	}, nil
 }
 
-// hashedChunk is one chunk flowing through the backup pipeline.
+// rawBufDepth and hashedBufDepth size the backup pipeline's channels;
+// with HashWorkers they set the sink's reorder credit cap (see Backup).
+const (
+	rawBufDepth    = 64
+	hashedBufDepth = 64
+)
+
+// hashedChunk is one chunk flowing through the backup pipeline. data is
+// a pool-owned buffer, released by the segment processor once the
+// payload is classified duplicate or copied into a container.
 type hashedChunk struct {
 	seq  int
 	fp   fp.FP
@@ -141,7 +166,7 @@ type hashedChunk struct {
 }
 
 // Backup implements backup.Engine.
-func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupReport, error) {
+func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.BackupReport, retErr error) {
 	start := time.Now()
 	v := e.nextVersion + 1
 	indexBefore := e.cfg.Index.Stats()
@@ -150,12 +175,39 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	rec := recipe.New(v)
 	session := &backupSession{engine: e, recipe: rec}
 
-	ch, err := chunker.New(e.cfg.Chunker, version, e.cfg.ChunkParams)
+	ch, err := chunker.NewPooled(e.cfg.Chunker, version, e.cfg.ChunkParams, e.pool)
 	if err != nil {
 		return backup.BackupReport{}, err
 	}
-	g, _ := pipeline.WithContext(ctx)
-	raw := pipeline.Produce(g, 64, func(emit func(hashedChunk) bool) error {
+	if e.cfg.AsyncCommitDepth >= 0 {
+		e.writer = container.NewAsyncWriter(ctx, e.cfg.Store, e.cfg.AsyncCommitDepth,
+			func(c *container.Container, t0 time.Time, d time.Duration) {
+				if e.mx != nil {
+					e.mx.ContainerWriteNS.Observe(uint64(d))
+				}
+				if e.tracer != nil {
+					e.tracer.EmitStage("container.flush.async", nil, t0, d,
+						map[string]int64{"container": int64(c.ID()), "bytes": int64(c.LiveSize())})
+				}
+			})
+		defer func() {
+			// Backstop for early-error returns: no queued commit may
+			// outlive Backup, and no commit failure may go unreported.
+			if e.writer != nil {
+				w := e.writer
+				e.writer = nil
+				if werr := w.Barrier(); werr != nil && retErr == nil {
+					retErr = werr
+				}
+			}
+		}()
+	}
+	g, gctx := pipeline.WithContext(ctx)
+	// credits bounds chunks in flight between the chunker and the
+	// in-order sink, capping the sink's reorder map (see the core
+	// engine's Backup for the full argument).
+	credits := make(chan struct{}, rawBufDepth+hashedBufDepth+e.cfg.HashWorkers+1)
+	raw := pipeline.Produce(g, rawBufDepth, func(emit func(hashedChunk) bool) error {
 		for seq := 0; ; seq++ {
 			data, err := ch.Next()
 			if errors.Is(err, io.EOF) {
@@ -164,17 +216,25 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 			if err != nil {
 				return fmt.Errorf("dedup: chunking: %w", err)
 			}
+			select {
+			case credits <- struct{}{}:
+			case <-gctx.Done():
+				return nil
+			}
 			if !emit(hashedChunk{seq: seq, data: data}) {
 				return nil
 			}
 		}
 	})
-	hashed := pipeline.Transform(g, e.cfg.HashWorkers, 64, raw, func(c hashedChunk) (hashedChunk, error) {
+	hashed := pipeline.Transform(g, e.cfg.HashWorkers, hashedBufDepth, raw, func(c hashedChunk) (hashedChunk, error) {
 		c.fp = fp.Of(c.data)
 		return c, nil
 	})
 	// The sink reorders the (possibly out-of-order) hashed chunks back
-	// into stream order and assembles indexing segments.
+	// into stream order and assembles indexing segments. A credit is
+	// returned as soon as a chunk is handed to the session in order —
+	// the session's segment buffer is bounded by SegmentChunks, not by
+	// the credit cap.
 	reorder := make(map[int]hashedChunk)
 	next := 0
 	pipeline.Sink(g, hashed, func(c hashedChunk) error {
@@ -186,7 +246,9 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 			}
 			delete(reorder, next)
 			next++
-			if err := session.push(item); err != nil {
+			err := session.push(item)
+			<-credits
+			if err != nil {
 				return err
 			}
 		}
@@ -201,9 +263,17 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 	// open container first means every chunk the recipe names is on disk
 	// when the recipe appears — a crash between the two leaves an
 	// orphaned container (wasted space), never a dangling recipe entry
-	// (data loss).
+	// (data loss). With async commit the barrier is the same fence: it
+	// returns only when every queued container is durably in the store.
 	if err := e.sealOpen(); err != nil {
 		return backup.BackupReport{}, err
+	}
+	if e.writer != nil {
+		w := e.writer
+		e.writer = nil
+		if err := w.Barrier(); err != nil {
+			return backup.BackupReport{}, err
+		}
 	}
 	if err := e.cfg.Recipes.Put(rec); err != nil {
 		return backup.BackupReport{}, err
@@ -219,6 +289,10 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (backup.BackupRe
 		e.mx.StoredBytes.Add(session.storedBytes)
 		e.mx.Chunks.Add(uint64(session.chunks))
 		e.mx.UniqueChunks.Add(uint64(session.uniqueChunks))
+		ps := e.pool.Stats()
+		e.mx.PoolInUse.Set(ps.InUse)
+		e.mx.PoolInUseBytes.Set(ps.InUseBytes)
+		e.mx.PoolSlabs.Set(int64(ps.SlabAllocs))
 	}
 	// The whole backup is one wall interval here (no sub-stage timing in
 	// the baseline engine), so a stage record suffices.
@@ -319,6 +393,9 @@ func (s *backupSession) processSegment() error {
 			cids[i] = cid
 		}
 		s.recipe.Append(c.fp, uint32(len(c.data)), int32(cids[i]))
+		// Duplicate, or copied into the open container by Add: either
+		// way the pooled buffer is done.
+		e.pool.Release(c.data)
 	}
 	e.cfg.Index.Commit(refs, cids)
 	e.cfg.Rewriter.Committed(view, cids)
@@ -353,6 +430,16 @@ func (e *Engine) sealOpen() error {
 		return nil
 	}
 	if e.open.Len() == 0 {
+		e.open = nil
+		return nil
+	}
+	if e.writer != nil {
+		// Sealed images handed to the background committer are
+		// read-only until the barrier; this engine never mutates a
+		// sealed container during a backup.
+		if err := e.writer.Put(e.open); err != nil {
+			return err
+		}
 		e.open = nil
 		return nil
 	}

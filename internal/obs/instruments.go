@@ -32,6 +32,13 @@ type BackupMetrics struct {
 	// Chunk-filter migration volume.
 	MigratedChunks     *Counter
 	ArchivalContainers *Counter
+
+	// Chunk-buffer pool state, set from bufpool.Pool.Stats after each
+	// backup. InUse should be 0 between backups — anything else is a
+	// leaked buffer on the hot path.
+	PoolInUse      *Gauge
+	PoolInUseBytes *Gauge
+	PoolSlabs      *Gauge
 }
 
 // NewBackupMetrics registers the backup instruments; nil registry
@@ -59,6 +66,10 @@ func NewBackupMetrics(r *Registry) *BackupMetrics {
 
 		MigratedChunks:     r.Counter("hidestore_migrated_chunks_total", "chunks exiled to archival containers"),
 		ArchivalContainers: r.Counter("hidestore_archival_containers_total", "archival containers created"),
+
+		PoolInUse:      r.Gauge("hidestore_bufpool_in_use", "pooled chunk buffers currently checked out"),
+		PoolInUseBytes: r.Gauge("hidestore_bufpool_in_use_bytes", "pooled capacity currently checked out"),
+		PoolSlabs:      r.Gauge("hidestore_bufpool_slabs", "cumulative slab allocations by the chunk pool"),
 	}
 }
 

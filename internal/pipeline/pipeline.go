@@ -111,6 +111,15 @@ func Transform[In, Out any](g *Group, workers, buf int, in <-chan In, fn func(In
 	g.Go(func() error {
 		wg.Wait()
 		close(out)
+		// On early error the workers stop consuming, but the producer
+		// feeding `in` may not be context-aware (Produce's emit is, raw
+		// channel writers often are not). Drain what it has in flight so
+		// its sends never block past cancellation; the drain costs
+		// nothing on the happy path because `in` is already closed and
+		// empty. The producer must still close `in` eventually — that
+		// contract is unchanged.
+		for range in {
+		}
 		return nil
 	})
 	return out

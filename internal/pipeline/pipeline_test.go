@@ -178,3 +178,37 @@ func TestTransformDefaultsToOneWorker(t *testing.T) {
 		t.Fatalf("count = %d, want 2", count)
 	}
 }
+
+// TestTransformDrainsInputOnEarlyError pins the drain guarantee: when a
+// worker fails mid-stream, a producer that is not context-aware (a raw
+// channel writer, unlike Produce's emit) must still be able to push its
+// remaining items and close the channel instead of blocking forever on
+// a send nobody will receive.
+func TestTransformDrainsInputOnEarlyError(t *testing.T) {
+	boom := errors.New("boom")
+	g, _ := WithContext(context.Background())
+	in := make(chan int) // unbuffered: the producer blocks on every send
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		defer close(in)
+		for i := 0; i < 1000; i++ {
+			in <- i // not ctx-aware on purpose
+		}
+	}()
+	out := Transform(g, 2, 1, in, func(v int) (int, error) {
+		if v == 5 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	Sink(g, out, func(int) error { return nil })
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	select {
+	case <-producerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after pipeline error: Transform did not drain its input")
+	}
+}
