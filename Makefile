@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench microbench vet lint crash check
+.PHONY: build test race bench microbench vet lint crash remote-smoke check
 
 build:
 	$(GO) build ./...
@@ -47,4 +47,11 @@ lint:
 crash:
 	HIDESTORE_CRASH_FULL=1 $(GO) test -run 'TestCrashMatrix' -count=1 ./internal/core/ ./internal/dedup/
 
-check: build test race vet lint crash
+# A short remote-backend end-to-end pass: the prefetch-depth × fetch
+# latency sweep at tiny scale behind the deterministic remote
+# simulator. sleep-scale=-1 skips the real sleeps, so the run is fast
+# and its modeled numbers are bit-for-bit reproducible (fixed seed).
+remote-smoke:
+	$(GO) run ./cmd/bench -exp remote -workloads kernel -scale 2 -versions 6 -sleep-scale=-1
+
+check: build test race vet lint crash remote-smoke

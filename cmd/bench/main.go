@@ -7,9 +7,11 @@
 //	bench -exp fig8 -scale 16 -versions 30
 //
 // Experiments: table1, fig3, fig8, fig9, fig10, fig11, fig12, deletion,
-// throughput, backup, chunkers, ablations, all. Output is aligned text:
-// the same rows/series the paper plots, plus the write-hot-path
-// trajectory experiments (backup, chunkers) used by make bench.
+// throughput, backup, chunkers, ablations, remote, all. Output is
+// aligned text: the same rows/series the paper plots, plus the
+// write-hot-path trajectory experiments (backup, chunkers) used by make
+// bench and the remote-backend prefetch-depth × fetch-latency sweep
+// (remote) behind the simulated high-latency store.
 //
 // With -json DIR, every experiment additionally writes a
 // machine-readable BENCH_<exp>.json summary to DIR: wall time,
@@ -44,14 +46,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: table1|fig3|fig8|fig9|fig10|fig11|fig12|deletion|throughput|backup|chunkers|ablations|all")
-		workloads = fs.String("workloads", "", "comma-separated workloads (default: all four presets)")
-		scale     = fs.Int("scale", 8, "approximate per-version size in MB")
-		versions  = fs.Int("versions", 20, "versions per workload (0 = preset's full count)")
-		ctnSize   = fs.Int("container", 1<<20, "container capacity in bytes")
-		deletes   = fs.Int("deletes", 0, "versions to expire in the deletion experiment (0 = half)")
-		format    = fs.String("format", "table", "output format: table|csv")
-		jsonDir   = fs.String("json", "", "directory for machine-readable BENCH_<exp>.json summaries (created if missing)")
+		exp        = fs.String("exp", "all", "experiment: table1|fig3|fig8|fig9|fig10|fig11|fig12|deletion|throughput|backup|chunkers|ablations|remote|all")
+		sleepScale = fs.Float64("sleep-scale", 1, "remote experiment sleep scaling: 1 sleeps simulated latency for real, negative skips sleeps (modeled numbers only)")
+		workloads  = fs.String("workloads", "", "comma-separated workloads (default: all four presets)")
+		scale      = fs.Int("scale", 8, "approximate per-version size in MB")
+		versions   = fs.Int("versions", 20, "versions per workload (0 = preset's full count)")
+		ctnSize    = fs.Int("container", 1<<20, "container capacity in bytes")
+		deletes    = fs.Int("deletes", 0, "versions to expire in the deletion experiment (0 = half)")
+		format     = fs.String("format", "table", "output format: table|csv")
+		jsonDir    = fs.String("json", "", "directory for machine-readable BENCH_<exp>.json summaries (created if missing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -185,6 +188,17 @@ func run(args []string) error {
 			for k, v := range res.Extras() {
 				extra[k] = v
 			}
+		case "remote":
+			for _, name := range names {
+				res, err := experiments.Remote(name, *sleepScale, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(res.Render())
+				for k, v := range res.Extras() {
+					extra[name+"_"+k] = v
+				}
+			}
 		case "ablations":
 			type runner func(string, experiments.Options) (*experiments.AblationResult, error)
 			sweeps := []runner{
@@ -218,7 +232,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *exp == "all" {
-		for _, id := range []string{"table1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "deletion", "throughput", "backup", "chunkers", "ablations"} {
+		for _, id := range []string{"table1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "deletion", "throughput", "backup", "chunkers", "ablations", "remote"} {
 			if err := run(id); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}

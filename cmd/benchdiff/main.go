@@ -13,6 +13,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -40,7 +41,15 @@ func run(args []string) error {
 	}
 	oldM, err := flattenFile(fs.Arg(0))
 	if err != nil {
-		return err
+		// A missing baseline snapshot is routine (first CI run, new
+		// experiment): report every metric as new rather than failing.
+		// Malformed JSON is still an error — only unreadable content
+		// exits nonzero.
+		if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: no baseline, reporting all metrics as new\n", fs.Arg(0))
+		oldM = map[string]float64{}
 	}
 	newM, err := flattenFile(fs.Arg(1))
 	if err != nil {
@@ -135,17 +144,28 @@ func num(v float64) string {
 	return fmt.Sprintf("%.3f", v)
 }
 
+// delta renders new-old with a relative percentage. Metrics that appear
+// with a 0-valued baseline have no meaningful percentage (the naive
+// 100*d/oldV is ±Inf) and print as "new"; non-finite inputs or results
+// print "n/a" instead of leaking Inf/NaN into the report.
 func delta(oldV, newV float64) string {
-	d := newV - oldV
-	signed := num(d)
-	if d >= 0 {
-		signed = "+" + signed
+	if math.IsNaN(oldV) || math.IsNaN(newV) || math.IsInf(oldV, 0) || math.IsInf(newV, 0) {
+		return "n/a"
 	}
+	d := newV - oldV
 	if oldV == 0 {
 		if d == 0 {
 			return "0"
 		}
-		return signed
+		return "new"
 	}
-	return fmt.Sprintf("%s (%+.1f%%)", signed, 100*d/oldV)
+	signed := num(d)
+	if d >= 0 {
+		signed = "+" + signed
+	}
+	pct := 100 * d / oldV
+	if math.IsNaN(pct) || math.IsInf(pct, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%s (%+.1f%%)", signed, pct)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,11 +31,43 @@ func TestFlattenAndDelta(t *testing.T) {
 	if err := run([]string{oldP, newP}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if got := delta(100, 150); got != "+50 (+50.0%)" {
-		t.Fatalf("delta = %q", got)
+}
+
+func TestDeltaEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name       string
+		oldV, newV float64
+		want       string
+	}{
+		{"growth", 100, 150, "+50 (+50.0%)"},
+		{"shrink", 2.5, 0.1, "-2.400 (-96.0%)"},
+		{"to-zero", 5, 0, "-5 (-100.0%)"},
+		{"both-zero", 0, 0, "0"},
+		{"zero-baseline", 0, 5, "new"},
+		{"zero-baseline-negative", 0, -3, "new"},
+		{"nan-old", nan, 5, "n/a"},
+		{"nan-new", 5, nan, "n/a"},
+		{"inf-old", inf, 5, "n/a"},
+		{"inf-new", 5, inf, "n/a"},
 	}
-	if got := delta(2.5, 0.1); got != "-2.400 (-96.0%)" {
-		t.Fatalf("delta = %q", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := delta(tc.oldV, tc.newV); got != tc.want {
+				t.Fatalf("delta(%v, %v) = %q, want %q", tc.oldV, tc.newV, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunMissingBaselineSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	newP := write(t, dir, "new.json", `{"backup_mb_per_sec": 150}`)
+	// First CI run: no baseline snapshot yet. Everything reports as
+	// "new"; the tool must not fail the pipeline.
+	if err := run([]string{filepath.Join(dir, "absent.json"), newP}); err != nil {
+		t.Fatalf("missing baseline should not fail: %v", err)
 	}
 }
 
@@ -43,6 +76,15 @@ func TestRunRejectsBadUsage(t *testing.T) {
 		t.Fatal("run with one arg should fail")
 	}
 	if err := run([]string{"nope1.json", "nope2.json"}); err == nil {
-		t.Fatal("run with missing files should fail")
+		t.Fatal("run with a missing NEW snapshot should fail")
+	}
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", `{"ok": 1}`)
+	badP := write(t, dir, "bad.json", `{not json`)
+	if err := run([]string{oldP, badP}); err == nil {
+		t.Fatal("malformed NEW snapshot should fail")
+	}
+	if err := run([]string{badP, oldP}); err == nil {
+		t.Fatal("malformed OLD snapshot should fail")
 	}
 }

@@ -69,6 +69,15 @@ func run(args []string) error {
 		tracePath  = fs.String("trace", "", "append JSONL spans for this invocation to FILE")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on ADDR for the life of the command")
 		metricsOut = fs.String("metrics-out", "", "dump the Prometheus exposition to FILE on exit")
+
+		backendKind  = fs.String("backend", "local", "storage backend: local|remote (remote simulates a high-latency store with retry, rate limiting and a local container cache)")
+		backendLat   = fs.Duration("backend-latency", 0, "remote backend: simulated per-operation round-trip")
+		backendBW    = fs.Float64("backend-bandwidth", 0, "remote backend: simulated payload bandwidth in MB/s (0 = unlimited)")
+		backendErrs  = fs.Float64("backend-err-rate", 0, "remote backend: injected transient-failure probability per op (0..1)")
+		backendSeed  = fs.Int64("backend-seed", 0, "remote backend: seed for the injected-failure stream")
+		backendTries = fs.Int("backend-retries", 0, "remote backend: per-op attempt budget for transient failures (0 = default 4)")
+		backendRate  = fs.Float64("backend-rate-limit", 0, "remote backend: client-side throughput cap in MB/s (0 = off)")
+		backendCache = fs.Int("backend-cache-mb", 0, "remote backend: persistent local container-read cache size in MB (0 = off)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats> [args]")
@@ -120,6 +129,16 @@ func run(args []string) error {
 		Compress:      *compress,
 		Metrics:       reg,
 		Tracer:        tracer,
+		Backend: hidestore.BackendConfig{
+			Kind:          *backendKind,
+			Latency:       *backendLat,
+			BandwidthMBps: *backendBW,
+			ErrRate:       *backendErrs,
+			Seed:          *backendSeed,
+			Retries:       *backendTries,
+			RateLimitMBps: *backendRate,
+			CacheMB:       *backendCache,
+		},
 	})
 	if err != nil {
 		//hidelint:ignore discarded-error tracer teardown on the Open error path; the Open failure is the error that matters

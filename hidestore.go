@@ -32,10 +32,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"hidestore/internal/backend"
 	"hidestore/internal/backup"
 	"hidestore/internal/chunker"
 	"hidestore/internal/container"
@@ -96,6 +99,50 @@ type Config struct {
 	// container fetches, recovery events) as JSONL. Nil disables
 	// tracing. The caller owns the tracer and must Close it.
 	Tracer *obs.Tracer
+	// Backend selects and tunes the storage-backend stack the stores
+	// run on. The zero value is the plain local backend the system has
+	// always used.
+	Backend BackendConfig
+}
+
+// BackendConfig configures the storage-backend stack (internal/backend):
+// a simulated remote with latency, bandwidth and transient faults,
+// wrapped by retry/backoff, an optional rate limiter and a persistent
+// local read cache for container fetches. See DESIGN.md "Storage
+// backends".
+type BackendConfig struct {
+	// Kind selects the stack: "" or "local" is the plain filesystem
+	// (or in-memory) store; "remote" interposes the simulated-remote
+	// stack between the stores and their bytes.
+	Kind string
+	// Latency is the simulated per-operation round-trip.
+	Latency time.Duration
+	// BandwidthMBps caps simulated payload transfer (MB/s); 0 means
+	// unlimited.
+	BandwidthMBps float64
+	// ErrRate injects transient failures with this per-op probability
+	// (0..1); the retry layer absorbs them.
+	ErrRate float64
+	// Seed makes the injected-failure stream deterministic.
+	Seed int64
+	// SleepScale scales the simulator's real sleeps: 0 sleeps in full,
+	// negative disables real sleeping while keeping the deterministic
+	// time model (experiments sweeping multi-ms latencies use -1).
+	SleepScale float64
+	// Retries is the per-op attempt budget of the retry layer
+	// (default 4). Only transient errors are retried; a missing
+	// container fails fast.
+	Retries int
+	// RetryMinDelay is the backoff floor before the first retry
+	// (default 10ms; doubles per retry with jitter, capped at 1s).
+	RetryMinDelay time.Duration
+	// RateLimitMBps caps client-side payload throughput with a token
+	// bucket (MB/s); 0 disables the limiter.
+	RateLimitMBps float64
+	// CacheMB bounds the persistent local read cache for container
+	// fetches (MB); 0 disables the cache. The cache needs a Dir and is
+	// ignored for in-memory systems.
+	CacheMB int
 }
 
 func (c Config) chunkParams() chunker.Params {
@@ -112,30 +159,146 @@ func (c Config) chunkParams() chunker.Params {
 	return p
 }
 
-func (c Config) stores() (container.Store, recipe.Store, error) {
-	var cs container.Store
-	var rs recipe.Store
-	if c.Dir == "" {
-		cs, rs = container.NewMemStore(), recipe.NewMemStore()
-	} else {
-		fcs, err := container.NewFileStore(filepath.Join(c.Dir, "containers"))
-		if err != nil {
-			return nil, nil, err
-		}
-		frs, err := recipe.NewFileStore(filepath.Join(c.Dir, "recipes"))
-		if err != nil {
-			return nil, nil, err
-		}
-		cs, rs = fcs, frs
+// stateFileName is the engine state blob/file name under Dir (local
+// mode) or in the state backend's namespace (remote mode).
+const stateFileName = "state.hds"
+
+// storeSet bundles what Config.stores assembles: the stores, the state
+// file location, and — when a backend stack routes the state blob
+// through its retry/limiter layers — the state read/write hooks (nil
+// hooks select the engine's plain-file defaults).
+type storeSet struct {
+	containers container.Store
+	recipes    recipe.Store
+	statePath  string
+	readState  func(path string) ([]byte, error)
+	writeState func(path string, data []byte, perm os.FileMode) error
+}
+
+func (c Config) stores() (storeSet, error) {
+	var set storeSet
+	var err error
+	switch c.Backend.Kind {
+	case "", "local":
+		set, err = c.localStores()
+	case "remote":
+		set, err = c.remoteStores()
+	default:
+		return storeSet{}, fmt.Errorf("hidestore: unknown backend kind %q", c.Backend.Kind)
+	}
+	if err != nil {
+		return storeSet{}, err
 	}
 	if c.Compress {
-		ccs, err := container.NewCompressedStore(cs, 0)
+		ccs, err := container.NewCompressedStore(set.containers, 0)
 		if err != nil {
-			return nil, nil, err
+			return storeSet{}, err
 		}
-		cs = ccs
+		set.containers = ccs
 	}
-	return cs, rs, nil
+	return set, nil
+}
+
+// localStores is the classic layout: plain file stores under Dir (or
+// memory stores without one).
+func (c Config) localStores() (storeSet, error) {
+	var set storeSet
+	if c.Dir == "" {
+		set.containers, set.recipes = container.NewMemStore(), recipe.NewMemStore()
+		return set, nil
+	}
+	fcs, err := container.NewFileStore(filepath.Join(c.Dir, "containers"))
+	if err != nil {
+		return storeSet{}, err
+	}
+	frs, err := recipe.NewFileStore(filepath.Join(c.Dir, "recipes"))
+	if err != nil {
+		return storeSet{}, err
+	}
+	set.containers, set.recipes = fcs, frs
+	set.statePath = filepath.Join(c.Dir, stateFileName)
+	return set, nil
+}
+
+// remoteStores assembles the simulated-remote stacks: containers,
+// recipes and the state blob each get their own stack (latency, retry,
+// optional rate limit); container fetches additionally go through the
+// persistent local read cache at Dir/cache. Without a Dir everything
+// sits on in-memory backends (and the cache, which needs a disk, is
+// skipped).
+func (c Config) remoteStores() (storeSet, error) {
+	b := c.Backend
+	mx := obs.NewBackendMetrics(c.Metrics)
+	stack := func(sub string, seedOffset int64, withCache bool) (backend.Backend, error) {
+		var base backend.Backend
+		if c.Dir == "" {
+			base = backend.NewMem()
+		} else {
+			local, err := backend.NewLocal(filepath.Join(c.Dir, "remote", sub))
+			if err != nil {
+				return nil, err
+			}
+			base = local
+		}
+		opts := backend.StackOptions{
+			Sim: backend.SimOptions{
+				Latency:      b.Latency,
+				BandwidthBps: b.BandwidthMBps * (1 << 20),
+				ErrRate:      b.ErrRate,
+				Seed:         b.Seed + seedOffset,
+				SleepScale:   b.SleepScale,
+			},
+			Retry: backend.RetryOptions{
+				Tries:    b.Retries,
+				MinDelay: b.RetryMinDelay,
+				Seed:     b.Seed + seedOffset,
+			},
+			RateBps: b.RateLimitMBps * (1 << 20),
+			Metrics: mx,
+			Tracer:  c.Tracer,
+		}
+		if withCache && c.Dir != "" && b.CacheMB > 0 {
+			opts.CacheDir = filepath.Join(c.Dir, "cache")
+			opts.CacheBytes = int64(b.CacheMB) << 20
+		}
+		top, _, err := backend.NewStack(base, opts)
+		return top, err
+	}
+	cb, err := stack("containers", 0, true)
+	if err != nil {
+		return storeSet{}, err
+	}
+	rb, err := stack("recipes", 1, false)
+	if err != nil {
+		return storeSet{}, err
+	}
+	set := storeSet{
+		containers: backend.NewContainerStore(cb),
+		recipes:    backend.NewRecipeStore(rb),
+	}
+	if c.Dir == "" {
+		return set, nil
+	}
+	sb, err := stack("state", 2, false)
+	if err != nil {
+		return storeSet{}, err
+	}
+	set.statePath = filepath.Join(c.Dir, "remote", "state", stateFileName)
+	set.readState = func(path string) ([]byte, error) {
+		data, err := sb.Get(context.Background(), stateFileName)
+		if err != nil {
+			if errors.Is(err, backend.ErrNotFound) {
+				// loadState distinguishes "no state yet" via fs.ErrNotExist.
+				return nil, fmt.Errorf("hidestore: state %s: %w", path, fs.ErrNotExist)
+			}
+			return nil, err
+		}
+		return data, nil
+	}
+	set.writeState = func(_ string, data []byte, _ os.FileMode) error {
+		return sb.Put(context.Background(), stateFileName, data)
+	}
+	return set, nil
 }
 
 func (c Config) chunkerAlg() (chunker.Algorithm, error) {
@@ -227,7 +390,7 @@ type System struct {
 // exactly where the previous process stopped. (The Window must match the
 // one the directory was created with.)
 func Open(cfg Config) (*System, error) {
-	cs, rs, err := cfg.stores()
+	set, err := cfg.stores()
 	if err != nil {
 		return nil, err
 	}
@@ -239,21 +402,19 @@ func Open(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	statePath := ""
-	if cfg.Dir != "" {
-		statePath = filepath.Join(cfg.Dir, "state.hds")
-	}
 	e, err := core.New(core.Config{
 		Chunker:           alg,
 		ChunkParams:       cfg.chunkParams(),
-		Store:             cs,
-		Recipes:           rs,
+		Store:             set.containers,
+		Recipes:           set.recipes,
 		ContainerCapacity: cfg.ContainerSize,
 		Window:            cfg.Window,
 		MergeUtilization:  cfg.MergeUtilization,
 		RestoreCache:      rc,
 		PrefetchDepth:     cfg.PrefetchDepth,
-		StatePath:         statePath,
+		StatePath:         set.statePath,
+		WriteState:        set.writeState,
+		ReadState:         set.readState,
 		Metrics:           cfg.Metrics,
 		Tracer:            cfg.Tracer,
 	})
@@ -280,7 +441,7 @@ type BaselineConfig struct {
 // OpenBaseline creates a traditional deduplication system — the kind the
 // paper compares HiDeStore against.
 func OpenBaseline(cfg BaselineConfig) (*System, error) {
-	cs, rs, err := cfg.stores()
+	set, err := cfg.stores()
 	if err != nil {
 		return nil, err
 	}
@@ -318,8 +479,8 @@ func OpenBaseline(cfg BaselineConfig) (*System, error) {
 		Index:             ix,
 		Rewriter:          rw,
 		RestoreCache:      rc,
-		Store:             cs,
-		Recipes:           rs,
+		Store:             set.containers,
+		Recipes:           set.recipes,
 		ContainerCapacity: cfg.ContainerSize,
 		PrefetchDepth:     cfg.PrefetchDepth,
 		Metrics:           cfg.Metrics,

@@ -1,0 +1,203 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sync"
+
+	"hidestore/internal/cleanup"
+	"hidestore/internal/durable"
+	"hidestore/internal/lru"
+	"hidestore/internal/obs"
+)
+
+// Cache is a persistent local read cache in front of a remote backend:
+// fetched blobs are written to a local directory (one file per blob,
+// LRU-evicted by total bytes) so repeated restores of the same
+// containers skip the remote round-trip. The cache survives process
+// restarts — reopening rebuilds the LRU index from the directory, with
+// file modification times approximating recency — and sweeps stale
+// tmp-* files via internal/durable like every other on-disk component.
+//
+// Coherence rule: writes and deletes invalidate the cached copy
+// *before* they reach the inner backend. A crash between the two steps
+// leaves the cache cold for that name, never stale — the cache may
+// only ever disagree with the remote by missing an entry.
+type Cache struct {
+	inner Backend
+	dir   string
+	mx    *obs.BackendMetrics
+
+	mu    sync.Mutex
+	index *lru.Cache[string, int64] // blob name -> cached size (bytes)
+}
+
+var _ Backend = (*Cache)(nil)
+
+// NewCache opens (creating if needed) a disk cache at dir holding at
+// most capacity bytes of blobs fetched through inner. mx (nil for no
+// instrumentation) receives hit/miss/eviction counts and the live
+// cache footprint.
+func NewCache(inner Backend, dir string, capacity int64, mx *obs.BackendMetrics) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("backend: create cache dir: %w", err)
+	}
+	if _, err := durable.SweepTemp(dir); err != nil {
+		return nil, fmt.Errorf("backend: sweep cache temp files: %w", err)
+	}
+	index, err := lru.New[string, int64](capacity)
+	if err != nil {
+		return nil, fmt.Errorf("backend: cache index: %w", err)
+	}
+	c := &Cache{inner: inner, dir: dir, mx: mx, index: index}
+	index.SetOnEvict(func(name string, _ int64) {
+		// Callback runs with c.mu held (every index mutation does).
+		// Eviction is advisory: a file that refuses to die only wastes
+		// disk, so the error is dropped rather than failing the op that
+		// triggered the eviction.
+		cleanup.Remove(c.filePath(name))
+		if c.mx != nil {
+			c.mx.CacheEvictions.Inc()
+		}
+	})
+	if err := c.rebuild(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// filePath maps a blob name to its cache file. Names are URL-escaped
+// into a flat namespace so slashes in blob names ("quarantine/…")
+// cannot escape the cache directory.
+func (c *Cache) filePath(name string) string {
+	return filepath.Join(c.dir, url.QueryEscape(name))
+}
+
+// rebuild scans the cache directory into the LRU index, oldest
+// modification first so the most recently written entries are the last
+// to be evicted.
+func (c *Cache) rebuild() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("backend: scan cache dir: %w", err)
+	}
+	type cached struct {
+		name string
+		size int64
+		mod  int64
+	}
+	var files []cached
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), durable.TempPrefix) {
+			continue
+		}
+		name, err := url.QueryUnescape(e.Name())
+		if err != nil {
+			// Not one of ours; leave it alone.
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, cached{name: name, size: info.Size(), mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	c.mu.Lock()
+	for _, f := range files {
+		c.index.Add(f.name, f.size, f.size)
+	}
+	c.syncGauge()
+	c.mu.Unlock()
+	return nil
+}
+
+// syncGauge publishes the cache footprint; callers hold c.mu.
+func (c *Cache) syncGauge() {
+	if c.mx != nil {
+		c.mx.CacheBytes.Set(c.index.Used())
+	}
+}
+
+// invalidate drops name from the cache (index entry and file); callers
+// hold c.mu. Removing the file directly covers blobs the index never
+// admitted (oversized entries rejected by the LRU).
+func (c *Cache) invalidate(name string) {
+	if !c.index.Remove(name) {
+		cleanup.Remove(c.filePath(name))
+	}
+	c.syncGauge()
+}
+
+// Get implements Backend: a cached blob is served from disk; a miss
+// reads through, then caches the result. Concurrent misses on the same
+// name each fetch (the writes are idempotent last-wins renames).
+func (c *Cache) Get(ctx context.Context, name string) ([]byte, error) {
+	c.mu.Lock()
+	if _, ok := c.index.Get(name); ok {
+		data, err := os.ReadFile(c.filePath(name))
+		if err == nil {
+			c.mu.Unlock()
+			if c.mx != nil {
+				c.mx.CacheHits.Inc()
+			}
+			return data, nil
+		}
+		// The cached file is unreadable (tampered, swept, disk fault):
+		// drop it and fall through to a remote read. Serving the error
+		// would turn a cache problem into a restore failure.
+		c.invalidate(name)
+	}
+	c.mu.Unlock()
+	if c.mx != nil {
+		c.mx.CacheMisses.Inc()
+	}
+	data, err := c.inner.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if werr := durable.WriteFileAtomic(c.filePath(name), data, 0o644); werr == nil {
+		c.index.Add(name, int64(len(data)), int64(len(data)))
+		c.syncGauge()
+	}
+	// A failed cache write is not a failed Get — the data is in hand;
+	// the blob simply stays uncached.
+	c.mu.Unlock()
+	return data, nil
+}
+
+// Put implements Backend, invalidating the cached copy first (see the
+// coherence rule above).
+func (c *Cache) Put(ctx context.Context, name string, data []byte) error {
+	c.mu.Lock()
+	c.invalidate(name)
+	c.mu.Unlock()
+	return c.inner.Put(ctx, name, data)
+}
+
+// Delete implements Backend, invalidating the cached copy first.
+func (c *Cache) Delete(ctx context.Context, name string) error {
+	c.mu.Lock()
+	c.invalidate(name)
+	c.mu.Unlock()
+	return c.inner.Delete(ctx, name)
+}
+
+// Has implements Backend. Existence checks go to the source of truth:
+// the cache can lag behind deletes performed by another writer, and
+// Has must not resurrect them.
+func (c *Cache) Has(ctx context.Context, name string) (bool, error) {
+	return c.inner.Has(ctx, name)
+}
+
+// List implements Backend, from the source of truth.
+func (c *Cache) List(ctx context.Context, prefix string) ([]string, error) {
+	return c.inner.List(ctx, prefix)
+}

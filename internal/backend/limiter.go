@@ -1,0 +1,106 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Limiter caps a Backend's payload throughput with a token bucket:
+// each byte moved costs one token, tokens refill at Rate per second up
+// to Burst. An op that overdraws the bucket sleeps until the debt is
+// repaid (a negative-balance bucket: the op proceeds immediately but
+// pays its transfer time before returning), which paces sustained
+// throughput at Rate without stalling small metadata ops.
+//
+// Puts charge before the inner write (the size is known up front);
+// Gets charge after the read (the size is only known then). Delete,
+// Has and List move no payload and are not charged.
+type Limiter struct {
+	inner Backend
+
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+var _ Backend = (*Limiter)(nil)
+
+// NewLimiter wraps inner with a token bucket of rate bytes/second.
+// Burst defaults to one second's worth of tokens when burst <= 0.
+func NewLimiter(inner Backend, rate float64, burst float64) *Limiter {
+	if burst <= 0 {
+		burst = rate
+	}
+	l := &Limiter{
+		inner: inner,
+		rate:  rate,
+		burst: burst,
+		now:   time.Now,
+		sleep: sleepCtx,
+	}
+	l.tokens = burst
+	l.last = l.now()
+	return l
+}
+
+// take withdraws n tokens, sleeping off any resulting debt.
+func (l *Limiter) take(ctx context.Context, n int) error {
+	if n <= 0 || l.rate <= 0 {
+		return ctx.Err()
+	}
+	l.mu.Lock()
+	now := l.now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	l.last = now
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.tokens -= float64(n)
+	var wait time.Duration
+	if l.tokens < 0 {
+		wait = time.Duration(-l.tokens / l.rate * float64(time.Second))
+	}
+	l.mu.Unlock()
+	return l.sleep(ctx, wait)
+}
+
+// Put implements Backend.
+func (l *Limiter) Put(ctx context.Context, name string, data []byte) error {
+	if err := l.take(ctx, len(data)); err != nil {
+		return err
+	}
+	return l.inner.Put(ctx, name, data)
+}
+
+// Get implements Backend.
+func (l *Limiter) Get(ctx context.Context, name string) ([]byte, error) {
+	data, err := l.inner.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.take(ctx, len(data)); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Delete implements Backend.
+func (l *Limiter) Delete(ctx context.Context, name string) error {
+	return l.inner.Delete(ctx, name)
+}
+
+// Has implements Backend.
+func (l *Limiter) Has(ctx context.Context, name string) (bool, error) {
+	return l.inner.Has(ctx, name)
+}
+
+// List implements Backend.
+func (l *Limiter) List(ctx context.Context, prefix string) ([]string, error) {
+	return l.inner.List(ctx, prefix)
+}

@@ -1,0 +1,122 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hidestore/internal/recipe"
+)
+
+const (
+	recipePrefix = "r_"
+	recipeExt    = ".rcp"
+)
+
+// RecipeName returns the blob name of a version's recipe.
+func RecipeName(version int) string {
+	return recipePrefix + strconv.Itoa(version) + recipeExt
+}
+
+// RecipeStore adapts a Backend to recipe.Store, mirroring the
+// FileStore naming scheme (r_<version>.rcp). Like ContainerStore, the
+// Store interface is context-free by design, so ops run under
+// context.Background. ErrNotFound maps to recipe.ErrNotFound with the
+// chain preserved.
+type RecipeStore struct {
+	b Backend
+}
+
+var _ recipe.Store = (*RecipeStore)(nil)
+
+// NewRecipeStore adapts b to a recipe store.
+func NewRecipeStore(b Backend) *RecipeStore {
+	return &RecipeStore{b: b}
+}
+
+// Put implements recipe.Store.
+func (s *RecipeStore) Put(r *recipe.Recipe) error {
+	if r == nil {
+		return fmt.Errorf("backend: Put nil recipe")
+	}
+	if r.Version <= 0 {
+		return fmt.Errorf("backend: Put version %d (must be positive)", r.Version)
+	}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("backend: marshal recipe v%d: %w", r.Version, err)
+	}
+	if err := s.b.Put(context.Background(), RecipeName(r.Version), buf); err != nil {
+		return fmt.Errorf("backend: put recipe v%d: %w", r.Version, err)
+	}
+	return nil
+}
+
+// Get implements recipe.Store.
+func (s *RecipeStore) Get(version int) (*recipe.Recipe, error) {
+	buf, err := s.b.Get(context.Background(), RecipeName(version))
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, fmt.Errorf("%w: version %d: %w", recipe.ErrNotFound, version, err)
+		}
+		return nil, fmt.Errorf("backend: read recipe v%d: %w", version, err)
+	}
+	r, err := recipe.UnmarshalBinary(buf)
+	if err != nil {
+		return nil, fmt.Errorf("recipe v%d: %w", version, err)
+	}
+	return r, nil
+}
+
+// Delete implements recipe.Store.
+func (s *RecipeStore) Delete(version int) error {
+	if err := s.b.Delete(context.Background(), RecipeName(version)); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("%w: version %d: %w", recipe.ErrNotFound, version, err)
+		}
+		return fmt.Errorf("backend: delete recipe v%d: %w", version, err)
+	}
+	return nil
+}
+
+// Has implements recipe.Store.
+func (s *RecipeStore) Has(version int) (bool, error) {
+	ok, err := s.b.Has(context.Background(), RecipeName(version))
+	if err != nil {
+		return false, fmt.Errorf("backend: stat recipe v%d: %w", version, err)
+	}
+	return ok, nil
+}
+
+// Versions implements recipe.Store.
+func (s *RecipeStore) Versions() ([]int, error) {
+	names, err := s.b.List(context.Background(), recipePrefix)
+	if err != nil {
+		return nil, fmt.Errorf("backend: list recipes: %w", err)
+	}
+	out := make([]int, 0, len(names))
+	for _, name := range names {
+		if !strings.HasSuffix(name, recipeExt) {
+			continue
+		}
+		n, err := strconv.Atoi(name[len(recipePrefix) : len(name)-len(recipeExt)])
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Len implements recipe.Store.
+func (s *RecipeStore) Len() (int, error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return 0, err
+	}
+	return len(versions), nil
+}

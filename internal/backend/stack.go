@@ -1,0 +1,61 @@
+package backend
+
+import (
+	"hidestore/internal/obs"
+)
+
+// StackOptions assembles the canonical remote stack over a base
+// backend. Zero values disable the optional layers.
+type StackOptions struct {
+	// Sim configures the remote simulator (always present in a stack —
+	// a zero SimOptions is a perfect remote with no latency or faults).
+	Sim SimOptions
+	// Retry configures the retry layer (zero fields take defaults).
+	Retry RetryOptions
+	// RateBps caps payload throughput in bytes/second; 0 disables the
+	// limiter.
+	RateBps float64
+	// CacheDir and CacheBytes enable the persistent read cache when
+	// both are set; the cache fronts container fetches only, so recipe
+	// and state stacks leave them zero.
+	CacheDir   string
+	CacheBytes int64
+	// Metrics and Tracer wire the stack into the observability plane
+	// (both may be nil).
+	Metrics *obs.BackendMetrics
+	Tracer  *obs.Tracer
+}
+
+// NewStack composes base into Observer(Cache(Retry(Limiter(Meter(
+// RemoteSim(base)))))): the cache sits above the retry layer so hits
+// skip the whole remote path, retry sits above the limiter so every
+// attempt is paced, and the meter hugs the simulator so it counts only
+// traffic that actually reached the remote. The returned *RemoteSim
+// exposes the deterministic traffic counters the experiment harness
+// reports.
+func NewStack(base Backend, opts StackOptions) (Backend, *RemoteSim, error) {
+	sim := NewRemoteSim(base, opts.Sim)
+	var b Backend = NewMeter(sim, opts.Metrics)
+	if opts.RateBps > 0 {
+		b = NewLimiter(b, opts.RateBps, 0)
+	}
+	retryOpts := opts.Retry
+	if mx := opts.Metrics; mx != nil {
+		prev := retryOpts.OnRetry
+		retryOpts.OnRetry = func(attempt int, err error) {
+			mx.Retries.Inc()
+			if prev != nil {
+				prev(attempt, err)
+			}
+		}
+	}
+	b = NewRetry(b, retryOpts)
+	if opts.CacheDir != "" && opts.CacheBytes > 0 {
+		c, err := NewCache(b, opts.CacheDir, opts.CacheBytes, opts.Metrics)
+		if err != nil {
+			return nil, nil, err
+		}
+		b = c
+	}
+	return NewObserver(b, opts.Metrics, opts.Tracer), sim, nil
+}

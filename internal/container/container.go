@@ -296,7 +296,7 @@ func UnmarshalBinary(buf []byte) (*Container, error) {
 	for i := 0; i < count; i++ {
 		f, err := fp.FromBytes(buf[off : off+fp.Size])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		chunkOff := binary.BigEndian.Uint32(buf[off+fp.Size:])
 		chunkSize := binary.BigEndian.Uint32(buf[off+fp.Size+4:])
@@ -305,7 +305,7 @@ func UnmarshalBinary(buf []byte) (*Container, error) {
 		}
 		payload := buf[dataStart+int(chunkOff) : dataStart+int(chunkOff)+int(chunkSize)]
 		if err := c.Add(f, payload); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		off += _entrySize
 	}

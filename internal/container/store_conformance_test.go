@@ -1,0 +1,29 @@
+package container_test
+
+import (
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/container/containertest"
+)
+
+// The shared Store contract (put/get, missing, delete, sorted IDs,
+// stats, validation) lives in containertest so the backend package can
+// run it against composed remote stacks; here it pins the two native
+// implementations.
+func TestStoreConformance(t *testing.T) {
+	t.Run("mem", func(t *testing.T) {
+		containertest.RunStoreSuite(t, func(t *testing.T) container.Store {
+			return container.NewMemStore()
+		})
+	})
+	t.Run("file", func(t *testing.T) {
+		containertest.RunStoreSuite(t, func(t *testing.T) container.Store {
+			fs, err := container.NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		})
+	})
+}

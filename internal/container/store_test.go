@@ -1,7 +1,6 @@
 package container
 
 import (
-	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -11,19 +10,6 @@ import (
 	"hidestore/internal/durable"
 	"hidestore/internal/fp"
 )
-
-// storeUnderTest builds each Store implementation for the shared suite.
-func storesUnderTest(t *testing.T) map[string]Store {
-	t.Helper()
-	fs, err := NewFileStore(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return map[string]Store{
-		"mem":  NewMemStore(),
-		"file": fs,
-	}
-}
 
 func fillContainer(t *testing.T, id ID, n int) *Container {
 	t.Helper()
@@ -35,138 +21,6 @@ func fillContainer(t *testing.T, id ID, n int) *Container {
 		}
 	}
 	return c
-}
-
-func TestStorePutGet(t *testing.T) {
-	for name, s := range storesUnderTest(t) {
-		t.Run(name, func(t *testing.T) {
-			orig := fillContainer(t, 3, 10)
-			wantChunk, err := orig.Get(orig.Fingerprints()[0])
-			if err != nil {
-				t.Fatal(err)
-			}
-			firstFP := orig.Fingerprints()[0]
-			if err := s.Put(orig); err != nil {
-				t.Fatal(err)
-			}
-			got, err := s.Get(3)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got.ID() != 3 || got.Len() != 10 {
-				t.Fatalf("got id=%d len=%d", got.ID(), got.Len())
-			}
-			have, err := got.Get(firstFP)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(have, wantChunk) {
-				t.Fatal("chunk corrupted through store")
-			}
-		})
-	}
-}
-
-func TestStoreGetMissing(t *testing.T) {
-	for name, s := range storesUnderTest(t) {
-		t.Run(name, func(t *testing.T) {
-			if _, err := s.Get(99); !errors.Is(err, ErrNotFound) {
-				t.Fatalf("got %v, want ErrNotFound", err)
-			}
-		})
-	}
-}
-
-func TestStoreDelete(t *testing.T) {
-	for name, s := range storesUnderTest(t) {
-		t.Run(name, func(t *testing.T) {
-			if err := s.Put(fillContainer(t, 1, 2)); err != nil {
-				t.Fatal(err)
-			}
-			if err := s.Delete(1); err != nil {
-				t.Fatal(err)
-			}
-			if has, err := s.Has(1); err != nil || has {
-				t.Fatal("container survives Delete")
-			}
-			if err := s.Delete(1); !errors.Is(err, ErrNotFound) {
-				t.Fatalf("double delete: got %v, want ErrNotFound", err)
-			}
-		})
-	}
-}
-
-func TestStoreIDsSorted(t *testing.T) {
-	for name, s := range storesUnderTest(t) {
-		t.Run(name, func(t *testing.T) {
-			for _, id := range []ID{5, 1, 3} {
-				if err := s.Put(fillContainer(t, id, 1)); err != nil {
-					t.Fatal(err)
-				}
-			}
-			ids, err := s.IDs()
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := []ID{1, 3, 5}
-			if len(ids) != len(want) {
-				t.Fatalf("IDs = %v, want %v", ids, want)
-			}
-			for i := range want {
-				if ids[i] != want[i] {
-					t.Fatalf("IDs = %v, want %v", ids, want)
-				}
-			}
-			if n, err := s.Len(); err != nil || n != 3 {
-				t.Fatalf("Len = %d, %v, want 3", n, err)
-			}
-		})
-	}
-}
-
-func TestStoreStatsCounting(t *testing.T) {
-	for name, s := range storesUnderTest(t) {
-		t.Run(name, func(t *testing.T) {
-			if err := s.Put(fillContainer(t, 1, 3)); err != nil {
-				t.Fatal(err)
-			}
-			if err := s.Put(fillContainer(t, 2, 3)); err != nil {
-				t.Fatal(err)
-			}
-			for i := 0; i < 5; i++ {
-				if _, err := s.Get(1); err != nil {
-					t.Fatal(err)
-				}
-			}
-			st := s.Stats()
-			if st.Writes != 2 {
-				t.Fatalf("Writes = %d, want 2", st.Writes)
-			}
-			if st.Reads != 5 {
-				t.Fatalf("Reads = %d, want 5", st.Reads)
-			}
-			if st.BytesRead == 0 || st.BytesWritten == 0 {
-				t.Fatal("byte counters should be non-zero")
-			}
-			s.ResetStats()
-			if got := s.Stats(); got != (StoreStats{}) {
-				t.Fatalf("stats after reset = %+v", got)
-			}
-		})
-	}
-}
-
-func TestStorePutValidation(t *testing.T) {
-	for name, s := range storesUnderTest(t) {
-		t.Run(name, func(t *testing.T) {
-			if err := s.Put(nil); err == nil {
-				t.Fatal("Put(nil) should fail")
-			}
-			if err := s.Put(New(0)); err == nil {
-				t.Fatal("Put(ID 0) should fail")
-			}
-		})
-	}
 }
 
 func TestFileStoreReopen(t *testing.T) {

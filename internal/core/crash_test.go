@@ -1,10 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"hidestore/internal/backend"
 	"hidestore/internal/backup"
 	"hidestore/internal/backup/backuptest"
 	"hidestore/internal/chunker"
@@ -77,6 +84,89 @@ func TestCrashMatrixDelete(t *testing.T) {
 	steps = append(steps, backuptest.CrashStep{Delete: 1})
 	steps = append(steps, backuptest.CrashStep{Data: versions[3]})
 	backuptest.CrashMatrix(t, crashOpen, steps,
+		[]fault.Kind{fault.Fail, fault.Torn, fault.NoSpace})
+}
+
+// crashOpenRemote builds the engine over the full composed backend
+// stack — remote simulator (with deterministic transients the retry
+// layer absorbs) × retry × persistent container cache — with the crash
+// injector spliced in above the adapters, modeling a process that dies
+// between commit steps. The path funcs point into the backing local
+// tree so Torn debris and NoSpace artifacts land where the backend's
+// reopen-time temp sweep must find them.
+func crashOpenRemote(dir string, inj *fault.Injector) (backup.Engine, error) {
+	stack := func(sub string, seed int64, cache bool) (backend.Backend, error) {
+		base, err := backend.NewLocal(filepath.Join(dir, "remote", sub))
+		if err != nil {
+			return nil, err
+		}
+		opts := backend.StackOptions{
+			Sim: backend.SimOptions{FailEveryN: 7, Seed: seed, SleepScale: -1},
+			Retry: backend.RetryOptions{
+				Tries:    4,
+				MinDelay: 10 * time.Microsecond,
+				MaxDelay: 100 * time.Microsecond,
+				Seed:     seed,
+			},
+		}
+		if cache {
+			opts.CacheDir = filepath.Join(dir, "cache")
+			opts.CacheBytes = 1 << 20
+		}
+		b, _, err := backend.NewStack(base, opts)
+		return b, err
+	}
+	cb, err := stack("containers", 1, true)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := stack("recipes", 2, false)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := stack("state", 3, false)
+	if err != nil {
+		return nil, err
+	}
+	const stateName = "state.hds"
+	statePath := filepath.Join(dir, "remote", "state", stateName)
+	return New(Config{
+		Store: fault.NewStore(backend.NewContainerStore(cb), inj, func(id container.ID) string {
+			return filepath.Join(dir, "remote", "containers", backend.ContainerName(id))
+		}),
+		Recipes: fault.NewRecipeStore(backend.NewRecipeStore(rb), inj, func(v int) string {
+			return filepath.Join(dir, "remote", "recipes", backend.RecipeName(v))
+		}),
+		ContainerCapacity: 16 << 10,
+		Window:            1,
+		ChunkParams:       chunker.Params{Min: 1024, Avg: 2048, Max: 8192},
+		RestoreCache:      restorecache.NewFAA(1 << 20),
+		StatePath:         statePath,
+		WriteState: inj.WrapWrite(func(path string, data []byte, perm os.FileMode) error {
+			return sb.Put(context.Background(), stateName, data)
+		}),
+		ReadState: func(path string) ([]byte, error) {
+			data, err := sb.Get(context.Background(), stateName)
+			if err != nil {
+				if errors.Is(err, backend.ErrNotFound) {
+					return nil, fmt.Errorf("state %s: %w", path, fs.ErrNotExist)
+				}
+				return nil, err
+			}
+			return data, nil
+		},
+	})
+}
+
+// TestCrashMatrixRemoteStack re-runs the backup crash matrix with every
+// persistence layer behind the composed remote stack: commit ordering
+// must survive not just process death but process death while the
+// backend below is injecting transient faults that the retry layer
+// silently absorbs, and with a persistent read cache interposed that
+// must never resurrect uncommitted data after the reopen.
+func TestCrashMatrixRemoteStack(t *testing.T) {
+	versions := backuptest.Materialize(t, crashWorkload(3))
+	backuptest.CrashMatrix(t, crashOpenRemote, backuptest.BackupSteps(versions),
 		[]fault.Kind{fault.Fail, fault.Torn, fault.NoSpace})
 }
 

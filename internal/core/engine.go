@@ -69,6 +69,11 @@ type Config struct {
 	// i.e. temp file + fsync + rename + directory fsync). Tests inject
 	// fault wrappers here; production code leaves it nil.
 	WriteState func(path string, data []byte, perm os.FileMode) error
+	// ReadState loads the state file (default os.ReadFile). A missing
+	// state must surface as an error matching fs.ErrNotExist. Backend
+	// stacks route the state blob through their retry/limiter layers
+	// here; tests inject fault wrappers.
+	ReadState func(path string) ([]byte, error)
 	// Metrics, when set, mirrors the engine's counters and per-stage
 	// latencies into the registry. Nil (the default) disables the
 	// observability plane at the cost of one nil check per site.
@@ -111,6 +116,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.WriteState == nil {
 		c.WriteState = durable.WriteFileAtomic
+	}
+	if c.ReadState == nil {
+		c.ReadState = os.ReadFile
 	}
 	return nil
 }

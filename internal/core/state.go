@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
-	"os"
 	"sort"
 
 	"hidestore/internal/container"
@@ -251,7 +250,7 @@ func (e *Engine) loadState() (bool, error) {
 	if e.cfg.StatePath == "" {
 		return false, nil
 	}
-	buf, err := os.ReadFile(e.cfg.StatePath)
+	buf, err := e.cfg.ReadState(e.cfg.StatePath)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			vs, verr := e.cfg.Recipes.Versions()

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"hidestore/internal/backend"
+	"hidestore/internal/backup"
+	"hidestore/internal/chunker"
+	"hidestore/internal/container"
+	"hidestore/internal/core"
+	"hidestore/internal/dedup"
+	"hidestore/internal/metrics"
+	"hidestore/internal/recipe"
+	"hidestore/internal/restorecache"
+	"hidestore/internal/rewrite"
+	"hidestore/internal/workload"
+)
+
+// The remote experiment puts numbers behind the paper's motivating
+// claim: physical locality matters *more* the more a container fetch
+// costs. Every cell runs the full backup chain and a newest-version
+// restore with the container store behind a deterministic remote
+// simulator, sweeping restore prefetch depth × simulated per-fetch
+// latency.
+//
+// Two time metrics per cell:
+//
+//   - WallMS is the measured restore wall clock. With real sleeps
+//     (sleepScale 1) it shows prefetch depth overlapping fetch latency.
+//   - ModeledMS is deterministic: chunk-assembly cost at a fixed client
+//     rate plus the simulator's modeled remote time (reads × latency +
+//     bytes / bandwidth). It is reproducible bit-for-bit across
+//     machines, so the monotonicity assertions ride on it.
+//
+// The headline series is Advantage: baseline ModeledMS over HiDeStore
+// ModeledMS at serial depth. Both schemes pay the same assembly cost A
+// and the same per-read overhead c = latency + containerBytes/bw, so
+// the ratio is (A + Rb·c)/(A + Rh·c) — strictly increasing in latency
+// whenever the baseline reads more containers (Rb > Rh), which the
+// physical-locality layout guarantees on the newest version.
+
+const (
+	// remoteBandwidthMBps caps simulated remote payload throughput. The
+	// sweep models the object-store regime — a fat pipe with expensive
+	// round trips — so bandwidth is high enough that per-fetch latency,
+	// not transfer time, is the dominant remote cost; that is the regime
+	// where read *count* (physical locality's lever) decides restore
+	// time. At low bandwidth the byte-volume ratio takes over instead
+	// and the latency axis flattens.
+	remoteBandwidthMBps = 1000
+	// remoteAssemblyMBps is the fixed client-side chunk-assembly rate
+	// used by the deterministic restore-time model.
+	remoteAssemblyMBps = 200
+)
+
+// RemoteDepths are the swept restore prefetch depths (-1 = serial).
+var RemoteDepths = []int{-1, 2, 8}
+
+// RemoteLatencies are the swept per-fetch round-trip latencies.
+var RemoteLatencies = []time.Duration{0, 200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond}
+
+// RemoteSchemes are the restore contenders: the no-rewrite DDFS+FAA
+// baseline (logical locality) vs HiDeStore (physical locality).
+var RemoteSchemes = []string{"baseline", "hidestore"}
+
+// RemoteCell is one (scheme, depth, latency) outcome.
+type RemoteCell struct {
+	Scheme    string
+	Depth     int
+	LatencyUS int64
+	// Reads is the policy-level container-read count for the newest
+	// restore — invariant across depth and latency by the accounting
+	// identity (§5.3).
+	Reads int64
+	// ReadMB is the payload actually pulled from the simulated remote.
+	ReadMB      float64
+	SpeedFactor float64
+	WallMS      float64
+	ModeledMS   float64
+}
+
+// RemoteResult holds the full sweep for one workload.
+type RemoteResult struct {
+	Workload  string
+	Depths    []int
+	Latencies []time.Duration
+	Cells     []RemoteCell
+	// Advantage[i] is baseline ModeledMS / hidestore ModeledMS at
+	// Latencies[i], serial depth — the paper's payoff curve.
+	Advantage []float64
+}
+
+// remoteEngine assembles a scheme's engine over an injected container
+// store (the backend stack) with a given restore prefetch depth.
+func remoteEngine(o Options, w workload.Config, scheme string, store container.Store, depth int) (backup.Engine, error) {
+	switch scheme {
+	case "hidestore":
+		return core.New(core.Config{
+			Store:             store,
+			Recipes:           recipe.NewMemStore(),
+			ContainerCapacity: o.ContainerCapacity,
+			Window:            cacheWindow(w),
+			ChunkParams:       o.ChunkParams,
+			Chunker:           chunker.FastCDC,
+			RestoreCache:      restorecache.NewFAA(0),
+			PrefetchDepth:     depth,
+			Metrics:           o.Metrics,
+		})
+	case "baseline":
+		ix, err := newBaselineIndex("ddfs")
+		if err != nil {
+			return nil, err
+		}
+		rw, err := rewrite.New("none")
+		if err != nil {
+			return nil, err
+		}
+		rc, err := restorecache.New("faa")
+		if err != nil {
+			return nil, err
+		}
+		return dedup.New(dedup.Config{
+			Index:             ix,
+			Rewriter:          rw,
+			RestoreCache:      rc,
+			Store:             store,
+			Recipes:           recipe.NewMemStore(),
+			ContainerCapacity: o.ContainerCapacity,
+			ChunkParams:       o.ChunkParams,
+			Chunker:           chunker.FastCDC,
+			PrefetchDepth:     depth,
+			Metrics:           o.Metrics,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown remote scheme %q", scheme)
+	}
+}
+
+// runRemoteCell backs up the chain and restores the newest version with
+// the container store behind a fresh remote simulator.
+func runRemoteCell(o Options, w workload.Config, versions [][]byte, scheme string, depth int, latency time.Duration, sleepScale float64) (RemoteCell, error) {
+	stack, sim, err := backend.NewStack(backend.NewMem(), backend.StackOptions{
+		Sim: backend.SimOptions{
+			Latency:      latency,
+			BandwidthBps: remoteBandwidthMBps * (1 << 20),
+			Seed:         1,
+			SleepScale:   sleepScale,
+		},
+	})
+	if err != nil {
+		return RemoteCell{}, err
+	}
+	e, err := remoteEngine(o, w, scheme, backend.NewContainerStore(stack), depth)
+	if err != nil {
+		return RemoteCell{}, err
+	}
+	for v, data := range versions {
+		if _, err := e.Backup(context.Background(), bytes.NewReader(data)); err != nil {
+			return RemoteCell{}, fmt.Errorf("backup v%d: %w", v+1, err)
+		}
+	}
+	before := sim.Stats()
+	start := time.Now()
+	rep, err := restoreVerify(e, len(versions), versions[len(versions)-1])
+	if err != nil {
+		return RemoteCell{}, err
+	}
+	wall := time.Since(start)
+	after := sim.Stats()
+
+	readMB := float64(after.Bytes-before.Bytes) / (1 << 20)
+	restoredMB := float64(rep.Stats.BytesRestored) / (1 << 20)
+	modeledMS := restoredMB/remoteAssemblyMBps*1e3 +
+		float64((after.Modeled-before.Modeled).Microseconds())/1e3
+	return RemoteCell{
+		Scheme:      scheme,
+		Depth:       depth,
+		LatencyUS:   latency.Microseconds(),
+		Reads:       int64(rep.Stats.ContainerReads),
+		ReadMB:      readMB,
+		SpeedFactor: rep.Stats.SpeedFactor(),
+		WallMS:      float64(wall.Microseconds()) / 1e3,
+		ModeledMS:   modeledMS,
+	}, nil
+}
+
+// Remote runs the prefetch-depth × latency sweep for one workload.
+// sleepScale is threaded into every simulator: 1 sleeps for real (wall
+// numbers show latency hiding), negative skips sleeps entirely while
+// still accumulating modeled time (fast deterministic CI runs).
+func Remote(workloadName string, sleepScale float64, opts Options) (*RemoteResult, error) {
+	opts = opts.withDefaults()
+	cfg, err := opts.loadWorkload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	var versions [][]byte
+	err = forEachVersion(cfg, func(v int, r io.Reader) error {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		versions = append(versions, data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &RemoteResult{
+		Workload:  cfg.Name,
+		Depths:    RemoteDepths,
+		Latencies: RemoteLatencies,
+	}
+	for _, scheme := range RemoteSchemes {
+		for _, depth := range RemoteDepths {
+			for _, g := range RemoteLatencies {
+				cell, err := runRemoteCell(opts, cfg, versions, scheme, depth, g, sleepScale)
+				if err != nil {
+					return nil, fmt.Errorf("%s depth=%d latency=%s: %w", scheme, depth, g, err)
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	for _, g := range RemoteLatencies {
+		b := res.Cell("baseline", -1, g)
+		h := res.Cell("hidestore", -1, g)
+		if b == nil || h == nil || h.ModeledMS == 0 {
+			return nil, fmt.Errorf("experiments: missing serial cells for latency %s", g)
+		}
+		res.Advantage = append(res.Advantage, b.ModeledMS/h.ModeledMS)
+	}
+	return res, nil
+}
+
+// Cell returns the cell for (scheme, depth, latency), or nil.
+func (r *RemoteResult) Cell(scheme string, depth int, latency time.Duration) *RemoteCell {
+	us := latency.Microseconds()
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Scheme == scheme && c.Depth == depth && c.LatencyUS == us {
+			return c
+		}
+	}
+	return nil
+}
+
+// Extras exposes the sweep as flat scalars for BENCH_remote.json: the
+// advantage curve (the acceptance metric), plus per-cell modeled and
+// wall times keyed by scheme, depth, and latency in microseconds.
+func (r *RemoteResult) Extras() map[string]float64 {
+	out := make(map[string]float64)
+	for i, g := range r.Latencies {
+		out[fmt.Sprintf("advantage_us%d", g.Microseconds())] = r.Advantage[i]
+	}
+	for _, c := range r.Cells {
+		key := fmt.Sprintf("%s_depth%d_us%d", c.Scheme, c.Depth, c.LatencyUS)
+		out["modeled_ms_"+key] = c.ModeledMS
+		out["wall_ms_"+key] = c.WallMS
+		out["reads_"+key] = float64(c.Reads)
+	}
+	return out
+}
+
+// Render formats the sweep and the advantage curve.
+func (r *RemoteResult) Render() string {
+	t := metrics.NewTable(fmt.Sprintf("Remote backend (%s): prefetch depth x fetch latency", r.Workload),
+		"scheme", "depth", "latency", "reads", "read MB", "SF", "wall ms", "modeled ms")
+	for _, c := range r.Cells {
+		t.AddRow(c.Scheme,
+			fmt.Sprintf("%d", c.Depth),
+			(time.Duration(c.LatencyUS) * time.Microsecond).String(),
+			fmt.Sprintf("%d", c.Reads),
+			metrics.FormatFloat(c.ReadMB),
+			metrics.FormatFloat(c.SpeedFactor),
+			metrics.FormatFloat(c.WallMS),
+			metrics.FormatFloat(c.ModeledMS))
+	}
+	s := t.Render()
+	s += "\nmodeled restore advantage (baseline/hidestore, serial):"
+	for i, g := range r.Latencies {
+		s += fmt.Sprintf(" %s=%.2fx", g, r.Advantage[i])
+	}
+	return s + "\n"
+}

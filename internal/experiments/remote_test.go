@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRemoteShape pins the remote experiment's reproduction targets on
+// deterministic modeled numbers (sleepScale -1: no real sleeps):
+//
+//   - the newest-version restore reads fewer containers under HiDeStore
+//     than under the logical-locality baseline;
+//   - those read counts are invariant across prefetch depth and
+//     simulated latency (the §5.3 accounting identity — the backend
+//     only changes fetch cost, never which fetches happen);
+//   - the modeled restore-time advantage grows strictly monotonically
+//     with fetch latency, the acceptance criterion BENCH_remote.json
+//     publishes.
+func TestRemoteShape(t *testing.T) {
+	res, err := Remote("kernel", -1, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(RemoteSchemes)*len(RemoteDepths)*len(RemoteLatencies) {
+		t.Fatalf("cells = %d, want %d", len(res.Cells),
+			len(RemoteSchemes)*len(RemoteDepths)*len(RemoteLatencies))
+	}
+
+	for _, scheme := range RemoteSchemes {
+		want := res.Cell(scheme, RemoteDepths[0], RemoteLatencies[0]).Reads
+		if want == 0 {
+			t.Fatalf("%s: zero container reads", scheme)
+		}
+		for _, depth := range RemoteDepths {
+			for _, g := range RemoteLatencies {
+				if got := res.Cell(scheme, depth, g).Reads; got != want {
+					t.Errorf("%s depth=%d latency=%s: reads = %d, want %d (accounting identity)",
+						scheme, depth, g, got, want)
+				}
+			}
+		}
+	}
+
+	hide := res.Cell("hidestore", -1, 0).Reads
+	base := res.Cell("baseline", -1, 0).Reads
+	if hide >= base {
+		t.Fatalf("hidestore reads %d >= baseline reads %d on the newest version", hide, base)
+	}
+
+	if len(res.Advantage) != len(RemoteLatencies) {
+		t.Fatalf("advantage curve has %d points, want %d", len(res.Advantage), len(RemoteLatencies))
+	}
+	for i := 1; i < len(res.Advantage); i++ {
+		if res.Advantage[i] <= res.Advantage[i-1] {
+			t.Errorf("advantage not strictly increasing: %.4f (lat %s) -> %.4f (lat %s)",
+				res.Advantage[i-1], res.Latencies[i-1], res.Advantage[i], res.Latencies[i])
+		}
+	}
+
+	out := res.Render()
+	for _, frag := range []string{"Remote backend", "hidestore", "baseline", "advantage"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+	extras := res.Extras()
+	if len(extras) == 0 {
+		t.Fatal("no extras for BENCH_remote.json")
+	}
+	for _, g := range RemoteLatencies {
+		if _, ok := extras["advantage_us"+strconv.FormatInt(g.Microseconds(), 10)]; !ok {
+			t.Errorf("extras missing advantage for latency %s", g)
+		}
+	}
+}

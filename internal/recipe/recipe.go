@@ -163,7 +163,7 @@ func UnmarshalBinary(buf []byte) (*Recipe, error) {
 	for i := 0; i < count; i++ {
 		f, err := fp.FromBytes(buf[off : off+fp.Size])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		size := binary.BigEndian.Uint32(buf[off+fp.Size:])
 		cid := int32(binary.BigEndian.Uint32(buf[off+fp.Size+4:]))

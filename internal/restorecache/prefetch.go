@@ -46,7 +46,14 @@ type PrefetchFetcher struct {
 	inner   Fetcher
 	plan    []container.ID
 	planned map[container.ID]bool
-	depth   int
+	// pos maps each planned container to its plan index. First requests
+	// arrive in plan order, so once the request for plan position k is
+	// served, any stashed item at an earlier position was skipped by the
+	// policy (its chunks were all satisfied from cache) and will never be
+	// requested — Get drains those at handover instead of stranding them
+	// in stash with their window occupancy held until Close.
+	pos   map[container.ID]int
+	depth int
 
 	start   sync.Once
 	cancel  context.CancelFunc
@@ -86,6 +93,7 @@ func NewPrefetchFetcher(inner Fetcher, entries []recipe.Entry, depth int) *Prefe
 		depth = DefaultPrefetchDepth
 	}
 	planned := make(map[container.ID]bool)
+	pos := make(map[container.ID]int)
 	var plan []container.ID
 	for _, e := range entries {
 		if e.CID <= 0 {
@@ -94,6 +102,7 @@ func NewPrefetchFetcher(inner Fetcher, entries []recipe.Entry, depth int) *Prefe
 		id := container.ID(e.CID)
 		if !planned[id] {
 			planned[id] = true
+			pos[id] = len(plan)
 			plan = append(plan, id)
 		}
 	}
@@ -101,6 +110,7 @@ func NewPrefetchFetcher(inner Fetcher, entries []recipe.Entry, depth int) *Prefe
 		inner:   inner,
 		plan:    plan,
 		planned: planned,
+		pos:     pos,
 		depth:   depth,
 		stash:   make(map[container.ID]*prefetchItem),
 	}
@@ -172,6 +182,7 @@ func (p *PrefetchFetcher) Get(ctx context.Context, id container.ID) (*container.
 	if it, ok := p.stash[id]; ok {
 		delete(p.stash, id)
 		p.windowLeave()
+		p.drainSkipped(p.pos[id])
 		return p.await(ctx, it)
 	}
 	for {
@@ -185,11 +196,30 @@ func (p *PrefetchFetcher) Get(ctx context.Context, id container.ID) (*container.
 			}
 			if it.id == id {
 				p.windowLeave()
+				p.drainSkipped(p.pos[id])
 				return p.await(ctx, it)
 			}
 			p.stash[it.id] = it
 		case <-ctx.Done():
 			return nil, ctx.Err()
+		}
+	}
+}
+
+// drainSkipped evicts stashed items the policy can no longer request.
+// First requests arrive in plan order, so once position k is handed
+// over, a stashed item at an earlier position was skipped outright —
+// its fetched outcome is dropped, its window occupancy returned, and
+// the id unmarked from the plan so a late (unplanned) request for it
+// reads through directly instead of scanning a queue that will never
+// deliver it again.
+func (p *PrefetchFetcher) drainSkipped(k int) {
+	for sid, it := range p.stash {
+		if p.pos[sid] < k {
+			delete(p.stash, sid)
+			delete(p.planned, sid)
+			p.windowLeave()
+			_ = it // the worker's outcome (buffered in it.ch) is dropped
 		}
 	}
 }
@@ -249,7 +279,9 @@ func (p *PrefetchFetcher) Observe(mx *obs.RestoreMetrics) {
 // once.
 func (p *PrefetchFetcher) Close() {
 	// An aborted restore leaves unconsumed items in the window; return
-	// their occupancy so the gauge reads 0 between restores.
+	// their occupancy so the gauge reads 0 between restores, and drop
+	// any stashed outcomes so their container images can be collected.
+	clear(p.stash)
 	if p.mx != nil {
 		if n := p.outstanding.Swap(0); n != 0 {
 			p.mx.PrefetchOccupancy.Add(-n)
