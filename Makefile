@@ -33,10 +33,13 @@ vet:
 
 # hidelint is the project-specific static-analysis gate: discarded
 # errors, dead context plumbing, panics in library code, store
-# snapshot-ownership, and uncounted container reads. See DESIGN.md
-# "Static-analysis gate".
+# snapshot-ownership, uncounted container reads, and pooled-buffer
+# ownership. The run is interprocedural (whole-module call graph +
+# per-function summaries), and a stale //hidelint:ignore directive is a
+# hard failure, so suppressions cannot outlive the code they excused.
+# See DESIGN.md "Static-analysis gate".
 lint:
-	$(GO) run ./cmd/hidelint
+	$(GO) run ./cmd/hidelint -unused-suppressions
 
 # The full crash matrix: kill a multi-version backup/delete run at
 # EVERY mutating op (clean fail, torn write, ENOSPC), reopen, and prove

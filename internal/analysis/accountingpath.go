@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(Check{
+		Name: "accounting-path",
+		Doc: "the paper's speed factor (§5.3, MB restored per container read) " +
+			"is computed from Stats.ContainerReads, so every restore-path " +
+			"container read must reach container.Store.Get through the counting " +
+			"fetcher layer. The intraprocedural accounting check polices direct " +
+			"raw Gets outside the exempt packages; this check closes the " +
+			"laundering hole: a call into a helper (in any package, including " +
+			"the exempt ones) that transitively reaches a raw Store.Get outside " +
+			"a counting boundary is flagged at the call site, with the witness " +
+			"chain. Requires -interprocedural; a no-op without the call graph.",
+		Run: runAccountingPath,
+	})
+}
+
+func runAccountingPath(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	// Inside the exempt packages the raw Get IS the mechanism: the
+	// summary pass records it (rawGetDirect) so taint reaches outside
+	// callers, but call sites in here are not findings.
+	if PathHasSuffix(pass.Pkg.Path(), pass.Config.AccountingExemptPackages) {
+		return
+	}
+	funcDecls(pass.Files, func(_ *ast.File, decl *ast.FuncDecl) {
+		fn, ok := pass.Info.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		if s := prog.Summaries[fn]; s != nil && s.boundary {
+			return // the counting seam itself
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil {
+				return true
+			}
+			callee, known := prog.Graph.Nodes[f]
+			if !known {
+				return true
+			}
+			cs := prog.Summaries[callee.Func]
+			if cs.reachesRawGet() && !cs.boundary {
+				pass.Reportf(call.Pos(), "call reaches a raw Store.Get (%s) bypassing the counting fetcher layer; Stats.ContainerReads will not see this read — go through a restorecache.Fetcher", prog.rawGetChain(f))
+			}
+			return true
+		})
+	})
+}

@@ -58,6 +58,20 @@ type Config struct {
 	// LibraryExemptDirs lists path elements (e.g. "cmd", "examples")
 	// whose packages are binaries: exempt from no-panic/no-print.
 	LibraryExemptDirs []string
+	// OwnershipCustodianPackages lists import-path suffixes of the
+	// packages that legitimately share read-only *Container snapshots
+	// through fields and channels (the restore cache/prefetch layers and
+	// the container store itself). The store-ownership escape rules
+	// (field store, channel send, composite literal) do not fire inside
+	// them; the mutation rules still do.
+	OwnershipCustodianPackages []string
+	// Interprocedural turns on the whole-module pass: a call graph with
+	// bottom-up per-function summaries feeds transitive-I/O detection in
+	// ignored-ctx, cross-call escape/mutation tracking in
+	// store-ownership and pooled-escape (plus their flow-sensitive CFG
+	// halves), and the accounting-path check, which is a no-op without
+	// it.
+	Interprocedural bool
 	// ReportUnusedSuppressions turns on the -unused-suppressions mode:
 	// every well-formed //hidelint:ignore directive that silenced no
 	// finding of the checks that ran becomes an "unused-suppression"
@@ -81,6 +95,11 @@ func DefaultConfig() Config {
 			"internal/fault",
 		},
 		LibraryExemptDirs: []string{"cmd", "examples"},
+		OwnershipCustodianPackages: []string{
+			"internal/restorecache",
+			"internal/container",
+		},
+		Interprocedural: true,
 	}
 }
 
@@ -91,6 +110,10 @@ type Pass struct {
 	Pkg    *types.Package
 	Info   *types.Info
 	Config Config
+	// Prog is the whole-module call-graph/summary view, nil unless
+	// Config.Interprocedural is set. Checks that can use it degrade to
+	// their intraprocedural behavior when it is nil.
+	Prog *Program
 
 	diags *[]Diagnostic
 	check string
@@ -195,8 +218,17 @@ func Run(pkgs []*Package, names []string, cfg Config) ([]Diagnostic, error) {
 	}
 	var diags []Diagnostic
 	var sup suppressions
+	// Suppressions are collected for the whole load set before any check
+	// runs: the interprocedural summary pass consults them so that an
+	// audited (suppressed) raw Store.Get does not taint its callers.
 	for _, pkg := range pkgs {
 		sup.collect(pkg.Fset, pkg.Files, &diags)
+	}
+	var prog *Program
+	if cfg.Interprocedural {
+		prog = buildProgram(pkgs, cfg, &sup)
+	}
+	for _, pkg := range pkgs {
 		for _, c := range checks {
 			pass := &Pass{
 				Fset:   pkg.Fset,
@@ -204,6 +236,7 @@ func Run(pkgs []*Package, names []string, cfg Config) ([]Diagnostic, error) {
 				Pkg:    pkg.Types,
 				Info:   pkg.Info,
 				Config: cfg,
+				Prog:   prog,
 				diags:  &diags,
 				check:  c.Name,
 			}
@@ -212,7 +245,18 @@ func Run(pkgs []*Package, names []string, cfg Config) ([]Diagnostic, error) {
 	}
 	diags = sup.filter(diags)
 	if cfg.ReportUnusedSuppressions {
-		diags = append(diags, sup.unused(checks)...)
+		// An intraprocedural run cannot prove an accounting-path
+		// suppression stale: the check only fires with the call graph.
+		provable := checks
+		if !cfg.Interprocedural {
+			provable = nil
+			for _, c := range checks {
+				if c.Name != "accounting-path" {
+					provable = append(provable, c)
+				}
+			}
+		}
+		diags = append(diags, sup.unused(provable)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

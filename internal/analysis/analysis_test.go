@@ -19,13 +19,28 @@ const testdataImportPrefix = "hidestore/internal/analysis/testdata/src/"
 type goldenCase struct {
 	name   string   // testdata package and golden file stem
 	checks []string // checks to run; nil = all
+	deps   []string // helper packages (testdata/src-relative), loaded first
 	cfg    func() Config
+	// interOnly marks the corpora whose every finding needs the call
+	// graph: TestInterproceduralCatchesWhatIntraMisses asserts the
+	// intraprocedural pass finds NOTHING in them.
+	interOnly bool
 }
 
 func goldenCases() []goldenCase {
 	withCtxTestdata := func() Config {
 		cfg := DefaultConfig()
 		cfg.CtxPackages = append(cfg.CtxPackages, "testdata/src/ignoredctx")
+		return cfg
+	}
+	withCtxTransitive := func() Config {
+		cfg := DefaultConfig()
+		cfg.CtxPackages = append(cfg.CtxPackages, "testdata/src/ctxtransitive")
+		return cfg
+	}
+	withRawHelperExempt := func() Config {
+		cfg := DefaultConfig()
+		cfg.AccountingExemptPackages = append(cfg.AccountingExemptPackages, "testdata/src/accountingpath/rawhelper")
 		return cfg
 	}
 	return []goldenCase{
@@ -37,7 +52,35 @@ func goldenCases() []goldenCase {
 		{name: "pooledescape", checks: []string{"pooled-escape"}, cfg: DefaultConfig},
 		{name: "suppress", checks: []string{"no-panic"}, cfg: DefaultConfig},
 		{name: "unusedsuppress", checks: []string{"no-panic"}, cfg: withUnusedSuppressions},
+		{name: "suppressedge", checks: []string{"no-panic"}, cfg: withUnusedSuppressions},
+
+		// The interprocedural corpora: each seeds a defect the
+		// single-function pass provably misses.
+		{name: "ctxtransitive", checks: []string{"ignored-ctx"},
+			deps: []string{"ctxtransitive/helper"}, cfg: withCtxTransitive, interOnly: true},
+		{name: "xpkgownership", checks: []string{"store-ownership"},
+			deps: []string{"xpkgownership/stamp"}, cfg: DefaultConfig, interOnly: true},
+		{name: "mutbeforerebind", checks: []string{"store-ownership"}, cfg: DefaultConfig, interOnly: true},
+		{name: "pooledinterproc", checks: []string{"pooled-escape"}, cfg: DefaultConfig, interOnly: true},
+		{name: "accountingpath", checks: []string{"accounting", "accounting-path"},
+			deps: []string{"accountingpath/rawhelper"}, cfg: withRawHelperExempt, interOnly: true},
 	}
+}
+
+// loadCase loads a golden case's packages: helper deps first, so the
+// main corpus package's imports resolve to the already-checked copies.
+func loadCase(t *testing.T, tc goldenCase) []*Package {
+	t.Helper()
+	loader := NewLoader()
+	var pkgs []*Package
+	for _, dep := range append(append([]string(nil), tc.deps...), tc.name) {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", filepath.FromSlash(dep)), testdataImportPrefix+dep)
+		if err != nil {
+			t.Fatalf("load %s: %v", dep, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
 }
 
 // withUnusedSuppressions turns on the -unused-suppressions mode.
@@ -54,12 +97,7 @@ func withUnusedSuppressions() Config {
 func TestGolden(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			loader := NewLoader()
-			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", tc.name), testdataImportPrefix+tc.name)
-			if err != nil {
-				t.Fatalf("load: %v", err)
-			}
-			diags, err := Run([]*Package{pkg}, tc.checks, tc.cfg())
+			diags, err := Run(loadCase(t, tc), tc.checks, tc.cfg())
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}
@@ -103,6 +141,37 @@ func TestGoldenFindsEveryDefectClass(t *testing.T) {
 	}
 }
 
+// TestInterproceduralCatchesWhatIntraMisses is the contract behind the
+// interOnly corpora: every finding in their goldens needs the call
+// graph, proven by running the same corpora with the same checks and
+// config, minus the Program — the old single-function pass — and
+// requiring silence. Together with TestGoldenFindsEveryDefectClass
+// (the goldens are non-empty) this pins "the new pass catches what the
+// old pass missed" from both sides.
+func TestInterproceduralCatchesWhatIntraMisses(t *testing.T) {
+	ran := 0
+	for _, tc := range goldenCases() {
+		if !tc.interOnly {
+			continue
+		}
+		ran++
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			cfg.Interprocedural = false
+			diags, err := Run(loadCase(t, tc), tc.checks, cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, d := range diags {
+				t.Errorf("intraprocedural pass unexpectedly found: %s", d)
+			}
+		})
+	}
+	if ran < 5 {
+		t.Fatalf("only %d interprocedural corpora; want one per upgraded invariant (5)", ran)
+	}
+}
+
 func TestRunRejectsUnknownCheck(t *testing.T) {
 	loader := NewLoader()
 	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "nopanic"), testdataImportPrefix+"nopanic")
@@ -115,7 +184,7 @@ func TestRunRejectsUnknownCheck(t *testing.T) {
 }
 
 func TestRegisteredChecks(t *testing.T) {
-	want := []string{"accounting", "discarded-error", "ignored-ctx", "no-panic", "pooled-escape", "store-ownership"}
+	want := []string{"accounting", "accounting-path", "discarded-error", "ignored-ctx", "no-panic", "pooled-escape", "store-ownership"}
 	got := CheckNames()
 	if len(got) != len(want) {
 		t.Fatalf("CheckNames() = %v, want %v", got, want)

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncNode is one function or method declared (with a body) somewhere
+// in the analyzed packages. Function literals are not nodes of their
+// own: their bodies are attributed to the enclosing declaration, which
+// over-approximates when a closure is stored and invoked later — the
+// conservative direction for every summary bit computed here.
+type FuncNode struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out lists the statically-resolved callees declared in the analyzed
+	// packages, deduplicated. Interface dispatch, function values, and
+	// calls into packages outside the load set have no edge; each
+	// summary's propagation rule states what it assumes about them.
+	Out []*FuncNode
+}
+
+// CallGraph is the static whole-module call graph plus its strongly
+// connected components in bottom-up (callee-first) order, the order
+// summaries are computed in.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+	// SCCs holds every strongly connected component; Tarjan emits a
+	// component only after every component reachable from it, so
+	// iterating in slice order visits callees before callers.
+	SCCs [][]*FuncNode
+}
+
+// buildCallGraph indexes every declared function in pkgs and resolves
+// static call edges between them.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range pkgs {
+		p := pkg
+		funcDecls(pkg.Files, func(_ *ast.File, decl *ast.FuncDecl) {
+			fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			g.Nodes[fn] = &FuncNode{Func: fn, Decl: decl, Pkg: p}
+		})
+	}
+	for _, node := range g.Nodes {
+		seen := make(map[*FuncNode]bool)
+		info := node.Pkg.Info
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(info, call)
+			if f == nil {
+				return true
+			}
+			if callee, ok := g.Nodes[f]; ok && !seen[callee] {
+				seen[callee] = true
+				node.Out = append(node.Out, callee)
+			}
+			return true
+		})
+	}
+	g.computeSCCs()
+	return g
+}
+
+// computeSCCs runs Tarjan's algorithm. Components land in g.SCCs in
+// reverse topological order of the condensation: every component is
+// emitted before any component that calls into it can be, so the slice
+// is the bottom-up summary-computation order.
+func (g *CallGraph) computeSCCs() {
+	index := make(map[*FuncNode]int)
+	lowlink := make(map[*FuncNode]int)
+	onStack := make(map[*FuncNode]bool)
+	var stack []*FuncNode
+	next := 0
+
+	var strongconnect func(v *FuncNode)
+	strongconnect = func(v *FuncNode) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.Out {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []*FuncNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			g.SCCs = append(g.SCCs, scc)
+		}
+	}
+	// Deterministic visit order: iterate packages/decls, not the map.
+	var roots []*FuncNode
+	for _, n := range g.Nodes {
+		roots = append(roots, n)
+	}
+	// Sort by source position for reproducible SCC emission order (the
+	// order only affects iteration determinism, not correctness).
+	sortNodesByPos(roots)
+	for _, v := range roots {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+}
+
+func sortNodesByPos(nodes []*FuncNode) {
+	// Insertion sort keeps this dependency-free and the node count is
+	// module-sized (hundreds), not corpus-sized.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodeLess(nodes[j], nodes[j-1]); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+func nodeLess(a, b *FuncNode) bool {
+	pa := a.Pkg.Fset.Position(a.Decl.Pos())
+	pb := b.Pkg.Fset.Position(b.Decl.Pos())
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Offset < pb.Offset
+}

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds a basic-block control-flow graph directly over the AST
+// of one function body — deliberately without SSA or any dependency
+// outside the standard library, like the rest of hidelint. The graph
+// powers the flow-sensitive halves of store-ownership (a mutation above
+// a `ctn = ctn.Clone()` rebind on *some* path) and pooled-escape
+// (Release on one branch, use on another).
+//
+// Blocks hold "leaf" nodes only: plain statements plus the loose
+// control expressions (if/for conditions, switch tags, case exprs,
+// range operands). Composite statements are decomposed into edges.
+// A function containing goto is not modeled (funcCFG.ok = false) and
+// its checks fall back to the flow-insensitive behavior.
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	ok     bool
+}
+
+// loopCtx records where break/continue jump inside one enclosing
+// for/range/switch/select statement.
+type loopCtx struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select
+}
+
+type cfgBuilder struct {
+	blocks       []*cfgBlock
+	loops        []loopCtx
+	fallthroughs []*cfgBlock // target body block per enclosing switch clause
+	pendingLabel string
+	hasGoto      bool
+}
+
+// buildCFG constructs the CFG for body. The result's ok field is false
+// when the body uses goto, which this builder does not model.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{}
+	entry := b.newBlock()
+	b.stmtList(entry, body.List)
+	return &funcCFG{entry: entry, blocks: b.blocks, ok: !b.hasGoto}
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func link(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmtList threads the statements through cur, returning the block
+// where control continues (nil when every path returned or branched).
+// Statements after a terminator are unreachable; they get a fresh
+// disconnected block so construction keeps going, and the dataflow
+// never visits them — dead code is outside the flow-sensitive checks.
+func (b *cfgBuilder) stmtList(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, st.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = st.Label.Name
+		return b.stmt(cur, st.Stmt)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		cur.nodes = append(cur.nodes, st.Cond)
+		join := b.newBlock()
+		thenB := b.newBlock()
+		link(cur, thenB)
+		link(b.stmtList(thenB, st.Body.List), join)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			link(cur, elseB)
+			link(b.stmt(elseB, st.Else), join)
+		} else {
+			link(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		head := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		link(cur, head)
+		if st.Cond != nil {
+			head.nodes = append(head.nodes, st.Cond)
+			link(head, after)
+		}
+		body := b.newBlock()
+		link(head, body)
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: post})
+		link(b.stmtList(body, st.Body.List), post)
+		b.loops = b.loops[:len(b.loops)-1]
+		if st.Post != nil {
+			post.nodes = append(post.nodes, st.Post)
+		}
+		link(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		// The range operand is evaluated once; the per-iteration key/value
+		// binding lives in the head block as the RangeStmt node itself —
+		// transfer functions must visit only Key/Value/X of a RangeStmt
+		// (see cfgInspect), never its body, which has its own blocks.
+		head := b.newBlock()
+		after := b.newBlock()
+		link(cur, head)
+		head.nodes = append(head.nodes, st)
+		link(head, after)
+		body := b.newBlock()
+		link(head, body)
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: head})
+		link(b.stmtList(body, st.Body.List), head)
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		if st.Tag != nil {
+			cur.nodes = append(cur.nodes, st.Tag)
+		}
+		return b.switchBody(cur, label, st.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		cur.nodes = append(cur.nodes, st.Assign)
+		return b.switchBody(cur, label, st.Body, false)
+
+	case *ast.SelectStmt:
+		return b.switchBody(cur, label, st.Body, true)
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.findLoop(st.Label, false); t != nil {
+				link(cur, t.breakTo)
+			}
+			return nil
+		case token.CONTINUE:
+			if t := b.findLoop(st.Label, true); t != nil {
+				link(cur, t.continueTo)
+			}
+			return nil
+		case token.FALLTHROUGH:
+			if n := len(b.fallthroughs); n > 0 && b.fallthroughs[n-1] != nil {
+				link(cur, b.fallthroughs[n-1])
+			}
+			return nil
+		default: // goto
+			b.hasGoto = true
+			return nil
+		}
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, st)
+		return nil
+
+	default:
+		// Leaf statements: assignments, expression statements, sends,
+		// inc/dec, declarations, defer, go, empty.
+		if _, empty := s.(*ast.EmptyStmt); !empty {
+			cur.nodes = append(cur.nodes, s)
+		}
+		return cur
+	}
+}
+
+// switchBody lays out the clauses of a switch, type switch, or select.
+// Every clause is entered from cur (tag dispatch is not modeled — all
+// clauses are possible), bodies merge into one join block, and for
+// switches each clause's fallthrough target is the next clause's body.
+func (b *cfgBuilder) switchBody(cur *cfgBlock, label string, body *ast.BlockStmt, isSelect bool) *cfgBlock {
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+
+	// Pre-create clause body blocks so fallthrough can link forward.
+	type clause struct {
+		entry *cfgBlock
+		stmts []ast.Stmt
+	}
+	var clauses []clause
+	hasDefault := false
+	for _, cs := range body.List {
+		blk := b.newBlock()
+		link(cur, blk)
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+			clauses = append(clauses, clause{entry: blk, stmts: c.Body})
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.nodes = append(blk.nodes, c.Comm)
+			}
+			clauses = append(clauses, clause{entry: blk, stmts: c.Body})
+		}
+	}
+	if !hasDefault && !isSelect {
+		link(cur, after)
+	}
+	if isSelect && !hasDefault && len(clauses) == 0 {
+		// `select {}` blocks forever; after stays unreachable.
+		_ = after
+	}
+	for i, c := range clauses {
+		var ft *cfgBlock
+		if !isSelect && i+1 < len(clauses) {
+			ft = clauses[i+1].entry
+		}
+		b.fallthroughs = append(b.fallthroughs, ft)
+		link(b.stmtList(c.entry, c.stmts), after)
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	return after
+}
+
+// findLoop resolves a break/continue target. Unlabeled continue wants
+// the innermost loop (switch/select contexts have no continueTo);
+// unlabeled break takes the innermost context of any kind.
+func (b *cfgBuilder) findLoop(label *ast.Ident, needContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if needContinue && lc.continueTo == nil {
+			continue
+		}
+		if label == nil || lc.label == label.Name {
+			return lc
+		}
+	}
+	return nil
+}
+
+// cfgInspect walks a block node the way transfer functions need: a
+// RangeStmt visits only its Key, Value, and X (the body has its own
+// blocks), everything else is a full ast.Inspect.
+func cfgInspect(n ast.Node, fn func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.Key != nil {
+			ast.Inspect(r.Key, fn)
+		}
+		if r.Value != nil {
+			ast.Inspect(r.Value, fn)
+		}
+		ast.Inspect(r.X, fn)
+		return
+	}
+	ast.Inspect(n, fn)
+}
+
+// forwardDataflow runs a forward may-analysis to fixpoint. States are
+// per-variable bitmasks; join is bitwise OR. transfer mutates the state
+// map in place for one block node. After the fixpoint, report is called
+// once per block with the block's stable in-state so checks can emit
+// diagnostics from a deterministic single pass.
+type flowState map[interface{}]uint8
+
+func (s flowState) clone() flowState {
+	out := make(flowState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s flowState) joinInto(dst flowState) bool {
+	changed := false
+	for k, v := range s {
+		if old := dst[k]; old|v != old {
+			dst[k] = old | v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (c *funcCFG) forwardDataflow(
+	transfer func(state flowState, n ast.Node),
+	report func(state flowState, n ast.Node),
+) {
+	in := make(map[*cfgBlock]flowState)
+	in[c.entry] = flowState{}
+	work := []*cfgBlock{c.entry}
+	queued := map[*cfgBlock]bool{c.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		state := in[blk].clone()
+		for _, n := range blk.nodes {
+			transfer(state, n)
+		}
+		for _, succ := range blk.succs {
+			dst, ok := in[succ]
+			if !ok {
+				dst = flowState{}
+				in[succ] = dst
+			}
+			if state.joinInto(dst) && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	// Deterministic reporting pass over reachable blocks in creation
+	// order, replaying the transfer so intra-block ordering is exact.
+	for _, blk := range c.blocks {
+		st, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		state := st.clone()
+		for _, n := range blk.nodes {
+			report(state, n)
+			transfer(state, n)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of its first
+// function declaration.
+func parseBody(t *testing.T, src string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fset, fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+func TestBuildCFGGotoFallsBack(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f() {
+	x := 0
+top:
+	x++
+	if x < 3 {
+		goto top
+	}
+}`)
+	if g := buildCFG(body); g.ok {
+		t.Fatal("buildCFG modeled a goto; checks would run on a wrong graph instead of falling back")
+	}
+}
+
+// TestBuildCFGShapes builds the graph for each control shape and
+// checks the structural invariants the dataflow relies on: ok is true,
+// every successor edge points into the block list, and the loops
+// produce a back edge (some reachable block has a successor created
+// before it).
+func TestBuildCFGShapes(t *testing.T) {
+	shapes := map[string]string{
+		"if-else": `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`,
+		"for-break-continue": `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+		s += i
+	}
+	return s
+}`,
+		"range": `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`,
+		"switch-fallthrough": `package p
+func f(n int) int {
+	switch n {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n += 2
+	default:
+		n = 9
+	}
+	return n
+}`,
+		"type-switch": `package p
+func f(v interface{}) int {
+	switch v.(type) {
+	case int:
+		return 1
+	case string:
+		return 2
+	}
+	return 0
+}`,
+		"select": `package p
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}`,
+		"labeled-break": `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i*j > 10 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`,
+	}
+	for name, src := range shapes {
+		t.Run(name, func(t *testing.T) {
+			_, body := parseBody(t, src)
+			g := buildCFG(body)
+			if !g.ok {
+				t.Fatal("buildCFG refused a goto-free body")
+			}
+			index := make(map[*cfgBlock]int, len(g.blocks))
+			for i, blk := range g.blocks {
+				index[blk] = i
+			}
+			backEdge := false
+			for i, blk := range g.blocks {
+				for _, s := range blk.succs {
+					j, known := index[s]
+					if !known {
+						t.Fatalf("block %d has a successor outside the block list", i)
+					}
+					if j <= i {
+						backEdge = true
+					}
+				}
+			}
+			if wantLoop := name != "if-else" && name != "type-switch" && name != "select"; wantLoop && !backEdge {
+				t.Error("loop produced no backward edge; the fixpoint would never revisit the body")
+			}
+		})
+	}
+}
+
+// TestForwardDataflowJoins runs a miniature constant-source analysis
+// over a body with a branch and a loop, recording the state of x at
+// each use(x) site. The branch must OR both definitions together and
+// the loop back-edge must carry the in-loop definition back to a use
+// that sits ABOVE it in source order.
+func TestForwardDataflowJoins(t *testing.T) {
+	fset, body := parseBody(t, `package p
+func f(cond bool) {
+	x := 0
+	use(x)
+	if cond {
+		x = 1
+	}
+	use(x)
+	for i := 0; i < 2; i++ {
+		use(x)
+		x = 2
+	}
+	use(x)
+}`)
+	// Each literal assigned to x gets its own bit.
+	bits := map[string]uint8{"0": 1, "1": 2, "2": 4}
+	transfer := func(state flowState, n ast.Node) {
+		cfgInspect(n, func(nn ast.Node) bool {
+			assign, ok := nn.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				return true
+			}
+			id, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || id.Name != "x" {
+				return true
+			}
+			if lit, ok := assign.Rhs[0].(*ast.BasicLit); ok {
+				state["x"] = bits[lit.Value] // a rebind replaces, not ORs
+			}
+			return true
+		})
+	}
+	type obs struct {
+		line  int
+		state uint8
+	}
+	var seen []obs
+	report := func(state flowState, n ast.Node) {
+		cfgInspect(n, func(nn ast.Node) bool {
+			call, ok := nn.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+				seen = append(seen, obs{line: fset.Position(call.Pos()).Line, state: state["x"]})
+			}
+			return true
+		})
+	}
+	buildCFG(body).forwardDataflow(transfer, report)
+	sort.Slice(seen, func(i, j int) bool { return seen[i].line < seen[j].line })
+	want := []uint8{
+		1,         // after x := 0
+		1 | 2,     // branch merge
+		1 | 2 | 4, // loop body: back edge carries x = 2 above itself
+		1 | 2 | 4, // after the loop
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %d use sites, want %d", len(seen), len(want))
+	}
+	for i, w := range want {
+		if seen[i].state != w {
+			t.Errorf("use at line %d: state %03b, want %03b", seen[i].line, seen[i].state, w)
+		}
+	}
+}

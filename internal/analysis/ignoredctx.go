@@ -40,6 +40,13 @@ var ioIOFuncs = map[string]bool{
 	"ReadAll": true, "ReadFull": true, "WriteString": true,
 }
 
+// netIOFuncs are package-net entry points that open or accept
+// connections — network I/O with no deadline unless a ctx carries one.
+var netIOFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialUDP": true, "DialTCP": true,
+	"Listen": true, "ListenPacket": true, "ListenTCP": true, "ListenUDP": true,
+}
+
 func runIgnoredCtx(pass *Pass) {
 	inCtxPkg := PathHasSuffix(pass.Pkg.Path(), pass.Config.CtxPackages)
 	store := containerStoreInterface(pass.Pkg)
@@ -158,6 +165,20 @@ func checkIOWithoutCtx(pass *Pass, decl *ast.FuncDecl, store *types.Interface) {
 	})
 	if ioPos != nil {
 		pass.Reportf(decl.Name.Pos(), "exported %s performs I/O (%s) without accepting a context.Context", decl.Name.Name, ioName)
+		return
+	}
+	// Interprocedural half: the body calls no os./io./net. entry point
+	// itself, but a summary says one is reachable through ctx-less
+	// module callees — the PR 1 restore-path bug three frames down.
+	if pass.Prog == nil {
+		return
+	}
+	fn, ok := pass.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	if s := pass.Prog.Summaries[fn]; s != nil && s.reachesIO() {
+		pass.Reportf(decl.Name.Pos(), "exported %s transitively performs I/O (%s) without accepting a context.Context", decl.Name.Name, pass.Prog.ioChain(fn))
 	}
 }
 
@@ -202,6 +223,10 @@ func directIOCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		case "io":
 			if ioIOFuncs[f.Name()] {
 				return "io." + f.Name(), true
+			}
+		case "net":
+			if netIOFuncs[f.Name()] {
+				return "net." + f.Name(), true
 			}
 		}
 	}

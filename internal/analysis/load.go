@@ -26,17 +26,58 @@ type Package struct {
 // Loader parses and type-checks packages with a shared FileSet and a
 // shared source importer, so type identities agree across packages
 // (the store-ownership and accounting checks compare against the
-// container.Store interface loaded through imports).
+// container.Store interface loaded through imports, and the
+// interprocedural Program compares receiver types across packages).
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.Importer
+	// loaded caches every package this Loader has type-checked, keyed by
+	// import path, and overrides the source importer for them. Each
+	// module package must be checked exactly once — a second copy from
+	// go/build would give structurally identical but non-identical types
+	// and break cross-package Implements checks. It also serves the
+	// golden corpora: the go tool refuses to resolve import paths under
+	// testdata/, so a corpus importing its sibling helper package works
+	// by loading the helper through LoadDir first.
+	loaded map[string]*Package
+	// modPath/modRoot, set by LoadModule, let Import resolve
+	// module-internal paths by recursively LoadDir-ing them instead of
+	// consulting go/build, keeping one copy per package regardless of
+	// load order.
+	modPath string
+	modRoot string
 }
 
 // NewLoader returns a Loader backed by the stdlib source importer,
-// which resolves module-internal import paths through go/build.
+// which resolves external import paths through go/build.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		Fset:   fset,
+		imp:    importer.ForCompiler(fset, "source", nil),
+		loaded: make(map[string]*Package),
+	}
+}
+
+// Import implements types.Importer: already-loaded packages first, then
+// module-internal paths via a recursive LoadDir, then the source
+// importer for everything external.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p.Types, nil
+	}
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+		if ok, err := hasGoFiles(dir); err == nil && ok {
+			p, err := l.LoadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return l.imp.Import(path)
 }
 
 // LoadModule walks the module rooted at root (its go.mod names the
@@ -47,6 +88,8 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.modPath = modPath
+	l.modRoot = root
 	var dirs []string
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -93,8 +136,12 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 }
 
 // LoadDir parses the non-test Go files in dir and type-checks them as
-// the package with the given import path.
+// the package with the given import path. A path this Loader has
+// already checked returns the cached package.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := l.loaded[importPath]; ok {
+		return p, nil
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: read %s: %w", dir, err)
@@ -121,19 +168,21 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(importPath, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
 	}
-	return &Package{
+	p := &Package{
 		Path:  importPath,
 		Dir:   dir,
 		Fset:  l.Fset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
-	}, nil
+	}
+	l.loaded[importPath] = p
+	return p, nil
 }
 
 // modulePath extracts the module path from a go.mod file.

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 func init() {
@@ -13,7 +14,12 @@ func init() {
 			"escape into a field, map, slice, channel, or composite literal (the " +
 			"pool will hand the same memory to someone else after Release), and " +
 			"may not be used after it was Released. Returning a pooled buffer is " +
-			"an ownership transfer and is allowed.",
+			"an ownership transfer and is allowed. With -interprocedural the " +
+			"escape rule also follows the buffer into module callees whose " +
+			"summary retains their parameter, a callee that Releases its " +
+			"parameter counts as the Release, and the use-after-release rule is " +
+			"CFG-based: releasing on one branch and using after the merge is " +
+			"caught.",
 		Run: runPooledEscape,
 	})
 }
@@ -24,8 +30,43 @@ func runPooledEscape(pass *Pass) {
 	}
 	funcDecls(pass.Files, func(_ *ast.File, decl *ast.FuncDecl) {
 		checkPooledEscapes(pass, decl)
-		checkUseAfterRelease(pass, decl)
+		if pass.Prog != nil {
+			checkPooledCallSites(pass, decl)
+			if graph := buildCFG(decl.Body); graph.ok {
+				checkUseAfterReleaseFlow(pass, decl, graph)
+				// The path matcher still covers dotted selector chains
+				// (item.data), which the object-based dataflow cannot name.
+				checkUseAfterRelease(pass, decl, true)
+				return
+			}
+		}
+		checkUseAfterRelease(pass, decl, false)
 	})
+}
+
+// pooledObjects collects the objects bound to a bufpool.Pool.Get result
+// anywhere in decl.
+func pooledObjects(pass *Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	pooled := make(map[types.Object]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBufpoolMethod(pass.Info, call, "Get") {
+			return true
+		}
+		if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				pooled[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				pooled[obj] = true
+			}
+		}
+		return true
+	})
+	return pooled
 }
 
 // isBufpoolMethod reports whether the call invokes the named method on
@@ -57,25 +98,7 @@ func isBufpoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
 // field, map or slice element, a channel, a composite literal, or an
 // append. A plain local rebind stays legal — locals die with the frame.
 func checkPooledEscapes(pass *Pass, decl *ast.FuncDecl) {
-	pooled := make(map[types.Object]bool)
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
-			return true
-		}
-		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
-		if !ok || !isBufpoolMethod(pass.Info, call, "Get") {
-			return true
-		}
-		if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
-			if obj := pass.Info.Defs[id]; obj != nil {
-				pooled[obj] = true
-			} else if obj := pass.Info.Uses[id]; obj != nil {
-				pooled[obj] = true
-			}
-		}
-		return true
-	})
+	pooled := pooledObjects(pass, decl)
 	if len(pooled) == 0 {
 		return
 	}
@@ -145,14 +168,201 @@ func exprPath(expr ast.Expr) string {
 	return ""
 }
 
+// checkPooledCallSites applies the callee summaries at each call:
+// handing a pooled buffer to a module function that retains its
+// parameter is the same escape as storing it in a field here, just one
+// frame removed.
+func checkPooledCallSites(pass *Pass, decl *ast.FuncDecl) {
+	pooled := pooledObjects(pass, decl)
+	if len(pooled) == 0 {
+		return
+	}
+	info := pass.Info
+	prog := pass.Prog
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			return true
+		}
+		callee, known := prog.Graph.Nodes[f]
+		if !known {
+			return true
+		}
+		cs := prog.Summaries[callee.Func]
+		for i, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil || !pooled[obj] {
+				continue
+			}
+			ci := calleeParamIndex(f, i)
+			if ci >= 0 && ci < len(cs.retainsParam) && cs.retainsParam[ci] {
+				pass.Reportf(arg.Pos(), "pooled buffer passed to %s, which retains it beyond the call; copy it or transfer ownership explicitly", f.Name())
+			}
+		}
+		return true
+	})
+}
+
+// Pooled-buffer dataflow lattice bits for the CFG-based
+// use-after-release check.
+const (
+	bufLive     uint8 = 1 << iota // owned by this frame
+	bufReleased                   // handed back to the pool
+)
+
+// checkUseAfterReleaseFlow is the CFG-based use-after-release check:
+// per-block dataflow over the pooled objects, where Release (directly
+// or via a callee summarized as releasing its parameter) moves the
+// object to the released state and a rebind revives it. Unlike the
+// position matcher it follows branches and loop back-edges, so a
+// release on one path with a use after the merge — or a use earlier in
+// the loop body on the next iteration — is caught.
+func checkUseAfterReleaseFlow(pass *Pass, decl *ast.FuncDecl, graph *funcCFG) {
+	pooled := pooledObjects(pass, decl)
+	if len(pooled) == 0 {
+		return
+	}
+	info := pass.Info
+	prog := pass.Prog
+
+	// releasedArgs returns the pooled objects a call hands back to the
+	// pool: the argument of Pool.Release, or any argument whose callee
+	// parameter is summarized as released.
+	releasedArgs := func(call *ast.CallExpr) []types.Object {
+		var out []types.Object
+		argObj := func(arg ast.Expr) types.Object {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			obj := info.Uses[id]
+			if obj == nil || !pooled[obj] {
+				return nil
+			}
+			return obj
+		}
+		if len(call.Args) == 1 && isBufpoolMethod(info, call, "Release") {
+			if obj := argObj(call.Args[0]); obj != nil {
+				out = append(out, obj)
+			}
+			return out
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			return nil
+		}
+		callee, known := prog.Graph.Nodes[f]
+		if !known {
+			return nil
+		}
+		cs := prog.Summaries[callee.Func]
+		for i, arg := range call.Args {
+			obj := argObj(arg)
+			if obj == nil {
+				continue
+			}
+			ci := calleeParamIndex(f, i)
+			if ci >= 0 && ci < len(cs.releasesParam) && cs.releasesParam[ci] {
+				out = append(out, obj)
+			}
+		}
+		return out
+	}
+
+	transfer := func(state flowState, n ast.Node) {
+		cfgInspect(n, func(nn ast.Node) bool {
+			switch node := nn.(type) {
+			case *ast.CallExpr:
+				for _, obj := range releasedArgs(node) {
+					state[obj] = bufReleased
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && pooled[obj] {
+						state[obj] = bufLive // fresh Get or other rebind
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	flagUses := func(state flowState, expr ast.Expr) {
+		ast.Inspect(expr, func(nn ast.Node) bool {
+			// A releasing call's own argument is the handoff, not a use
+			// (matching the position matcher's exemption).
+			if call, ok := nn.(*ast.CallExpr); ok && len(releasedArgs(call)) > 0 {
+				return false
+			}
+			id, ok := nn.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !pooled[obj] {
+				return true
+			}
+			if st := state[obj]; st&bufReleased != 0 {
+				suffix := ""
+				if st&bufLive != 0 {
+					suffix = " on some control-flow path"
+				}
+				pass.Reportf(id.Pos(), "%s used after Release%s; the pool may already have handed this memory to another Get", id.Name, suffix)
+			}
+			return true
+		})
+	}
+	report := func(state flowState, n ast.Node) {
+		cfgInspect(n, func(nn ast.Node) bool {
+			if assign, ok := nn.(*ast.AssignStmt); ok {
+				// A plain rebind is the legal way back to a live buffer;
+				// only its RHS and non-plain LHS are uses.
+				for _, lhs := range assign.Lhs {
+					if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+						flagUses(state, lhs)
+					}
+				}
+				for _, rhs := range assign.Rhs {
+					flagUses(state, rhs)
+				}
+				return false
+			}
+			if expr, ok := nn.(ast.Expr); ok {
+				flagUses(state, expr)
+				return false
+			}
+			return true
+		})
+	}
+	graph.forwardDataflow(transfer, report)
+}
+
 // checkUseAfterRelease flags uses of an expression after it was passed
 // to Pool.Release: Release returns the memory to the pool, so any later
 // read or write races with the next Get. Matching is by dotted path and
 // source position within one function — coarse (loops re-enter earlier
 // positions legally), but exact for the straight-line hot paths this
 // gate protects. Rebinding the path's root after the Release starts a
-// fresh buffer and ends the taint.
-func checkUseAfterRelease(pass *Pass, decl *ast.FuncDecl) {
+// fresh buffer and ends the taint. With dottedOnly (the CFG dataflow is
+// also running and owns plain identifiers) only selector paths like
+// item.data are matched.
+func checkUseAfterRelease(pass *Pass, decl *ast.FuncDecl, dottedOnly bool) {
 	type release struct {
 		pos  token.Pos // end of the Release call
 		call *ast.CallExpr
@@ -164,7 +374,7 @@ func checkUseAfterRelease(pass *Pass, decl *ast.FuncDecl) {
 			return true
 		}
 		path := exprPath(call.Args[0])
-		if path == "" {
+		if path == "" || (dottedOnly && !strings.Contains(path, ".")) {
 			return true
 		}
 		if prev, ok := released[path]; !ok || call.End() < prev.pos {

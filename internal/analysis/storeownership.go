@@ -11,7 +11,11 @@ func init() {
 		Doc: "Store.Put must snapshot: a Put implementation may not retain the " +
 			"caller's *Container directly (the PR 1 MemStore bug). Containers " +
 			"returned by Store.Get / Fetcher.Get are shared snapshots: callers may " +
-			"not mutate them (Add, Remove, SetID, SetCapacity, or field writes).",
+			"not mutate them (Add, Remove, SetID, SetCapacity, or field writes), " +
+			"pass them to a callee that does, or — outside the custodian " +
+			"packages — let them escape through a field, channel, or composite " +
+			"literal. With -interprocedural the mutation rule is flow-sensitive: " +
+			"a mutation above a `ctn = ctn.Clone()` rebind on some path is caught.",
 		Run: runStoreOwnership,
 	})
 }
@@ -28,7 +32,11 @@ func runStoreOwnership(pass *Pass) {
 	}
 	funcDecls(pass.Files, func(_ *ast.File, decl *ast.FuncDecl) {
 		checkPutRetention(pass, decl, store)
-		checkGetMutation(pass, decl)
+		if pass.Prog != nil {
+			checkGetMutationFlow(pass, decl)
+		} else {
+			checkGetMutation(pass, decl)
+		}
 	})
 }
 
@@ -204,4 +212,191 @@ func checkGetMutation(pass *Pass, decl *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// Shared-container dataflow lattice bits: a variable may alias the
+// store's shared snapshot, a private clone, or (after a merge) either.
+const (
+	ctnShared  uint8 = 1 << iota // aliases a Get result
+	ctnPrivate                   // rebound to a clone or other value
+)
+
+// checkGetMutationFlow is the interprocedural, flow-sensitive version
+// of checkGetMutation. Shared origins include module functions
+// summarized as returning a Get result; sinks include callees
+// summarized as mutating their *Container parameter, channel sends,
+// and field stores (outside the custodian packages). The CFG makes the
+// mutation rule order-aware: `ctn.Add(...)` above `ctn = ctn.Clone()`
+// is caught even though an AST-order pass would see the rebind first.
+// Bodies using goto fall back to the flow-insensitive check.
+func checkGetMutationFlow(pass *Pass, decl *ast.FuncDecl) {
+	graph := buildCFG(decl.Body)
+	if !graph.ok {
+		checkGetMutation(pass, decl)
+		return
+	}
+	prog := pass.Prog
+	info := pass.Info
+	custodian := PathHasSuffix(pass.Pkg.Path(), pass.Config.OwnershipCustodianPackages)
+
+	sharedOrigin := func(expr ast.Expr) bool {
+		call, ok := ast.Unparen(expr).(*ast.CallExpr)
+		return ok && prog.isSharedOriginCall(info, call)
+	}
+	// Does any shared origin exist at all? Skip the dataflow otherwise.
+	any := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if any {
+			return false
+		}
+		if assign, ok := n.(*ast.AssignStmt); ok && len(assign.Rhs) == 1 && sharedOrigin(assign.Rhs[0]) {
+			any = true
+		}
+		return true
+	})
+	if !any {
+		return
+	}
+
+	bindObj := func(id *ast.Ident) types.Object {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	transfer := func(state flowState, n ast.Node) {
+		cfgInspect(n, func(nn ast.Node) bool {
+			assign, ok := nn.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := bindObj(id)
+				if obj == nil || !isContainerPtr(obj.Type()) {
+					continue
+				}
+				shared := false
+				if len(assign.Rhs) == 1 {
+					shared = sharedOrigin(assign.Rhs[0])
+				} else if i < len(assign.Rhs) {
+					shared = sharedOrigin(assign.Rhs[i])
+				}
+				if shared {
+					state[obj] = ctnShared
+				} else {
+					state[obj] = ctnPrivate
+				}
+			}
+			return true
+		})
+	}
+
+	sharedState := func(state flowState, expr ast.Expr) (uint8, bool) {
+		obj := identObject(info, expr)
+		if obj == nil {
+			return 0, false
+		}
+		st := state[obj]
+		return st, st&ctnShared != 0
+	}
+	somePath := func(st uint8) string {
+		if st&ctnPrivate != 0 {
+			return " on some control-flow path"
+		}
+		return ""
+	}
+	report := func(state flowState, n ast.Node) {
+		cfgInspect(n, func(nn ast.Node) bool {
+			switch node := nn.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range node.Lhs {
+					if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+						// Rebinding is not a mutation, but a shared container on
+						// the RHS landing in a field/map/slice is an escape.
+						continue
+					}
+					if st, shared := sharedState(state, lhs); shared {
+						pass.Reportf(lhs.Pos(), "write through a container obtained from Get%s; Get results are shared read-only snapshots", somePath(st))
+					}
+					_ = i
+				}
+				if !custodian {
+					for i, rhs := range node.Rhs {
+						if i >= len(node.Lhs) {
+							break
+						}
+						if _, plain := ast.Unparen(node.Lhs[i]).(*ast.Ident); plain {
+							continue
+						}
+						if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+							if st, shared := sharedState(state, id); shared {
+								pass.Reportf(rhs.Pos(), "container obtained from Get escapes into a field, map, or slice%s; far-side mutation is invisible — Clone it first", somePath(st))
+							}
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if custodian {
+					return true
+				}
+				if id, ok := ast.Unparen(node.Value).(*ast.Ident); ok {
+					if st, shared := sharedState(state, id); shared {
+						pass.Reportf(node.Value.Pos(), "container obtained from Get sent on a channel%s; the far side shares the snapshot — Clone before sending", somePath(st))
+					}
+				}
+			case *ast.CompositeLit:
+				if custodian {
+					return true
+				}
+				for _, elt := range node.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if id, ok := ast.Unparen(v).(*ast.Ident); ok {
+						if st, shared := sharedState(state, id); shared {
+							pass.Reportf(v.Pos(), "container obtained from Get placed in a composite literal%s; the copy shares the snapshot — Clone it first", somePath(st))
+						}
+					}
+				}
+			case *ast.CallExpr:
+				f := calleeFunc(info, node)
+				if f == nil {
+					return true
+				}
+				// Direct mutator on a shared container.
+				if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && containerMutators[sel.Sel.Name] {
+					if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil && isContainerPtr(sig.Recv().Type()) {
+						if st, shared := sharedState(state, sel.X); shared {
+							pass.Reportf(node.Pos(), "%s mutates a container obtained from Get%s; Clone it first (Get results are shared)", sel.Sel.Name, somePath(st))
+						}
+					}
+				}
+				// Shared container handed to a callee that mutates it.
+				if callee, ok := prog.Graph.Nodes[f]; ok {
+					cs := prog.Summaries[callee.Func]
+					for i, arg := range node.Args {
+						id, ok := ast.Unparen(arg).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						st, shared := sharedState(state, id)
+						if !shared {
+							continue
+						}
+						ci := calleeParamIndex(f, i)
+						if ci >= 0 && ci < len(cs.mutatesParam) && cs.mutatesParam[ci] {
+							pass.Reportf(arg.Pos(), "container obtained from Get passed to %s, which mutates its parameter%s; Clone it first", f.Name(), somePath(st))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	graph.forwardDataflow(transfer, report)
 }

@@ -71,6 +71,13 @@ func (s *suppressions) collect(fset *token.FileSet, files []*ast.File, diags *[]
 					continue
 				}
 				name := fields[0]
+				if strings.Contains(name, ",") {
+					// `//hidelint:ignore a,b reason` is a common slip; the
+					// diagnostic names the fix instead of "unknown check".
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: suppressionCheck,
+						Message: fmt.Sprintf("hidelint:ignore takes one check per directive; split %q into separate comments", name)})
+					continue
+				}
 				if _, ok := checkByName(name); !ok {
 					*diags = append(*diags, Diagnostic{Pos: pos, Check: suppressionCheck,
 						Message: fmt.Sprintf("hidelint:ignore names unknown check %q", name)})
@@ -79,6 +86,14 @@ func (s *suppressions) collect(fset *token.FileSet, files []*ast.File, diags *[]
 				if len(fields) < 2 {
 					*diags = append(*diags, Diagnostic{Pos: pos, Check: suppressionCheck,
 						Message: "hidelint:ignore " + name + " needs a reason"})
+					continue
+				}
+				if _, second := checkByName(fields[1]); second {
+					// Two check names back to back: the "reason" is really a
+					// second check, and one of the two would be silently
+					// unsuppressed. Reported rather than guessed at.
+					*diags = append(*diags, Diagnostic{Pos: pos, Check: suppressionCheck,
+						Message: fmt.Sprintf("hidelint:ignore names two checks (%q, %q); use one directive per check, each with its own reason", name, fields[1])})
 					continue
 				}
 				idx := len(s.directives)
@@ -108,6 +123,19 @@ func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
 		out = append(out, d)
 	}
 	return out
+}
+
+// covers reports whether a well-formed directive for check covers
+// (file, line), marking it used: the interprocedural summary pass asks
+// this to stop raw-Get taint at audited reads, and an audit that stops
+// taint has done its job even when no intraprocedural finding existed
+// on that line.
+func (s *suppressions) covers(file string, line int, check string) bool {
+	idxs := s.keys[suppressKey{file, line, check}]
+	for _, i := range idxs {
+		s.directives[i].used = true
+	}
+	return len(idxs) > 0
 }
 
 // unused reports every well-formed directive that suppressed nothing,

@@ -1,0 +1,38 @@
+// Package accountingpath seeds the accounting laundering hole: no raw
+// Store.Get appears anywhere in this package, yet restore reads bypass
+// the counting fetcher layer through the exempt helper — so the
+// intraprocedural accounting check is silent and the speed-factor
+// denominator silently drops reads.
+package accountingpath
+
+import (
+	"hidestore/internal/analysis/testdata/src/accountingpath/rawhelper"
+	"hidestore/internal/container"
+)
+
+// RestoreSweep launders an uncounted read through the helper.
+func RestoreSweep(s container.Store, id container.ID) error {
+	ctn, err := rawhelper.ReadRaw(s, id) // finding: reaches a raw Store.Get
+	if err != nil {
+		return err
+	}
+	_ = ctn
+	return nil
+}
+
+// wrap is a middle frame for the witness-chain rendering.
+func wrap(s container.Store, id container.ID) (*container.Container, error) {
+	return rawhelper.ReadRaw(s, id) // finding: reaches a raw Store.Get
+}
+
+// DeepSweep reaches the raw read two frames down.
+func DeepSweep(s container.Store, id container.ID) error {
+	_, err := wrap(s, id) // finding: wrap → ReadRaw → Store.Get
+	return err
+}
+
+// AuditedSweep rides the audited helper; silent.
+func AuditedSweep(s container.Store, id container.ID) error {
+	_, err := rawhelper.ReadAudited(s, id)
+	return err
+}

@@ -1,0 +1,19 @@
+// Package rawhelper wraps raw Store reads for the accountingpath
+// corpus. It is configured accounting-exempt, so the intraprocedural
+// accounting check allows the Gets here; the call-graph summaries
+// carry the taint to callers in other packages instead.
+package rawhelper
+
+import "hidestore/internal/container"
+
+// ReadRaw is an uncounted read: callers outside this package that
+// reach it bypass Stats.ContainerReads.
+func ReadRaw(s container.Store, id container.ID) (*container.Container, error) {
+	return s.Get(id)
+}
+
+// ReadAudited carries an audit directive: the read is vouched for, so
+// it must not taint callers.
+func ReadAudited(s container.Store, id container.ID) (*container.Container, error) {
+	return s.Get(id) //hidelint:ignore accounting-path audited quarantine-scan read; the caller reconciles it against Stats.ContainerReads
+}

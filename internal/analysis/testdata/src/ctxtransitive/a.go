@@ -1,0 +1,33 @@
+// Package ctxtransitive seeds the laundering hole the intraprocedural
+// ignored-ctx check cannot see: an exported entry point that performs
+// no I/O in its own body but reaches os.WriteFile two frames down,
+// with no context anywhere to carry cancellation.
+package ctxtransitive
+
+import (
+	"context"
+
+	"hidestore/internal/analysis/testdata/src/ctxtransitive/helper"
+)
+
+// save is the middle frame: still no direct I/O visible from the
+// exported caller's body.
+func save(path string, data []byte) error {
+	return helper.Flush(path, data)
+}
+
+// Checkpoint is exported, ctx-less, and I/O-free on its face, so the
+// old pass is silent. finding (interprocedural): transitively performs
+// I/O through save → Flush → os.WriteFile.
+func Checkpoint(path string, data []byte) error {
+	return save(path, data)
+}
+
+// CheckpointCtx plumbs a context and is silent: the cancellation
+// point the check demands exists here.
+func CheckpointCtx(ctx context.Context, path string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return save(path, data)
+}

@@ -1,0 +1,13 @@
+// Package helper is the I/O layer the ctxtransitive corpus reaches
+// through: it is not a ctx-scoped package itself, so the
+// intraprocedural ignored-ctx pass has nothing to say about it.
+package helper
+
+import "os"
+
+// Flush rewrites a recipe file. Direct I/O with no context is legal
+// here — this package is outside CtxPackages; the defect is the
+// ctx-less caller two frames up.
+func Flush(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}

@@ -1,0 +1,60 @@
+// Package pooledinterproc seeds the pooled-buffer defects only the
+// call-graph pass can see: retention and release happening one call
+// away, and a release/use pair joined by a loop back-edge so the use
+// sits ABOVE the release in source order.
+package pooledinterproc
+
+import "hidestore/internal/bufpool"
+
+type cache struct {
+	bufs [][]byte
+}
+
+// keep retains its parameter in the cache; call sites see only the
+// summary.
+func (c *cache) keep(b []byte) {
+	c.bufs = append(c.bufs, b)
+}
+
+// recycle hands its parameter back to the pool for its caller.
+func recycle(p *bufpool.Pool, b []byte) {
+	p.Release(b)
+}
+
+// keepPooled hands a pooled buffer to the retaining helper.
+func keepPooled(p *bufpool.Pool, c *cache) {
+	b := p.Get(32)
+	c.keep(b) // finding: the callee retains the buffer
+}
+
+// useAfterHelperRelease reads the buffer after recycle returned it to
+// the pool; no Release call appears in this body.
+func useAfterHelperRelease(p *bufpool.Pool) byte {
+	b := p.Get(16)
+	recycle(p, b)
+	return b[0] // finding: released by recycle
+}
+
+// releaseInLoop releases on the first iteration and reads on the
+// second: the read is above the Release in source order, so the
+// position matcher is blind; the back edge is not.
+func releaseInLoop(p *bufpool.Pool) int {
+	sum := 0
+	b := p.Get(8)
+	for i := 0; i < 2; i++ {
+		sum += int(b[0]) // finding: released on the prior iteration
+		if i == 0 {
+			p.Release(b)
+		}
+	}
+	return sum
+}
+
+// okHandoff: returning transfers ownership, and copies may be kept.
+func okHandoff(p *bufpool.Pool, c *cache) []byte {
+	b := p.Get(4)
+	snapshot := make([]byte, len(b))
+	copy(snapshot, b)
+	c.keep(snapshot) // the copy escapes, not the pooled buffer
+	return b
+}

@@ -1,0 +1,34 @@
+// Package suppressedge seeds the directive mistakes: a comma-spliced
+// check list, two check names in one directive, an unknown check, and
+// a directive anchored to the wrong line. Each leaves its finding
+// unsuppressed — the corpus pins both the malformed-directive
+// diagnostics and the survival of the underlying findings.
+package suppressedge
+
+// wrongLine: the directive sits two lines above the call, covering
+// neither its own line nor the line below, so the finding survives
+// and the directive itself is stale.
+func wrongLine() {
+	//hidelint:ignore no-panic directive is two lines above the offending call
+	_ = 0
+	panic("unreachable") // finding: no-panic, plus the stale directive above
+}
+
+// commaList: one directive cannot cover two checks.
+func commaList() {
+	//hidelint:ignore no-panic,discarded-error one comma-spliced directive
+	panic("boom") // finding: the malformed directive suppressed nothing
+}
+
+// twoNames: the "reason" is really a second check name, so one of the
+// two would be silently unsuppressed; reported rather than guessed at.
+func twoNames() {
+	//hidelint:ignore no-panic discarded-error forgot the reason
+	panic("boom") // finding: the malformed directive suppressed nothing
+}
+
+// unknownCheck: a typo'd name suppresses nothing.
+func unknownCheck() {
+	//hidelint:ignore no-panics typo in the check name
+	panic("boom") // finding: the malformed directive suppressed nothing
+}

@@ -196,6 +196,8 @@ type Engine struct {
 var _ backup.Engine = (*Engine)(nil)
 
 // New creates a HiDeStore engine.
+//
+//hidelint:ignore ignored-ctx startup-time crash-recovery I/O (temp sweep, state load) runs before any request context exists; nothing upstream could cancel it
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
