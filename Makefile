@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench microbench vet lint crash remote-smoke check
+.PHONY: build test race bench microbench vet lint crash remote-smoke restore-bench check
 
 build:
 	$(GO) build ./...
@@ -57,4 +57,12 @@ crash:
 remote-smoke:
 	$(GO) run ./cmd/bench -exp remote -workloads kernel -scale 2 -versions 6 -sleep-scale=-1
 
-check: build test race vet lint crash remote-smoke
+# The parallel-restore counterpart: the restore workers × prefetch
+# depth × fetch latency sweep at tiny scale. Besides smoking the
+# multi-worker assembly path end to end, the sweep hard-fails if any
+# cell's container-read count deviates from the serial baseline — the
+# accounting identity, enforced on every make check.
+restore-bench:
+	$(GO) run ./cmd/bench -exp restore -workloads kernel -scale 2 -versions 6 -sleep-scale=-1
+
+check: build test race vet lint crash remote-smoke restore-bench

@@ -7,11 +7,12 @@
 //	bench -exp fig8 -scale 16 -versions 30
 //
 // Experiments: table1, fig3, fig8, fig9, fig10, fig11, fig12, deletion,
-// throughput, backup, chunkers, ablations, remote, all. Output is
-// aligned text: the same rows/series the paper plots, plus the
+// throughput, backup, chunkers, ablations, remote, restore, all. Output
+// is aligned text: the same rows/series the paper plots, plus the
 // write-hot-path trajectory experiments (backup, chunkers) used by make
-// bench and the remote-backend prefetch-depth × fetch-latency sweep
-// (remote) behind the simulated high-latency store.
+// bench, the remote-backend prefetch-depth × fetch-latency sweep
+// (remote) behind the simulated high-latency store, and the parallel
+// restore workers × depth × latency sweep (restore).
 //
 // With -json DIR, every experiment additionally writes a
 // machine-readable BENCH_<exp>.json summary to DIR: wall time,
@@ -46,7 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: table1|fig3|fig8|fig9|fig10|fig11|fig12|deletion|throughput|backup|chunkers|ablations|remote|all")
+		exp        = fs.String("exp", "all", "experiment: table1|fig3|fig8|fig9|fig10|fig11|fig12|deletion|throughput|backup|chunkers|ablations|remote|restore|all")
 		sleepScale = fs.Float64("sleep-scale", 1, "remote experiment sleep scaling: 1 sleeps simulated latency for real, negative skips sleeps (modeled numbers only)")
 		workloads  = fs.String("workloads", "", "comma-separated workloads (default: all four presets)")
 		scale      = fs.Int("scale", 8, "approximate per-version size in MB")
@@ -199,6 +200,17 @@ func run(args []string) error {
 					extra[name+"_"+k] = v
 				}
 			}
+		case "restore":
+			for _, name := range names {
+				res, err := experiments.RestoreScale(name, *sleepScale, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(res.Render())
+				for k, v := range res.Extras() {
+					extra[name+"_"+k] = v
+				}
+			}
 		case "ablations":
 			type runner func(string, experiments.Options) (*experiments.AblationResult, error)
 			sweeps := []runner{
@@ -232,7 +244,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *exp == "all" {
-		for _, id := range []string{"table1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "deletion", "throughput", "backup", "chunkers", "ablations", "remote"} {
+		for _, id := range []string{"table1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "deletion", "throughput", "backup", "chunkers", "ablations", "remote", "restore"} {
 			if err := run(id); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}

@@ -38,10 +38,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"hidestore"
+	"hidestore/internal/backup"
 	"hidestore/internal/cleanup"
 	"hidestore/internal/obs"
 )
@@ -63,8 +65,10 @@ func run(args []string) error {
 		ctnSize  = fs.Int("container", 4<<20, "container size in bytes")
 		cache    = fs.String("restore-cache", "faa", "restore cache: faa|alacc|container-lru|chunk-lru|opt")
 		prefetch = fs.Int("prefetch", 0, "restore read-ahead depth in containers (0 = default, negative disables)")
+		workers  = fs.Int("restore-workers", 0, "parallel restore workers: >1 widens the container-fetch pool and assembles chunk spans out of order (bytes and read counts are identical to serial; 0/1 = serial)")
 		compress = fs.Bool("compress", false, "DEFLATE-compress containers at rest")
 		repair   = fs.Bool("repair", false, "fsck only: quarantine corrupt containers and name affected versions")
+		throttle = fs.Float64("scrub-throttle", 0, "scrub only: verification I/O cap in MB/s (0 = default 32, negative = unthrottled)")
 
 		tracePath  = fs.String("trace", "", "append JSONL spans for this invocation to FILE")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on ADDR for the life of the command")
@@ -80,7 +84,7 @@ func run(args []string) error {
 		backendCache = fs.Int("backend-cache-mb", 0, "remote backend: persistent local container-read cache size in MB (0 = off)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats> [args]")
+		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|scrub|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats> [args]")
 		fmt.Fprintln(os.Stderr, "       hidestore trace <trace.jsonl> | hidestore checkmetrics <metrics.prom>")
 		fs.PrintDefaults()
 	}
@@ -120,15 +124,16 @@ func run(args []string) error {
 	}
 
 	sys, err := hidestore.Open(hidestore.Config{
-		Dir:           *dir,
-		Window:        *window,
-		Chunker:       *alg,
-		ContainerSize: *ctnSize,
-		RestoreCache:  *cache,
-		PrefetchDepth: *prefetch,
-		Compress:      *compress,
-		Metrics:       reg,
-		Tracer:        tracer,
+		Dir:            *dir,
+		Window:         *window,
+		Chunker:        *alg,
+		ContainerSize:  *ctnSize,
+		RestoreCache:   *cache,
+		PrefetchDepth:  *prefetch,
+		RestoreWorkers: *workers,
+		Compress:       *compress,
+		Metrics:        reg,
+		Tracer:         tracer,
 		Backend: hidestore.BackendConfig{
 			Kind:          *backendKind,
 			Latency:       *backendLat,
@@ -318,6 +323,69 @@ func run(args []string) error {
 				fmt.Println("PROBLEM:", p)
 			}
 			return fmt.Errorf("%d problems found", len(rep.Problems))
+		}
+		fmt.Println("store is healthy")
+	case "scrub":
+		if len(rest) != 1 {
+			return errors.New("scrub takes no arguments")
+		}
+		var (
+			mu         sync.Mutex
+			containers int
+			chunks     int
+			verified   uint64
+			corrupt    []string
+			stepErrs   int
+		)
+		pass := make(chan struct{})
+		var passOnce sync.Once
+		stop, err := sys.StartScrub(hidestore.ScrubOptions{
+			ThrottleMBps: *throttle,
+			OnStep: func(rep backup.ScrubStepReport, err error) {
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err != nil:
+					stepErrs++
+					fmt.Fprintln(os.Stderr, "hidestore: scrub:", err)
+				case rep.Corrupt != "":
+					line := fmt.Sprintf("container %d: %s", rep.Container, rep.Corrupt)
+					if rep.Quarantined != "" {
+						line += " (quarantined to " + rep.Quarantined + ")"
+					}
+					corrupt = append(corrupt, line)
+					fmt.Println("CORRUPT:", line)
+				case !rep.Skipped:
+					containers++
+					chunks += rep.Chunks
+					verified += rep.Bytes
+				}
+				if rep.PassComplete {
+					passOnce.Do(func() { close(pass) })
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		// One full pass (or the interrupt), then stop the background
+		// goroutine before reading the totals.
+		select {
+		case <-pass:
+		case <-ctx.Done():
+		}
+		stop()
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Printf("scrubbed %d containers (%d chunks, %d bytes verified)\n", containers, chunks, verified)
+		if stepErrs > 0 {
+			return fmt.Errorf("%d scrub steps failed", stepErrs)
+		}
+		if len(corrupt) > 0 {
+			return fmt.Errorf("%d corrupt containers found", len(corrupt))
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
 		}
 		fmt.Println("store is healthy")
 	case "stats":

@@ -82,6 +82,14 @@ type Config struct {
 	// assembly; it never changes which containers are read, so restore
 	// stats (container reads, speed factor) are identical either way.
 	PrefetchDepth int
+	// RestoreWorkers enables the parallel restore mode: values > 1 widen
+	// the prefetch read pool to that many concurrent container fetches
+	// and assemble chunk spans out of order through a bounded reorder
+	// window. The restored bytes and the restore stats (container reads,
+	// cache hits, speed factor) are identical to the serial mode by
+	// construction — parallelism only changes wall time. 0 or 1 selects
+	// the serial path.
+	RestoreWorkers int
 	// MergeUtilization is the active-container utilization below which
 	// containers are merged after each version (default 0.5).
 	MergeUtilization float64
@@ -412,6 +420,7 @@ func Open(cfg Config) (*System, error) {
 		MergeUtilization:  cfg.MergeUtilization,
 		RestoreCache:      rc,
 		PrefetchDepth:     cfg.PrefetchDepth,
+		RestoreWorkers:    cfg.RestoreWorkers,
 		StatePath:         set.statePath,
 		WriteState:        set.writeState,
 		ReadState:         set.readState,
@@ -483,6 +492,7 @@ func OpenBaseline(cfg BaselineConfig) (*System, error) {
 		Recipes:           set.recipes,
 		ContainerCapacity: cfg.ContainerSize,
 		PrefetchDepth:     cfg.PrefetchDepth,
+		RestoreWorkers:    cfg.RestoreWorkers,
 		Metrics:           cfg.Metrics,
 		Tracer:            cfg.Tracer,
 	})
@@ -676,6 +686,86 @@ func (s *System) VerifyRestore(ctx context.Context, version int, w io.Writer) (R
 		ContainerReads: rep.Stats.ContainerReads,
 		SpeedFactor:    rep.Stats.SpeedFactor(),
 		Duration:       rep.Duration,
+	}, nil
+}
+
+// ScrubOptions configures the online scrubber.
+type ScrubOptions struct {
+	// ThrottleMBps caps the scrubber's verification I/O rate (MB/s of
+	// container payload read and hashed per second, averaged): after
+	// each container the scrubber sleeps long enough that the pass
+	// stays under the cap, so foreground backups and restores keep the
+	// disk. 0 selects a conservative default (32 MB/s); negative
+	// disables throttling (full speed — tests, drills).
+	ThrottleMBps float64
+	// OnStep, when set, observes every scrub step's report (after the
+	// step completes, outside the system lock). Errors from the store
+	// are surfaced the same way, with a synthetic report. Intended for
+	// logging and tests.
+	OnStep func(backup.ScrubStepReport, error)
+}
+
+// StartScrub starts the online scrubber: a background goroutine that
+// continuously verifies container images — decode, CRC, and every
+// chunk's content against its fingerprint — one container per step,
+// interleaving with foreground operations (each step takes the system
+// lock, so backups and restores are never raced, only briefly queued
+// behind one container's verification). Corruption that survives a
+// definitive re-read is quarantined and surfaced through
+// Stats().Degraded and the scrub metrics.
+//
+// The returned stop function halts the scrubber and waits for the
+// in-flight step to finish; it is safe to call more than once. Only
+// HiDeStore engines support scrubbing.
+func (s *System) StartScrub(opts ScrubOptions) (stop func(), err error) {
+	scrubber, ok := s.engine.(backup.Scrubber)
+	if !ok {
+		return nil, errors.New("hidestore: engine does not support scrubbing")
+	}
+	throttle := opts.ThrottleMBps
+	if throttle == 0 {
+		throttle = 32
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ctx.Err() == nil {
+			s.mu.Lock()
+			rep, err := scrubber.ScrubStep(ctx)
+			s.mu.Unlock()
+			if opts.OnStep != nil {
+				opts.OnStep(rep, err)
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			// Pace to the throttle: sleep as long as reading rep.Bytes
+			// at ThrottleMBps would have taken, with a floor so an
+			// empty or skipped step cannot spin, and a store error
+			// backs off rather than hammering a broken store.
+			pause := 10 * time.Millisecond
+			if err != nil {
+				pause = time.Second
+			} else if throttle > 0 && rep.Bytes > 0 {
+				d := time.Duration(float64(rep.Bytes) / (throttle * (1 << 20)) * float64(time.Second))
+				if d > pause {
+					pause = d
+				}
+			}
+			select {
+			case <-time.After(pause):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
 	}, nil
 }
 

@@ -93,10 +93,12 @@ type Stats struct {
 	IndexMemBytes int64
 	RewriteStats  rewrite.Stats
 	// Degraded names snapshot fields that could not be computed (e.g. a
-	// container directory that failed to enumerate), with the reason.
-	// Empty means every field above is trustworthy. Stats itself stays
-	// infallible — a monitoring read must not fail outright because one
-	// counter is unavailable — but the gap is flagged, not silent.
+	// container directory that failed to enumerate), with the reason,
+	// plus any persistent damage the online scrubber has found ("scrub:"
+	// prefixed). Empty means every field above is trustworthy and no
+	// scrubbed container was corrupt. Stats itself stays infallible — a
+	// monitoring read must not fail outright because one counter is
+	// unavailable — but the gap is flagged, not silent.
 	Degraded []string
 }
 
@@ -156,6 +158,40 @@ type RepairReport struct {
 // deleted) and the versions that lost chunks to them are named.
 type Repairer interface {
 	Repair() (RepairReport, error)
+}
+
+// ScrubStepReport describes one online-scrubber step: one container
+// image content-verified (or skipped).
+type ScrubStepReport struct {
+	// Container is the verified container's ID; 0 when Skipped.
+	Container uint64
+	// Chunks and Bytes are the stored chunks and payload bytes verified
+	// by this step — the step's I/O cost, which throttles the caller.
+	Chunks int
+	Bytes  uint64
+	// Corrupt describes damage that survived the definitive re-read
+	// ("" when the container is healthy). Transient read failures that
+	// the re-read absorbs are not reported.
+	Corrupt string
+	// Quarantined is the path the corrupt image was moved to ("" when
+	// nothing was quarantined — healthy, or the store cannot).
+	Quarantined string
+	// PassComplete is true when this step verified the cycle's last
+	// container; the next step snapshots a fresh container list.
+	PassComplete bool
+	// Skipped is true when there was nothing to verify (empty store, or
+	// the cursor's container was legitimately deleted since the
+	// snapshot).
+	Skipped bool
+}
+
+// Scrubber is implemented by engines that support online integrity
+// scrubbing: continuous VerifyRestore-style verification of container
+// images, one container per step so the caller controls the I/O
+// throttle. Steps must be serialized with the engine's other
+// operations by the caller (engines are single-writer).
+type Scrubber interface {
+	ScrubStep(ctx context.Context) (ScrubStepReport, error)
 }
 
 // Engine is a deduplicating backup system.

@@ -20,10 +20,17 @@ import (
 type CrashOpen func(dir string, inj *fault.Injector) (backup.Engine, error)
 
 // CrashStep is one scripted operation of a crash-matrix run: a backup
-// of Data, or — when Data is nil — a delete of version Delete.
+// of Data, a full scrub pass when Scrub is set, or — when neither is
+// set — a delete of version Delete.
 type CrashStep struct {
 	Data   []byte
 	Delete int
+	// Scrub runs online-scrubber steps until a pass completes, proving
+	// the scrubber interleaves with the commit sequence without
+	// disturbing it. Over healthy data a pass draws no mutating ops
+	// (verification is read-only; only quarantining corrupt data
+	// mutates), so the matrix's op numbering is unchanged.
+	Scrub bool
 }
 
 // BackupSteps turns materialized version streams into backup steps.
@@ -139,6 +146,11 @@ func crashCell(t *testing.T, open CrashOpen, steps []CrashStep, kind fault.Kind,
 				if step.Data != nil {
 					indeterminate = ver
 					indeterminateData = step.Data
+				} else if step.Scrub {
+					// An interrupted scrub never changes which versions
+					// exist (it only quarantines corrupt containers, and
+					// the matrix's data is healthy), so expectations are
+					// unchanged.
 				} else {
 					// An interrupted delete leaves the version either
 					// intact or gone; mark it so both are accepted.
@@ -205,6 +217,21 @@ func runStep(e backup.Engine, step CrashStep) error {
 	if step.Data != nil {
 		_, err := e.Backup(context.Background(), bytes.NewReader(step.Data))
 		return err
+	}
+	if step.Scrub {
+		s, ok := e.(backup.Scrubber)
+		if !ok {
+			return fmt.Errorf("crash step: engine %T does not scrub", e)
+		}
+		for {
+			rep, err := s.ScrubStep(context.Background())
+			if err != nil {
+				return err
+			}
+			if rep.PassComplete {
+				return nil
+			}
+		}
 	}
 	_, err := e.Delete(step.Delete)
 	return err

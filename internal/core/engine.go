@@ -51,6 +51,13 @@ type Config struct {
 	// disables prefetching. Prefetch only reorders when reads happen,
 	// never which reads happen, so restore stats are unaffected.
 	PrefetchDepth int
+	// RestoreWorkers parallelize the restore's fetch and assembly
+	// stages: values above 1 widen the prefetch read pool to this many
+	// workers and assemble chunk spans out of order behind an in-order
+	// reorder window. Output bytes and read accounting are identical to
+	// the serial restore by construction (the cache policy remains the
+	// single decision-maker). 0 or 1 restores serially (the default).
+	RestoreWorkers int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
 	// AsyncCommitDepth bounds the asynchronous container-commit queue:
@@ -190,7 +197,18 @@ type Engine struct {
 	mx     *obs.BackupMetrics
 	rmx    *obs.RestoreMetrics
 	rcv    *obs.RecoveryMetrics
+	smx    *obs.ScrubMetrics
 	tracer *obs.Tracer
+
+	// Online-scrubber cursor state (see scrub.go): the container list
+	// snapshot being walked, the next position in it, and the damage
+	// found so far (bounded; overflow counted separately). Mutated only
+	// by ScrubStep, which callers serialize with the engine's other
+	// operations.
+	scrubQueue    []container.ID
+	scrubPos      int
+	scrubDamage   []string
+	scrubOverflow int
 }
 
 var _ backup.Engine = (*Engine)(nil)
@@ -212,6 +230,7 @@ func New(cfg Config) (*Engine, error) {
 		mx:               obs.NewBackupMetrics(cfg.Metrics),
 		rmx:              obs.NewRestoreMetrics(cfg.Metrics),
 		rcv:              obs.NewRecoveryMetrics(cfg.Metrics),
+		smx:              obs.NewScrubMetrics(cfg.Metrics),
 		tracer:           cfg.Tracer,
 	}
 	if e.cfg.StatePath != "" {
@@ -287,6 +306,15 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.Back
 	// nil-safe method call even when only the tracer is live.
 	obsOn := e.mx != nil || e.tracer != nil
 	span := e.tracer.Start("backup", nil)
+	// The span must end on every path — a dozen early error returns
+	// follow — or the trace leaks an open span per failed backup.
+	// Failures are marked with an error attr instead of being dropped.
+	defer func() {
+		if retErr != nil {
+			span.SetAttr("error", 1)
+		}
+		span.End()
+	}()
 	var chunkNS, lookupNS int64 // single-goroutine stages
 	var fpNS atomic.Int64       // fingerprinting runs on HashWorkers goroutines
 	var mxChunk, mxFP, mxLookup *obs.Histogram
@@ -519,7 +547,6 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.Back
 		span.SetAttr("bytes", int64(logical))
 		span.SetAttr("chunks", int64(chunks))
 		span.SetAttr("unique", int64(unique))
-		span.End()
 	}
 	statsAfter := e.cache.Stats()
 	return backup.BackupReport{
@@ -842,10 +869,19 @@ func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.
 
 // restoreWith is Restore with an explicit chunk source, letting
 // VerifyRestore interpose integrity checking.
-func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetch restorecache.Fetcher) (backup.RestoreReport, error) {
+func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetch restorecache.Fetcher) (rep backup.RestoreReport, retErr error) {
 	start := time.Now()
 	obsOn := e.rmx != nil || e.tracer != nil
 	span := e.tracer.Start("restore", nil)
+	// Deferred so every early return — recipe read failure, flatten
+	// failure, an unresolved chunk, the cache's restore error — still
+	// closes the span; failures carry an error attr.
+	defer func() {
+		if retErr != nil {
+			span.SetAttr("error", 1)
+		}
+		span.End()
+	}()
 	rec, err := e.cfg.Recipes.Get(version)
 	if err != nil {
 		return backup.RestoreReport{}, err
@@ -894,11 +930,22 @@ func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetc
 	// The observed fetcher sits *above* the prefetch layer — the same
 	// position as the policy's countingFetcher — so the trace's
 	// container.fetch span count, the registry counter and the run's
-	// Stats.ContainerReads are equal by construction.
-	fetch, done := restorecache.MaybePrefetchObserved(fetch, resolved, e.cfg.PrefetchDepth, e.rmx)
+	// Stats.ContainerReads are equal by construction. The prefetcher's
+	// fetch stage runs RestoreWorkers wide (bounded by the window), and
+	// with RestoreWorkers > 1 the policy's output is routed through the
+	// parallel out-of-order assembler; neither changes which containers
+	// the policy requests, so the identity holds at any worker count.
+	fetch, done := restorecache.MaybePrefetchParallel(fetch, resolved, e.cfg.PrefetchDepth, e.cfg.RestoreWorkers, e.rmx)
 	defer done()
 	fetch = restorecache.ObserveFetcher(fetch, e.rmx, e.tracer, span)
-	stats, err := e.cfg.RestoreCache.Restore(ctx, resolved, fetch, w)
+	out := w
+	if e.cfg.RestoreWorkers > 1 {
+		out = restorecache.NewParallelWriter(w, restorecache.ParallelOptions{
+			Workers: e.cfg.RestoreWorkers,
+			Metrics: e.rmx,
+		})
+	}
+	stats, err := e.cfg.RestoreCache.Restore(ctx, resolved, fetch, out)
 	if err != nil {
 		return backup.RestoreReport{}, err
 	}
@@ -911,7 +958,6 @@ func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetc
 	span.SetAttr("version", int64(version))
 	span.SetAttr("bytes", int64(stats.BytesRestored))
 	span.SetAttr("container_reads", int64(stats.ContainerReads))
-	span.End()
 	return backup.RestoreReport{
 		Version:              version,
 		Stats:                stats,
@@ -1012,6 +1058,10 @@ func (e *Engine) Stats() backup.Stats {
 		s.Degraded = append(s.Degraded, fmt.Sprintf("containers: %v", err))
 	} else {
 		s.Containers = n
+	}
+	s.Degraded = append(s.Degraded, e.scrubDamage...)
+	if e.scrubOverflow > 0 {
+		s.Degraded = append(s.Degraded, fmt.Sprintf("scrub: %d more corrupt containers (list truncated)", e.scrubOverflow))
 	}
 	return s
 }

@@ -55,6 +55,9 @@ type Config struct {
 	// containers: 0 selects restorecache.DefaultPrefetchDepth, negative
 	// disables prefetching.
 	PrefetchDepth int
+	// RestoreWorkers parallelize the restore's fetch and assembly
+	// stages (see core.Config.RestoreWorkers); 0 or 1 restores serially.
+	RestoreWorkers int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
 	// AsyncCommitDepth bounds the asynchronous container-commit queue:
@@ -451,9 +454,17 @@ func (e *Engine) sealOpen() error {
 }
 
 // Restore implements backup.Engine.
-func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.RestoreReport, error) {
+func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (rep backup.RestoreReport, retErr error) {
 	start := time.Now()
 	span := e.tracer.Start("restore", nil)
+	// Deferred so a recipe read or cache restore failure still closes
+	// the span; failures carry an error attr.
+	defer func() {
+		if retErr != nil {
+			span.SetAttr("error", 1)
+		}
+		span.End()
+	}()
 	rec, err := e.cfg.Recipes.Get(version)
 	if err != nil {
 		return backup.RestoreReport{}, err
@@ -463,11 +474,18 @@ func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.
 	}
 	// Observed above the prefetch layer, mirroring countingFetcher's
 	// position, so the trace/registry/Stats read counts agree.
-	fetch, done := restorecache.MaybePrefetchObserved(
-		restorecache.StoreFetcher(e.cfg.Store), rec.Entries, e.cfg.PrefetchDepth, e.rmx)
+	fetch, done := restorecache.MaybePrefetchParallel(
+		restorecache.StoreFetcher(e.cfg.Store), rec.Entries, e.cfg.PrefetchDepth, e.cfg.RestoreWorkers, e.rmx)
 	defer done()
 	fetch = restorecache.ObserveFetcher(fetch, e.rmx, e.tracer, span)
-	stats, err := e.cfg.RestoreCache.Restore(ctx, rec.Entries, fetch, w)
+	out := w
+	if e.cfg.RestoreWorkers > 1 {
+		out = restorecache.NewParallelWriter(w, restorecache.ParallelOptions{
+			Workers: e.cfg.RestoreWorkers,
+			Metrics: e.rmx,
+		})
+	}
+	stats, err := e.cfg.RestoreCache.Restore(ctx, rec.Entries, fetch, out)
 	if err != nil {
 		return backup.RestoreReport{}, err
 	}
@@ -480,7 +498,6 @@ func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (backup.
 	span.SetAttr("version", int64(version))
 	span.SetAttr("bytes", int64(stats.BytesRestored))
 	span.SetAttr("container_reads", int64(stats.ContainerReads))
-	span.End()
 	return backup.RestoreReport{
 		Version:  version,
 		Stats:    stats,

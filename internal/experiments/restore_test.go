@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRestoreShape pins the parallel-restore sweep's reproduction
+// targets on deterministic modeled numbers (sleepScale -1):
+//
+//   - every cell reads the same number of containers, no matter the
+//     worker count, depth, or latency — the accounting identity the
+//     parallel restore mode must hold by construction;
+//   - the modeled speedup from worker scale-out is real (> 1) at
+//     latencies >= 1ms and grows with latency, the acceptance
+//     criterion BENCH_restore.json publishes;
+//   - adding workers never makes the modeled restore slower at the
+//     deepest depth.
+func TestRestoreShape(t *testing.T) {
+	res, err := RestoreScale("kernel", -1, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(RestoreWorkerCounts) * len(RestoreSweepDepths) * len(RestoreSweepLatencies)
+	if len(res.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), wantCells)
+	}
+
+	reads := res.Cells[0].Reads
+	if reads == 0 {
+		t.Fatal("zero container reads")
+	}
+	for _, c := range res.Cells {
+		if c.Reads != reads {
+			t.Errorf("workers=%d depth=%d us=%d: reads = %d, want %d (accounting identity)",
+				c.Workers, c.Depth, c.LatencyUS, c.Reads, reads)
+		}
+	}
+
+	if len(res.Speedup) != len(RestoreSweepLatencies) {
+		t.Fatalf("speedup curve has %d points, want %d", len(res.Speedup), len(RestoreSweepLatencies))
+	}
+	for i, g := range RestoreSweepLatencies {
+		if g >= 1e6 && res.Speedup[i] <= 1 { // time.Duration: 1e6 ns = 1ms
+			t.Errorf("speedup at latency %s = %.4f, want > 1", g, res.Speedup[i])
+		}
+	}
+	for i := 1; i < len(res.Speedup); i++ {
+		if res.Speedup[i] < res.Speedup[i-1] {
+			t.Errorf("speedup shrank with latency: %.4f (lat %s) -> %.4f (lat %s)",
+				res.Speedup[i-1], res.Latencies[i-1], res.Speedup[i], res.Latencies[i])
+		}
+	}
+
+	deepest := RestoreSweepDepths[len(RestoreSweepDepths)-1]
+	for _, g := range RestoreSweepLatencies {
+		prev := res.Cell(RestoreWorkerCounts[0], deepest, g)
+		for _, w := range RestoreWorkerCounts[1:] {
+			c := res.Cell(w, deepest, g)
+			if c.ModeledMS > prev.ModeledMS {
+				t.Errorf("latency %s: workers %d modeled %.4fms > workers %d modeled %.4fms",
+					g, c.Workers, c.ModeledMS, prev.Workers, prev.ModeledMS)
+			}
+			prev = c
+		}
+	}
+
+	out := res.Render()
+	for _, frag := range []string{"Parallel restore", "workers", "speedup"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+	extras := res.Extras()
+	if len(extras) == 0 {
+		t.Fatal("no extras for BENCH_restore.json")
+	}
+	for _, g := range RestoreSweepLatencies {
+		if _, ok := extras["speedup_us"+strconv.FormatInt(g.Microseconds(), 10)]; !ok {
+			t.Errorf("extras missing speedup for latency %s", g)
+		}
+	}
+}

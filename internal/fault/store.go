@@ -82,11 +82,18 @@ func (s *Store) Stats() container.StoreStats { return s.inner.Stats() }
 // ResetStats implements container.Store.
 func (s *Store) ResetStats() { s.inner.ResetStats() }
 
-// Quarantine forwards to the inner store when it can quarantine.
+// Quarantine forwards to the inner store when it can quarantine. The
+// move is a mutating step — it draws an op like any other commit step,
+// so crash matrices can kill a repair or scrub mid-quarantine (the
+// rename itself is atomic, so Torn degrades to Fail).
 func (s *Store) Quarantine(id container.ID) (string, error) {
 	q, ok := s.inner.(container.Quarantiner)
 	if !ok {
 		return "", fmt.Errorf("fault: inner store cannot quarantine")
+	}
+	op := fmt.Sprintf("container.Quarantine(%d)", id)
+	if act := s.inj.begin(op); act != actProceed {
+		return "", errFor(act, op)
 	}
 	return q.Quarantine(id)
 }

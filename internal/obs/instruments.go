@@ -88,6 +88,11 @@ type RestoreMetrics struct {
 	// Prefetch pipeline state.
 	PrefetchOccupancy *Gauge   // containers currently in the read-ahead window
 	PrefetchPlanned   *Counter // containers entered into read-ahead plans
+
+	// Parallel-assembly pipeline state (RestoreWorkers > 1).
+	AssemblyWorkersBusy *Gauge     // assembly workers currently filling a span
+	AssemblySpans       *Counter   // spans dispatched to the assembly pool
+	AssemblyStallNS     *Histogram // writer wait for the next in-order span (ns)
 }
 
 // NewRestoreMetrics registers the restore instruments; nil registry
@@ -109,6 +114,37 @@ func NewRestoreMetrics(r *Registry) *RestoreMetrics {
 
 		PrefetchOccupancy: r.Gauge("hidestore_prefetch_occupancy", "containers currently held in the read-ahead window"),
 		PrefetchPlanned:   r.Counter("hidestore_prefetch_planned_total", "containers entered into read-ahead plans"),
+
+		AssemblyWorkersBusy: r.Gauge("hidestore_restore_assembly_workers_busy", "assembly workers currently filling a span"),
+		AssemblySpans:       r.Counter("hidestore_restore_assembly_spans_total", "spans dispatched to the parallel assembly pool"),
+		AssemblyStallNS:     r.Histogram("hidestore_restore_assembly_stall_ns", "writer wait for the next in-order span (ns)"),
+	}
+}
+
+// ScrubMetrics instruments the online scrubber (background container
+// verification).
+type ScrubMetrics struct {
+	Passes      *Counter // full scrub passes completed
+	Containers  *Counter // container images verified
+	Chunks      *Counter // stored chunks content-verified
+	Bytes       *Counter // payload bytes content-verified
+	Corruptions *Counter // containers found corrupt (after the definitive re-read)
+	Quarantined *Counter // corrupt containers moved to quarantine
+}
+
+// NewScrubMetrics registers the scrubber instruments; nil registry
+// yields a nil bundle.
+func NewScrubMetrics(r *Registry) *ScrubMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ScrubMetrics{
+		Passes:      r.Counter("hidestore_scrub_passes_total", "full scrub passes completed"),
+		Containers:  r.Counter("hidestore_scrub_containers_total", "container images verified by the scrubber"),
+		Chunks:      r.Counter("hidestore_scrub_chunks_total", "stored chunks content-verified by the scrubber"),
+		Bytes:       r.Counter("hidestore_scrub_bytes_total", "payload bytes content-verified by the scrubber"),
+		Corruptions: r.Counter("hidestore_scrub_corruptions_total", "containers found corrupt by the scrubber"),
+		Quarantined: r.Counter("hidestore_scrub_quarantined_total", "corrupt containers quarantined by the scrubber"),
 	}
 }
 

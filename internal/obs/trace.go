@@ -45,7 +45,8 @@ type Tracer struct {
 	closer io.Closer
 	anchor time.Time
 	nextID atomic.Uint64
-	err    error // sticky: first write failure, reported by Close
+	open   atomic.Int64 // spans started but not yet ended
+	err    error        // sticky: first write failure, reported by Close
 }
 
 // NewTracer writes JSONL records to w, starting with a "trace.open"
@@ -103,7 +104,21 @@ func (t *Tracer) Start(name string, parent *Span) *Span {
 	if parent != nil {
 		s.parent = parent.id
 	}
+	t.open.Add(1)
 	return s
+}
+
+// OpenSpans reports how many spans have been started but not yet
+// ended. A span only writes its record at End, so a leaked span is
+// invisible in the JSONL stream — this counter is the balance check:
+// between operations a healthy tracer reads 0, and any code path that
+// abandons a started span (an early error return, say) shows up as a
+// persistent imbalance. Zero on a nil tracer.
+func (t *Tracer) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.open.Load()
 }
 
 // SetAttr attaches a small integer attribute (version, cid, bytes,
@@ -129,6 +144,7 @@ func (s *Span) End() {
 	s.mu.Lock()
 	attrs := s.attrs
 	s.mu.Unlock()
+	s.t.open.Add(-1)
 	s.t.emit(TraceRecord{
 		ID:     s.id,
 		Parent: s.parent,

@@ -75,31 +75,28 @@ func (a *ALACC) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetch
 		return stats, err
 	}
 	counted := &countingFetcher{inner: fetch, stats: &stats}
+	asm := newAssembler(w, &stats)
+	err := a.restore(ctx, entries, counted, &stats, asm)
+	err = asm.finish(err)
+	return stats, err
+}
+
+// restore keeps ALACC's two-pass area structure — all of an area's
+// cache lookups strictly precede its fetches and insertions, so the
+// cache's recency state and the fetch sequence are identical to the
+// buffered implementation — but defers the chunk copies: pass 1
+// records hit payloads, pass 2 fetches and cache-inserts, and a final
+// walk emits the area in stream order through the assembler.
+func (a *ALACC) restore(ctx context.Context, entries []recipe.Entry, counted Fetcher, stats *Stats, asm assembler) error {
 	cache, err := lru.New[fp.FP, []byte](a.opts.CacheBytes)
 	if err != nil {
-		return stats, err
+		return err
 	}
 	areaBytes := a.opts.AreaBytes
-	area := make([]byte, 0, areaBytes)
 	pos := 0
 	var areaHits, areaMisses uint64
 	for pos < len(entries) {
-		// Carve the next assembly area.
-		var slots []slot
-		used := 0
-		for pos < len(entries) {
-			size := int(entries[pos].Size)
-			if len(slots) > 0 && used+size > areaBytes {
-				break
-			}
-			slots = append(slots, slot{offset: used, size: size, entry: entries[pos]})
-			used += size
-			pos++
-		}
-		if cap(area) < used {
-			area = make([]byte, used)
-		}
-		area = area[:used]
+		slots := carveArea(entries, &pos, areaBytes)
 
 		// Build the look-ahead reference set: fingerprints needed within
 		// LookAheadBytes after the area.
@@ -111,40 +108,39 @@ func (a *ALACC) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetch
 		}
 
 		// Pass 1: serve slots from the chunk cache.
-		unfilled := make(map[container.ID][]slot)
+		hit := make([]bool, len(slots))
+		fill := make([][]byte, len(slots))
+		unfilled := make(map[container.ID][]int)
 		order := make([]container.ID, 0, 8)
-		for _, s := range slots {
-			if data, ok := cache.Get(s.entry.FP); ok {
-				copy(area[s.offset:], data)
+		for i, e := range slots {
+			if data, ok := cache.Get(e.FP); ok {
+				hit[i], fill[i] = true, data
 				stats.CacheHits++
 				stats.Chunks++
 				areaHits++
 				continue
 			}
 			areaMisses++
-			id := container.ID(s.entry.CID)
+			id := container.ID(e.CID)
 			if _, seen := unfilled[id]; !seen {
 				order = append(order, id)
 			}
-			unfilled[id] = append(unfilled[id], s)
+			unfilled[id] = append(unfilled[id], i)
 		}
 		// Pass 2: one read per remaining container.
+		ctns := make(map[container.ID]*container.Container, len(order))
 		for _, id := range order {
 			if err := ctx.Err(); err != nil {
-				return stats, err
+				return err
 			}
 			ctn, err := counted.Get(ctx, id)
 			if err != nil {
-				return stats, err
+				return err
 			}
+			ctns[id] = ctn
 			needed := make(map[fp.FP]struct{}, len(unfilled[id]))
-			for _, s := range unfilled[id] {
-				data, err := ctn.Get(s.entry.FP)
-				if err != nil {
-					return stats, fmt.Errorf("restore: container %d: %w", id, err)
-				}
-				copy(area[s.offset:], data)
-				needed[s.entry.FP] = struct{}{}
+			for _, i := range unfilled[id] {
+				needed[slots[i].FP] = struct{}{}
 			}
 			stats.CacheHits += uint64(len(unfilled[id]) - 1)
 			stats.Chunks += uint64(len(unfilled[id]))
@@ -162,15 +158,24 @@ func (a *ALACC) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetch
 				}
 				data, err := ctn.Get(f)
 				if err != nil {
-					return stats, fmt.Errorf("restore: container %d: %w", id, err)
+					return fmt.Errorf("restore: container %d: %w", id, err)
 				}
 				cache.Add(f, data, int64(len(data)))
 			}
 		}
-		if _, err := w.Write(area); err != nil {
-			return stats, fmt.Errorf("restore: write: %w", err)
+		// Emission: the area in stream order, cache hits and fetched
+		// containers interleaved.
+		for i, e := range slots {
+			var err error
+			if hit[i] {
+				err = asm.cached(fill[i], e)
+			} else {
+				err = asm.chunk(ctns[container.ID(e.CID)], e)
+			}
+			if err != nil {
+				return err
+			}
 		}
-		stats.BytesRestored += uint64(used)
 
 		// Adaptation: rebalance area vs cache budget every area using the
 		// observed hit ratio.
@@ -189,5 +194,5 @@ func (a *ALACC) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetch
 			areaHits, areaMisses = 0, 0
 		}
 	}
-	return stats, nil
+	return nil
 }

@@ -1,0 +1,386 @@
+package restorecache
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hidestore/internal/container"
+	"hidestore/internal/obs"
+	"hidestore/internal/recipe"
+)
+
+// spanTargetBytes is the assembly span granularity: policies emit copy
+// instructions in stream order, the assembler batches them into spans
+// of roughly this many payload bytes, and each span becomes one Write
+// on the destination (and, in parallel mode, one unit of worker work —
+// large enough to amortize handoff, small enough that the reorder
+// window stays a few megabytes).
+const spanTargetBytes = 1 << 20
+
+// assemblyOp is one pending copy instruction: either "copy chunk e out
+// of src" (src != nil) or "the payload is already in hand" (a chunk
+// cache hit). Holding the *container.Container rather than copied
+// bytes is what lets the copy itself move off the policy goroutine;
+// containers are immutable while a restore runs, so concurrent Gets
+// from span workers are safe.
+type assemblyOp struct {
+	src  *container.Container
+	data []byte
+	e    recipe.Entry
+}
+
+// assembler receives a restore's chunk sequence in stream order and
+// materializes it on the destination writer. The split keeps the cache
+// policy the single decision-maker — which container to fetch, what to
+// cache — while the byte movement becomes a pluggable stage: serial
+// (inline copies, as before) or parallel (a worker pool filling spans
+// out of order behind an in-order reorder window).
+//
+// The policy must call finish exactly once — with its error, or nil on
+// success — and must not use the assembler afterwards. finish returns
+// the error the restore should report; the assembler owns the
+// destination writes and Stats.BytesRestored on every path.
+type assembler interface {
+	// chunk schedules chunk e to be copied out of src.
+	chunk(src *container.Container, e recipe.Entry) error
+	// cached schedules an already-materialized payload (a chunk cache
+	// hit). data must stay immutable until finish returns.
+	cached(data []byte, e recipe.Entry) error
+	// finish flushes (err == nil) or discards pending work, stops any
+	// workers, and returns the restore's error.
+	finish(err error) error
+}
+
+// newAssembler selects the assembly stage for w: a *ParallelWriter
+// with Workers > 1 gets the out-of-order pool, anything else the
+// inline serial path.
+func newAssembler(w io.Writer, stats *Stats) assembler {
+	if pw, ok := w.(*ParallelWriter); ok && pw.opts.Workers > 1 {
+		return newParallelAssembler(pw, stats)
+	}
+	return &serialAssembler{w: w, stats: stats}
+}
+
+// copyChunk materializes one chunk instruction, enforcing the recipe's
+// size so a corrupt payload cannot silently shift every later byte.
+func copyChunk(src *container.Container, e recipe.Entry) ([]byte, error) {
+	data, err := src.Get(e.FP)
+	if err != nil {
+		return nil, fmt.Errorf("restore: container %d: %w", src.ID(), err)
+	}
+	if len(data) != int(e.Size) {
+		return nil, fmt.Errorf("restore: chunk %s size %d, recipe says %d",
+			e.FP.Short(), len(data), e.Size)
+	}
+	return data, nil
+}
+
+// serialAssembler copies inline on the policy goroutine and batches
+// output into span-sized Writes.
+type serialAssembler struct {
+	w     io.Writer
+	stats *Stats
+	buf   []byte
+}
+
+func (s *serialAssembler) chunk(src *container.Container, e recipe.Entry) error {
+	data, err := copyChunk(src, e)
+	if err != nil {
+		return err
+	}
+	return s.append(data)
+}
+
+func (s *serialAssembler) cached(data []byte, _ recipe.Entry) error {
+	return s.append(data)
+}
+
+func (s *serialAssembler) append(data []byte) error {
+	s.buf = append(s.buf, data...)
+	if len(s.buf) >= spanTargetBytes {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *serialAssembler) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		return fmt.Errorf("restore: write: %w", err)
+	}
+	s.stats.BytesRestored += uint64(len(s.buf))
+	s.buf = s.buf[:0]
+	return nil
+}
+
+func (s *serialAssembler) finish(err error) error {
+	if err != nil {
+		return err
+	}
+	return s.flush()
+}
+
+// ParallelOptions configures a ParallelWriter.
+type ParallelOptions struct {
+	// Workers is the number of span-assembly goroutines; values below 2
+	// keep assembly inline (serial).
+	Workers int
+	// Metrics, when set, exposes the pool's occupancy, span count and
+	// the writer's in-order stall latency.
+	Metrics *obs.RestoreMetrics
+}
+
+// ParallelWriter marks a restore destination as eligible for parallel
+// out-of-order assembly. Policies hand their stream to newAssembler,
+// which recognizes the wrapper; code that treats it as a plain
+// io.Writer still restores correctly (Write passes through), so the
+// wrapper is always safe to install.
+type ParallelWriter struct {
+	w    io.Writer
+	opts ParallelOptions
+}
+
+// NewParallelWriter wraps w for parallel assembly with opts.
+func NewParallelWriter(w io.Writer, opts ParallelOptions) *ParallelWriter {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	return &ParallelWriter{w: w, opts: opts}
+}
+
+// Write implements io.Writer by passing through.
+func (p *ParallelWriter) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+// errAssemblyAborted tells the policy the writer already failed, so
+// fetching further containers is pointless; finish maps it back to the
+// writer's real error.
+var errAssemblyAborted = errors.New("restorecache: assembly aborted")
+
+// spanItem is one span moving through the pool: ops in, buf out. seq
+// is its position in the stream; the writer only releases spans in seq
+// order, so the output is byte-identical to serial assembly no matter
+// how workers interleave.
+type spanItem struct {
+	seq  int
+	ops  []assemblyOp
+	size int
+	buf  []byte
+	err  error
+}
+
+// parallelAssembler fans span filling out to a worker pool and merges
+// the results back in order:
+//
+//	policy ──credit──▶ work ──▶ workers ──▶ filled ──▶ writer ──▶ w
+//
+// The credit semaphore bounds how many spans exist between dispatch
+// and the writer's in-order release (the reorder window), mirroring
+// the backup sink's credit-bounded reorder map: dispatch acquires one
+// credit per span, the writer releases it after the span is written or
+// discarded — on every path — so at most `window` spans (a few MB plus
+// their container references) are ever in flight and dispatch
+// backpressures instead of ballooning. `filled` has the window as its
+// capacity, so worker hand-off never blocks and close(work) is all
+// finish needs to drain the pool.
+//
+// Accounting is untouched by construction: workers only copy out of
+// containers the policy already fetched through its counting layer —
+// no code here calls a Fetcher — so worker count can never change
+// which containers are read, or how often.
+type parallelAssembler struct {
+	pw    *ParallelWriter
+	stats *Stats
+	mx    *obs.RestoreMetrics
+
+	cur     *spanItem
+	seq     int
+	credits chan struct{}
+	work    chan *spanItem
+	filled  chan *spanItem
+
+	wg         sync.WaitGroup
+	writerDone chan struct{}
+	// err is the first error in stream order (a span's fill failure or
+	// a destination write failure). Written only by the writer
+	// goroutine; read by finish after writerDone closes.
+	err     error
+	aborted atomic.Bool
+}
+
+func newParallelAssembler(pw *ParallelWriter, stats *Stats) *parallelAssembler {
+	workers := pw.opts.Workers
+	window := 2*workers + 2
+	a := &parallelAssembler{
+		pw:         pw,
+		stats:      stats,
+		mx:         pw.opts.Metrics,
+		credits:    make(chan struct{}, window),
+		work:       make(chan *spanItem),
+		filled:     make(chan *spanItem, window),
+		writerDone: make(chan struct{}),
+	}
+	a.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go a.worker()
+	}
+	go a.writer()
+	return a
+}
+
+func (a *parallelAssembler) chunk(src *container.Container, e recipe.Entry) error {
+	return a.add(assemblyOp{src: src, e: e}, int(e.Size))
+}
+
+func (a *parallelAssembler) cached(data []byte, e recipe.Entry) error {
+	return a.add(assemblyOp{data: data, e: e}, len(data))
+}
+
+func (a *parallelAssembler) add(o assemblyOp, size int) error {
+	if a.aborted.Load() {
+		return errAssemblyAborted
+	}
+	if a.cur == nil {
+		a.cur = &spanItem{seq: a.seq}
+		a.seq++
+	}
+	a.cur.ops = append(a.cur.ops, o)
+	a.cur.size += size
+	if a.cur.size >= spanTargetBytes {
+		a.dispatch()
+	}
+	return nil
+}
+
+// dispatch hands the current span to the pool. Blocking on credits is
+// deadlock-free: the writer releases one credit per span on every
+// path, and the pool drains independently of the dispatcher.
+func (a *parallelAssembler) dispatch() {
+	it := a.cur
+	a.cur = nil
+	a.credits <- struct{}{}
+	if a.mx != nil {
+		a.mx.AssemblySpans.Inc()
+	}
+	a.work <- it
+}
+
+func (a *parallelAssembler) worker() {
+	defer a.wg.Done()
+	for it := range a.work {
+		if !a.aborted.Load() {
+			if a.mx != nil {
+				a.mx.AssemblyWorkersBusy.Add(1)
+			}
+			fillSpan(it)
+			if a.mx != nil {
+				a.mx.AssemblyWorkersBusy.Add(-1)
+			}
+		}
+		// After an abort the span passes through unfilled: seq must stay
+		// contiguous so the writer can keep draining and releasing
+		// credits. The send never blocks — filled's capacity equals the
+		// credit window.
+		a.filled <- it
+	}
+}
+
+// fillSpan materializes a span's instructions into its buffer.
+func fillSpan(it *spanItem) {
+	buf := make([]byte, 0, it.size)
+	for _, o := range it.ops {
+		data := o.data
+		if o.src != nil {
+			var err error
+			data, err = copyChunk(o.src, o.e)
+			if err != nil {
+				it.err = err
+				it.ops = nil
+				return
+			}
+		}
+		buf = append(buf, data...)
+	}
+	it.buf = buf
+	it.ops = nil // release the container references with the copy done
+}
+
+// writer drains filled spans into a reorder map and releases them to
+// the destination strictly in seq order.
+func (a *parallelAssembler) writer() {
+	defer close(a.writerDone)
+	park := make(map[int]*spanItem)
+	next := 0
+	for {
+		// A blocking wait with parked out-of-order spans is an assembly
+		// stall: the pipeline produced work but not the span the output
+		// needs next.
+		var stalled time.Time
+		if a.mx != nil && len(park) > 0 {
+			stalled = time.Now()
+		}
+		it, ok := <-a.filled
+		if !ok {
+			return
+		}
+		if !stalled.IsZero() {
+			a.mx.AssemblyStallNS.Observe(uint64(time.Since(stalled)))
+		}
+		park[it.seq] = it
+		for {
+			n, ok := park[next]
+			if !ok {
+				break
+			}
+			delete(park, next)
+			next++
+			a.release(n)
+		}
+	}
+}
+
+// release writes one in-order span (or discards it after a failure)
+// and returns its credit.
+func (a *parallelAssembler) release(it *spanItem) {
+	defer func() { <-a.credits }()
+	it.ops = nil
+	if a.err != nil {
+		return // a prior span already failed; discard
+	}
+	if it.err != nil {
+		a.err = it.err
+		a.aborted.Store(true)
+		return
+	}
+	if _, err := a.pw.w.Write(it.buf); err != nil {
+		a.err = fmt.Errorf("restore: write: %w", err)
+		a.aborted.Store(true)
+		return
+	}
+	a.stats.BytesRestored += uint64(len(it.buf))
+}
+
+func (a *parallelAssembler) finish(err error) error {
+	if err == nil && a.cur != nil {
+		a.dispatch()
+	}
+	a.cur = nil
+	close(a.work)
+	a.wg.Wait()
+	close(a.filled)
+	<-a.writerDone
+	// The writer's error is earlier in stream order than anything the
+	// policy hit afterwards (and is what errAssemblyAborted stands for).
+	if a.err != nil {
+		return a.err
+	}
+	if errors.Is(err, errAssemblyAborted) {
+		return nil // unreachable: aborted implies a.err != nil
+	}
+	return err
+}

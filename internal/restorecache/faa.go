@@ -2,7 +2,6 @@ package restorecache
 
 import (
 	"context"
-	"fmt"
 	"io"
 
 	"hidestore/internal/container"
@@ -34,11 +33,21 @@ func NewFAA(areaBytes int) *FAA {
 // Name implements Cache.
 func (f *FAA) Name() string { return "faa" }
 
-// slot is one chunk's place within the current assembly area.
-type slot struct {
-	offset int
-	size   int
-	entry  recipe.Entry
+// carveArea advances pos past as many entries as fit in areaBytes
+// (always at least one, so oversized chunks still restore) and returns
+// the carved slice.
+func carveArea(entries []recipe.Entry, pos *int, areaBytes int) []recipe.Entry {
+	start := *pos
+	used := 0
+	for *pos < len(entries) {
+		size := int(entries[*pos].Size)
+		if *pos > start && used+size > areaBytes {
+			break
+		}
+		used += size
+		*pos++
+	}
+	return entries[start:*pos]
 }
 
 // Restore implements Cache.
@@ -48,64 +57,57 @@ func (f *FAA) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher
 		return stats, err
 	}
 	counted := &countingFetcher{inner: fetch, stats: &stats}
-	area := make([]byte, f.AreaBytes)
+	asm := newAssembler(w, &stats)
+	err := f.restore(ctx, entries, counted, &stats, asm)
+	err = asm.finish(err)
+	return stats, err
+}
+
+// restore emits the stream through asm: containers are still fetched
+// once per area in first-appearance order (the read sequence and its
+// accounting are identical to the buffered implementation), but chunk
+// copies go to the assembler in stream order instead of into a private
+// area buffer, so the copy stage can run serially or in parallel.
+func (f *FAA) restore(ctx context.Context, entries []recipe.Entry, counted Fetcher, stats *Stats, asm assembler) error {
 	pos := 0
 	for pos < len(entries) {
-		// Carve the next assembly area: as many entries as fit in
-		// AreaBytes (always at least one, so oversized chunks still
-		// restore).
-		var slots []slot
-		used := 0
-		for pos < len(entries) {
-			size := int(entries[pos].Size)
-			if len(slots) > 0 && used+size > f.AreaBytes {
-				break
-			}
-			slots = append(slots, slot{offset: used, size: size, entry: entries[pos]})
-			used += size
-			pos++
+		slots := carveArea(entries, &pos, f.AreaBytes)
+		// Per-area bookkeeping: how many slots each container serves
+		// (for the hit accounting) and where its last slot sits (so the
+		// fetched container is released as soon as its chunks are out).
+		group := make(map[container.ID]int, 8)
+		lastAt := make(map[container.ID]int, 8)
+		for i, e := range slots {
+			id := container.ID(e.CID)
+			group[id]++
+			lastAt[id] = i
 		}
-		if used > len(area) {
-			area = make([]byte, used)
-		}
-		// Group the area's slots by container and fill container by
-		// container: one read each.
-		byContainer := make(map[container.ID][]slot)
-		order := make([]container.ID, 0, 8)
-		for _, s := range slots {
-			id := container.ID(s.entry.CID)
-			if _, seen := byContainer[id]; !seen {
-				order = append(order, id)
-			}
-			byContainer[id] = append(byContainer[id], s)
-		}
-		for _, id := range order {
+		ctns := make(map[container.ID]*container.Container, len(group))
+		for i, e := range slots {
 			if err := ctx.Err(); err != nil {
-				return stats, err
+				return err
 			}
-			ctn, err := counted.Get(ctx, id)
-			if err != nil {
-				return stats, err
-			}
-			for _, s := range byContainer[id] {
-				data, err := ctn.Get(s.entry.FP)
+			id := container.ID(e.CID)
+			ctn, ok := ctns[id]
+			if !ok {
+				var err error
+				ctn, err = counted.Get(ctx, id)
 				if err != nil {
-					return stats, fmt.Errorf("restore: container %d: %w", id, err)
+					return err
 				}
-				if len(data) != s.size {
-					return stats, fmt.Errorf("restore: chunk %s size %d, recipe says %d",
-						s.entry.FP.Short(), len(data), s.size)
-				}
-				copy(area[s.offset:], data)
+				ctns[id] = ctn
+				// All of this container's slots beyond the first are
+				// served by the same read.
+				stats.CacheHits += uint64(group[id] - 1)
+				stats.Chunks += uint64(group[id])
 			}
-			// All slots beyond the first are served by the same read.
-			stats.CacheHits += uint64(len(byContainer[id]) - 1)
-			stats.Chunks += uint64(len(byContainer[id]))
+			if err := asm.chunk(ctn, e); err != nil {
+				return err
+			}
+			if lastAt[id] == i {
+				delete(ctns, id)
+			}
 		}
-		if _, err := w.Write(area[:used]); err != nil {
-			return stats, fmt.Errorf("restore: write: %w", err)
-		}
-		stats.BytesRestored += uint64(used)
 	}
-	return stats, nil
+	return nil
 }

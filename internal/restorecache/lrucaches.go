@@ -43,13 +43,20 @@ func (c *ContainerLRU) Restore(ctx context.Context, entries []recipe.Entry, fetc
 		return stats, err
 	}
 	counted := &countingFetcher{inner: fetch, stats: &stats}
+	asm := newAssembler(w, &stats)
+	err := c.restore(ctx, entries, counted, &stats, asm)
+	err = asm.finish(err)
+	return stats, err
+}
+
+func (c *ContainerLRU) restore(ctx context.Context, entries []recipe.Entry, counted Fetcher, stats *Stats, asm assembler) error {
 	cache, err := lru.New[container.ID, *container.Container](int64(c.CacheContainers))
 	if err != nil {
-		return stats, err
+		return err
 	}
 	for _, e := range entries {
 		if err := ctx.Err(); err != nil {
-			return stats, err
+			return err
 		}
 		id := container.ID(e.CID)
 		ctn, ok := cache.Get(id)
@@ -58,21 +65,16 @@ func (c *ContainerLRU) Restore(ctx context.Context, entries []recipe.Entry, fetc
 		} else {
 			ctn, err = counted.Get(ctx, id)
 			if err != nil {
-				return stats, err
+				return err
 			}
 			cache.Add(id, ctn, 1)
 		}
-		data, err := ctn.Get(e.FP)
-		if err != nil {
-			return stats, fmt.Errorf("restore: container %d: %w", id, err)
+		if err := asm.chunk(ctn, e); err != nil {
+			return err
 		}
-		if _, err := w.Write(data); err != nil {
-			return stats, fmt.Errorf("restore: write: %w", err)
-		}
-		stats.BytesRestored += uint64(len(data))
 		stats.Chunks++
 	}
-	return stats, nil
+	return nil
 }
 
 // ChunkLRU restores through a byte-budgeted LRU cache of individual
@@ -105,25 +107,30 @@ func (c *ChunkLRU) Restore(ctx context.Context, entries []recipe.Entry, fetch Fe
 		return stats, err
 	}
 	counted := &countingFetcher{inner: fetch, stats: &stats}
+	asm := newAssembler(w, &stats)
+	err := c.restore(ctx, entries, counted, &stats, asm)
+	err = asm.finish(err)
+	return stats, err
+}
+
+func (c *ChunkLRU) restore(ctx context.Context, entries []recipe.Entry, counted Fetcher, stats *Stats, asm assembler) error {
 	cache, err := lru.New[fp.FP, []byte](c.CacheBytes)
 	if err != nil {
-		return stats, err
+		return err
 	}
 	for _, e := range entries {
 		if err := ctx.Err(); err != nil {
-			return stats, err
+			return err
 		}
-		data, ok := cache.Get(e.FP)
-		if ok {
+		if data, ok := cache.Get(e.FP); ok {
 			stats.CacheHits++
+			if err := asm.cached(data, e); err != nil {
+				return err
+			}
 		} else {
 			ctn, err := counted.Get(ctx, container.ID(e.CID))
 			if err != nil {
-				return stats, err
-			}
-			data, err = ctn.Get(e.FP)
-			if err != nil {
-				return stats, fmt.Errorf("restore: container %d: %w", ctn.ID(), err)
+				return err
 			}
 			// Insert every chunk of the fetched container: stream
 			// locality makes neighbours likely to be needed soon. A tiny
@@ -132,18 +139,17 @@ func (c *ChunkLRU) Restore(ctx context.Context, entries []recipe.Entry, fetch Fe
 			for _, f := range ctn.Fingerprints() {
 				payload, err := ctn.Get(f)
 				if err != nil {
-					return stats, fmt.Errorf("restore: container %d: %w", ctn.ID(), err)
+					return fmt.Errorf("restore: container %d: %w", ctn.ID(), err)
 				}
 				cache.Add(f, payload, int64(len(payload)))
 			}
+			if err := asm.chunk(ctn, e); err != nil {
+				return err
+			}
 		}
-		if _, err := w.Write(data); err != nil {
-			return stats, fmt.Errorf("restore: write: %w", err)
-		}
-		stats.BytesRestored += uint64(len(data))
 		stats.Chunks++
 	}
-	return stats, nil
+	return nil
 }
 
 // OPT is Belady's optimal container cache: with the full recipe known in
@@ -175,6 +181,13 @@ func (o *OPT) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher
 		return stats, err
 	}
 	counted := &countingFetcher{inner: fetch, stats: &stats}
+	asm := newAssembler(w, &stats)
+	err := o.restore(ctx, entries, counted, &stats, asm)
+	err = asm.finish(err)
+	return stats, err
+}
+
+func (o *OPT) restore(ctx context.Context, entries []recipe.Entry, counted Fetcher, stats *Stats, asm assembler) error {
 	// Precompute, for each position, the next position at which the same
 	// container is used again.
 	nextUse := make([]int, len(entries))
@@ -194,7 +207,7 @@ func (o *OPT) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher
 	future := make(map[container.ID]int)
 	for i, e := range entries {
 		if err := ctx.Err(); err != nil {
-			return stats, err
+			return err
 		}
 		id := container.ID(e.CID)
 		future[id] = nextUse[i]
@@ -205,7 +218,7 @@ func (o *OPT) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher
 			var err error
 			ctn, err = counted.Get(ctx, id)
 			if err != nil {
-				return stats, err
+				return err
 			}
 			if len(cached) >= o.CacheContainers {
 				// Evict the container used farthest in the future.
@@ -225,15 +238,10 @@ func (o *OPT) Restore(ctx context.Context, entries []recipe.Entry, fetch Fetcher
 			}
 			cached[id] = ctn
 		}
-		data, err := ctn.Get(e.FP)
-		if err != nil {
-			return stats, fmt.Errorf("restore: container %d: %w", id, err)
+		if err := asm.chunk(ctn, e); err != nil {
+			return err
 		}
-		if _, err := w.Write(data); err != nil {
-			return stats, fmt.Errorf("restore: write: %w", err)
-		}
-		stats.BytesRestored += uint64(len(data))
 		stats.Chunks++
 	}
-	return stats, nil
+	return nil
 }

@@ -44,7 +44,6 @@ func ObserveFetcher(inner Fetcher, mx *obs.RestoreMetrics, tracer *obs.Tracer, p
 
 // Get implements Fetcher.
 func (o *observedFetcher) Get(ctx context.Context, id container.ID) (*container.Container, error) {
-	span := o.tracer.Start("container.fetch", o.parent)
 	start := time.Now()
 	c, err := o.inner.Get(ctx, id)
 	if err != nil {
@@ -54,10 +53,12 @@ func (o *observedFetcher) Get(ctx context.Context, id container.ID) (*container.
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	if span != nil {
-		span.SetAttr("cid", int64(id))
-		span.End()
-	}
+	// The span is emitted only after the read succeeds (EmitStage writes
+	// the same record a Start/End pair would): a failed read must leave
+	// no "container.fetch" record *and* no dangling open span — the
+	// trace's span count equals Stats.ContainerReads exactly, and the
+	// tracer's open-span balance stays zero on every path.
+	o.tracer.EmitStage("container.fetch", o.parent, start, elapsed, map[string]int64{"cid": int64(id)})
 	if o.mx != nil {
 		o.mx.ContainerReads.Inc()
 		o.mx.ContainerFetchNS.Observe(uint64(elapsed))

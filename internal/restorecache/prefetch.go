@@ -2,6 +2,7 @@ package restorecache
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -54,6 +55,11 @@ type PrefetchFetcher struct {
 	// in stash with their window occupancy held until Close.
 	pos   map[container.ID]int
 	depth int
+	// workers widens the fetch pool independently of the window: the
+	// effective fetch parallelism is min(workers, depth, len(plan)),
+	// because the dispatcher never runs more than depth items ahead of
+	// consumption. 0 selects depth (the historical coupling).
+	workers int
 
 	start   sync.Once
 	cancel  context.CancelFunc
@@ -78,12 +84,29 @@ type fetchOutcome struct {
 	err error
 }
 
+// Item states: a worker must take the item before touching the
+// backend, and an awaiter that finds the pipeline dead must abandon it
+// before reading through — the CAS decides which side performs the
+// read, so it happens exactly once.
+const (
+	itemIdle      int32 = iota // dispatched; no worker has picked it up
+	itemTaken                  // a worker owns it and will deliver exactly one outcome
+	itemAbandoned              // the awaiter read through; workers must skip it
+)
+
 // prefetchItem tracks one planned read; ch has capacity 1 so workers
 // never block delivering.
 type prefetchItem struct {
-	id container.ID
-	ch chan fetchOutcome
+	id    container.ID
+	ch    chan fetchOutcome
+	state atomic.Int32
 }
+
+// tryTake claims the item for a worker fetch.
+func (it *prefetchItem) tryTake() bool { return it.state.CompareAndSwap(itemIdle, itemTaken) }
+
+// abandon claims the item for an awaiter read-through.
+func (it *prefetchItem) abandon() bool { return it.state.CompareAndSwap(itemIdle, itemAbandoned) }
 
 // NewPrefetchFetcher plans read-ahead over the resolved entries: the
 // distinct containers in first-appearance order. depth <= 0 selects
@@ -147,7 +170,10 @@ func (p *PrefetchFetcher) run(ctx context.Context) {
 		}
 		return nil
 	})
-	workers := p.depth
+	workers := p.workers
+	if workers <= 0 {
+		workers = p.depth
+	}
 	if workers > len(plan) {
 		workers = len(plan)
 	}
@@ -158,6 +184,9 @@ func (p *PrefetchFetcher) run(ctx context.Context) {
 				case it, ok := <-work:
 					if !ok {
 						return nil
+					}
+					if !it.tryTake() {
+						continue // its awaiter already read through
 					}
 					ctn, err := p.inner.Get(gctx, it.id)
 					it.ch <- fetchOutcome{ctn: ctn, err: err}
@@ -226,22 +255,56 @@ func (p *PrefetchFetcher) drainSkipped(k int) {
 
 // await blocks for it's outcome, abandoning the wait if either the
 // caller's context or the pipeline is done.
+//
+// On pipeline shutdown the awaiter races the item's worker: the worker
+// may be mid-fetch (its outcome will still land in the buffered it.ch)
+// or may never pick the item up. A non-blocking peek can't tell those
+// apart — reading through while a fetch was in flight cost a second,
+// uncounted backend read (backend Meter ops diverged from
+// Stats.ContainerReads under cancellation). The item's state machine
+// decides definitively: abandon() succeeding proves no worker has — or
+// ever will — fetch it, so exactly one side issues the read.
 func (p *PrefetchFetcher) await(ctx context.Context, it *prefetchItem) (*container.Container, error) {
 	select {
 	case out := <-it.ch:
-		return out.ctn, out.err
+		return p.settle(ctx, it, out)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-p.pipeCtx.Done():
-		// The item was dispatched but its worker may have bailed before
-		// fetching; take the outcome if one made it, else read through.
+		// Definitive re-check: an outcome may have landed between the
+		// pipeline dying and this branch winning the select.
 		select {
 		case out := <-it.ch:
-			return out.ctn, out.err
+			return p.settle(ctx, it, out)
 		default:
+		}
+		if it.abandon() {
+			// No worker took the item and tryTake now fails for it, so
+			// one direct read keeps the backend count at one.
 			return p.inner.Get(ctx, it.id)
 		}
+		// A worker owns the item; it delivers exactly one outcome even
+		// when its fetch fails, and reading through before that lands
+		// would double-fetch.
+		select {
+		case out := <-it.ch:
+			return p.settle(ctx, it, out)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+}
+
+// settle maps a worker-delivered outcome to the caller. A fetch the
+// pipeline's own cancellation aborted — while the caller is still
+// live — never reached a useful read, so it is retried directly,
+// preserving the read-through semantics the policy sees when the
+// pipeline stops for any other reason.
+func (p *PrefetchFetcher) settle(ctx context.Context, it *prefetchItem, out fetchOutcome) (*container.Container, error) {
+	if out.err != nil && errors.Is(out.err, context.Canceled) && ctx.Err() == nil {
+		return p.inner.Get(ctx, it.id)
+	}
+	return out.ctn, out.err
 }
 
 // windowEnter marks one container entering the read-ahead window.
@@ -307,10 +370,22 @@ func MaybePrefetch(fetch Fetcher, entries []recipe.Entry, depth int) (Fetcher, f
 // MaybePrefetchObserved is MaybePrefetch with the read-ahead window
 // wired into mx (nil for no instrumentation).
 func MaybePrefetchObserved(fetch Fetcher, entries []recipe.Entry, depth int, mx *obs.RestoreMetrics) (Fetcher, func()) {
+	return MaybePrefetchParallel(fetch, entries, depth, 0, mx)
+}
+
+// MaybePrefetchParallel is MaybePrefetchObserved with an explicit
+// fetch-pool width: workers <= 0 keeps the historical coupling (pool
+// width = depth), larger values widen the pool for the parallel
+// restore mode. The effective fetch parallelism stays bounded by the
+// read-ahead window — min(workers, depth, distinct containers) — so
+// the window, not the pool, remains the memory bound. Which containers
+// are read, and how often, is unchanged by either knob.
+func MaybePrefetchParallel(fetch Fetcher, entries []recipe.Entry, depth, workers int, mx *obs.RestoreMetrics) (Fetcher, func()) {
 	if depth < 0 {
 		return fetch, func() {}
 	}
 	pf := NewPrefetchFetcher(fetch, entries, depth)
+	pf.workers = workers
 	pf.Observe(mx)
 	return pf, pf.Close
 }

@@ -1,0 +1,255 @@
+package hidestore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"hidestore/internal/obs"
+)
+
+// TestParallelRestoreIdentity pins the parallel restore mode's
+// system-level contract: with RestoreWorkers > 1 every version
+// restores byte-identically to the serial system, the per-restore
+// accounting (ContainerReads, BytesRestored) is unchanged, and the
+// observability identity still holds — trace container.fetch spans ==
+// Stats reads == the registry counter — because counting stays at the
+// single policy-request layer no matter how many workers copy chunks.
+func TestParallelRestoreIdentity(t *testing.T) {
+	versions := testVersions(t, 4)
+	run := func(workers int) ([][]byte, []RestoreReport, uint64, uint64) {
+		var traceBuf bytes.Buffer
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(&traceBuf)
+		sys, err := Open(Config{Metrics: reg, Tracer: tracer, RestoreWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for _, v := range versions {
+			if _, err := sys.Backup(ctx, bytes.NewReader(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var outs [][]byte
+		var reps []RestoreReport
+		for i := range versions {
+			var buf bytes.Buffer
+			rep, err := sys.Restore(ctx, i+1, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, buf.Bytes())
+			reps = append(reps, rep)
+		}
+		if err := tracer.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := obs.SummarizeTrace(bytes.NewReader(traceBuf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := uint64(sum.SpanCount("container.fetch"))
+		counter := uint64(reg.Snapshot().Counters["hidestore_restore_container_reads_total"].Value)
+		return outs, reps, spans, counter
+	}
+
+	serialOut, serialReps, _, _ := run(0)
+	for _, workers := range []int{2, 8} {
+		parOut, parReps, spans, counter := run(workers)
+		var statsReads uint64
+		for i := range versions {
+			if !bytes.Equal(parOut[i], serialOut[i]) {
+				t.Fatalf("workers=%d: version %d differs from serial restore (%d vs %d bytes)",
+					workers, i+1, len(parOut[i]), len(serialOut[i]))
+			}
+			if !bytes.Equal(parOut[i], versions[i]) {
+				t.Fatalf("workers=%d: version %d differs from the backed-up stream", workers, i+1)
+			}
+			if parReps[i].ContainerReads != serialReps[i].ContainerReads {
+				t.Fatalf("workers=%d: version %d ContainerReads = %d, serial = %d",
+					workers, i+1, parReps[i].ContainerReads, serialReps[i].ContainerReads)
+			}
+			statsReads += parReps[i].ContainerReads
+		}
+		if spans != statsReads || counter != statsReads {
+			t.Errorf("workers=%d: accounting identity broken: %d spans, %d Stats reads, %d registry reads",
+				workers, spans, statsReads, counter)
+		}
+	}
+}
+
+// TestMetricsScrapeDuringParallelRestore re-runs the scrape-under-load
+// race check with the parallel restore mode on: the assembler's worker
+// pool, the reorder writer and the widened prefetch pool must all be
+// data-race free against concurrent registry scrapes (the race tier
+// runs this under -race).
+func TestMetricsScrapeDuringParallelRestore(t *testing.T) {
+	versions := testVersions(t, 3)
+	reg := obs.NewRegistry()
+	sys, err := Open(Config{Metrics: reg, RestoreWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, v := range versions {
+		if _, err := sys.Backup(ctx, bytes.NewReader(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := obs.StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("debug server shutdown: %v", err)
+		}
+	}()
+	url := "http://" + srv.Addr() + "/metrics"
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				if cerr := resp.Body.Close(); cerr != nil || rerr != nil {
+					continue
+				}
+				if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+					t.Errorf("mid-restore scrape malformed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 5; r++ {
+		for i := range versions {
+			var buf bytes.Buffer
+			if _, err := sys.Restore(ctx, i+1, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), versions[i]) {
+				t.Fatalf("round %d: version %d corrupted under scrape load", r, i+1)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	busy := reg.Snapshot().Gauges["hidestore_restore_assembly_workers_busy"].Value
+	if busy != 0 {
+		t.Errorf("assembly worker gauge = %d after all restores finished, want 0", busy)
+	}
+	if spans := reg.Snapshot().Counters["hidestore_restore_assembly_spans_total"].Value; spans == 0 {
+		t.Error("parallel restores emitted zero assembly spans")
+	}
+}
+
+// errAfterReader fails with a read error after n bytes — a backup
+// source dying mid-stream.
+type errAfterReader struct {
+	n   int
+	err error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, r.err
+	}
+	if len(p) > r.n {
+		p = p[:r.n]
+	}
+	for i := range p {
+		p[i] = byte(i)
+	}
+	r.n -= len(p)
+	return len(p), nil
+}
+
+// TestTraceSpansBalancedOnFailure is the span-leak validator: every
+// operation that fails must still End its span (a leaked span emits no
+// trace record at all, so the tracer's open-span balance is the only
+// reliable detector). Failed backups, failed restores and failed
+// parallel restores — on both engines — must all leave the balance at
+// zero.
+func TestTraceSpansBalancedOnFailure(t *testing.T) {
+	versions := testVersions(t, 2)
+	srcErr := errors.New("source died")
+
+	check := func(name string, sys *System, tracer *obs.Tracer) {
+		ctx := context.Background()
+		for _, v := range versions {
+			if _, err := sys.Backup(ctx, bytes.NewReader(v)); err != nil {
+				t.Fatalf("%s: backup: %v", name, err)
+			}
+		}
+		// Failed backup: the source errors mid-stream.
+		if _, err := sys.Backup(ctx, &errAfterReader{n: 4 << 10, err: srcErr}); err == nil {
+			t.Fatalf("%s: mid-stream source error did not fail the backup", name)
+		}
+		// Failed restores: a version that does not exist, serial and
+		// after successful ones.
+		if _, err := sys.Restore(ctx, 99, io.Discard); err == nil {
+			t.Fatalf("%s: restoring a missing version succeeded", name)
+		}
+		for i := range versions {
+			if _, err := sys.Restore(ctx, i+1, io.Discard); err != nil {
+				t.Fatalf("%s: restore: %v", name, err)
+			}
+		}
+		if open := tracer.OpenSpans(); open != 0 {
+			t.Errorf("%s: %d spans leaked across failed operations", name, open)
+		}
+	}
+
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf)
+	sys, err := Open(Config{Tracer: tracer, RestoreWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("hidestore", sys, tracer)
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every balanced span must actually be in the trace: failed ops
+	// emit records too (with an error attribute), they don't vanish.
+	sum, err := obs.SummarizeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.SpanCount("restore"), len(versions)+1; got != want {
+		t.Errorf("restore span count %d, want %d (failures emit spans too)", got, want)
+	}
+	if got, want := sum.SpanCount("backup"), len(versions)+1; got != want {
+		t.Errorf("backup span count %d, want %d (failures emit spans too)", got, want)
+	}
+
+	var bbuf bytes.Buffer
+	btracer := obs.NewTracer(&bbuf)
+	bsys, err := OpenBaseline(BaselineConfig{Config: Config{Tracer: btracer, RestoreWorkers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("baseline", bsys, btracer)
+	if err := btracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
