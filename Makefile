@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench microbench vet lint crash remote-smoke restore-bench check
+.PHONY: build test race bench microbench vet lint crash remote-smoke restore-bench observatory-smoke check
 
 build:
 	$(GO) build ./...
@@ -65,4 +65,25 @@ remote-smoke:
 restore-bench:
 	$(GO) run ./cmd/bench -exp restore -workloads kernel -scale 2 -versions 6 -sleep-scale=-1
 
-check: build test race vet lint crash remote-smoke restore-bench
+# The locality-observatory smoke: an instrumented backup/backup/restore
+# cycle in a scratch dir, then every offline analysis tool over its
+# outputs — tracereport must reconstruct a balanced span tree from the
+# JSONL trace, checkmetrics must accept the exposition dump, and
+# analyze must produce a layout report for the store. Mirrors the CI
+# smoke so the gates are reproducible locally.
+observatory-smoke:
+	rm -rf .obs-smoke && mkdir -p .obs-smoke
+	$(GO) build -o .obs-smoke/hs ./cmd/hidestore
+	head -c 1048576 /dev/urandom > .obs-smoke/v1.bin
+	cat .obs-smoke/v1.bin > .obs-smoke/v2.bin && head -c 65536 /dev/urandom >> .obs-smoke/v2.bin
+	.obs-smoke/hs -dir .obs-smoke/store -trace .obs-smoke/trace.jsonl backup .obs-smoke/v1.bin
+	.obs-smoke/hs -dir .obs-smoke/store -trace .obs-smoke/trace.jsonl backup .obs-smoke/v2.bin
+	.obs-smoke/hs -dir .obs-smoke/store -trace .obs-smoke/trace.jsonl \
+		-metrics-out .obs-smoke/metrics.prom -o .obs-smoke/restored.bin restore 2
+	cmp .obs-smoke/v2.bin .obs-smoke/restored.bin
+	$(GO) run ./cmd/tracereport .obs-smoke/trace.jsonl
+	.obs-smoke/hs checkmetrics .obs-smoke/metrics.prom
+	.obs-smoke/hs -dir .obs-smoke/store analyze
+	rm -rf .obs-smoke
+
+check: build test race vet lint crash remote-smoke restore-bench observatory-smoke

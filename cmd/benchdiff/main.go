@@ -1,10 +1,20 @@
 // Command benchdiff compares two BENCH_<exp>.json snapshots written by
-// cmd/bench and prints a per-metric old/new/delta table. It is
-// report-only by design: deltas inform review, they do not gate —
-// benchmark noise on shared CI runners would make a hard threshold
-// flaky. Usage:
+// cmd/bench and prints a per-metric old/new/delta table. By default it
+// is report-only: deltas inform review, they do not gate — benchmark
+// noise on shared CI runners would make a tight threshold flaky.
+// Usage:
 //
 //	go run ./cmd/benchdiff BENCH_backup_pre.json BENCH_backup.json
+//
+// -fail-above PCT turns the report into a regression gate: a metric
+// whose direction is known (throughput and locality ratios are
+// higher-better; latencies, wall time and read counts are
+// lower-better) that moves more than PCT percent the wrong way prints
+// a REGRESSION line and fails the run. Metrics with no inherent
+// direction (counts, sizes, configuration echoes) are never gated, and
+// a missing baseline still passes — there is nothing to regress from.
+// Pick a threshold well above runner noise (the CI wiring uses
+// deliberately loose ones).
 //
 // By default the stage-latency subtree is summarized along with the
 // top-level throughput numbers and the experiment's extra metrics;
@@ -33,11 +43,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	all := fs.Bool("all", false, "include every numeric leaf (histogram percentiles, counts)")
+	failAbove := fs.Float64("fail-above", 0, "exit nonzero when a direction-classified metric regresses by more than PCT percent (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: benchdiff [-all] OLD.json NEW.json")
+		return fmt.Errorf("usage: benchdiff [-all] [-fail-above PCT] OLD.json NEW.json")
+	}
+	if *failAbove < 0 {
+		return fmt.Errorf("-fail-above %v: threshold must be positive", *failAbove)
 	}
 	oldM, err := flattenFile(fs.Arg(0))
 	if err != nil {
@@ -79,6 +93,7 @@ func run(args []string) error {
 		}
 	}
 	row("metric\told\tnew\tdelta\t\n")
+	var regressions []string
 	for _, k := range sorted {
 		ov, haveOld := oldM[k]
 		nv, haveNew := newM[k]
@@ -89,12 +104,69 @@ func run(args []string) error {
 			row("%s\t%s\t-\tgone\t\n", k, num(ov))
 		default:
 			row("%s\t%s\t%s\t%s\t\n", k, num(ov), num(nv), delta(ov, nv))
+			if *failAbove > 0 {
+				if worse, pct := regressed(k, ov, nv); worse && pct > *failAbove {
+					regressions = append(regressions, fmt.Sprintf(
+						"REGRESSION: %s: %s -> %s (%.1f%% worse, threshold %.1f%%)",
+						k, num(ov), num(nv), pct, *failAbove))
+				}
+			}
 		}
 	}
 	if werr != nil {
 		return werr
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, r)
+		}
+		return fmt.Errorf("%d metric(s) regressed beyond %.1f%%", len(regressions), *failAbove)
+	}
+	return nil
+}
+
+// direction classifies a flattened metric key: +1 when larger values
+// are better (throughput, locality ratios), -1 when smaller values are
+// better (latencies, wall time, read counts), 0 when the metric has no
+// inherent direction (counts, sizes, configuration echoes) and must
+// not be gated. Classification is by suffix so the same rule covers a
+// metric wherever it nests (extra.kernel_cfl, stages.*.p50_ns).
+func direction(key string) int {
+	switch {
+	case strings.HasSuffix(key, "mb_per_sec"),
+		strings.HasSuffix(key, "speedup"),
+		strings.HasSuffix(key, "speed_factor"),
+		strings.HasSuffix(key, "dedup_ratio"),
+		strings.HasSuffix(key, "utilization"),
+		strings.HasSuffix(key, "cfl"):
+		return 1
+	case strings.HasSuffix(key, "_ns"),
+		strings.HasSuffix(key, "_ms"),
+		strings.HasSuffix(key, "wall_seconds"),
+		strings.HasSuffix(key, "reads"),
+		strings.HasSuffix(key, "containers_per_mb"):
+		return -1
+	}
+	return 0
+}
+
+// regressed reports whether new moved the wrong way relative to old
+// for a direction-classified key, and by what percentage of old.
+// Zero or non-finite baselines cannot express a percentage and are
+// never regressions.
+func regressed(key string, oldV, newV float64) (bool, float64) {
+	dir := direction(key)
+	if dir == 0 || oldV == 0 ||
+		math.IsNaN(oldV) || math.IsNaN(newV) || math.IsInf(oldV, 0) || math.IsInf(newV, 0) {
+		return false, 0
+	}
+	// Positive pct = worse: a drop for higher-better metrics, a rise
+	// for lower-better ones.
+	pct := 100 * (newV - oldV) / math.Abs(oldV) * float64(-dir)
+	return pct > 0, pct
 }
 
 // flattenFile reads a JSON document and returns its numeric leaves

@@ -88,3 +88,77 @@ func TestRunRejectsBadUsage(t *testing.T) {
 		t.Fatal("malformed OLD snapshot should fail")
 	}
 }
+
+func TestDirectionClassifier(t *testing.T) {
+	cases := map[string]int{
+		"restore_mb_per_sec":        1,
+		"extra.kernel_speedup":      1,
+		"speed_factor":              1,
+		"extra.kernel_cfl":          1,
+		"extra.kernel_utilization":  1,
+		"dedup_ratio":               1,
+		"stages.chunking_ns.p50_ns": -1,
+		"wall_seconds":              -1,
+		"extra.kernel_reads":        -1,
+		"containers_per_mb":         -1,
+		"chunks":                    0,
+		"versions":                  0,
+		"extra.kernel_bytes":        0,
+		"scale_mb":                  0,
+	}
+	for key, want := range cases {
+		if got := direction(key); got != want {
+			t.Errorf("direction(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestFailAboveGates(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json",
+		`{"restore_mb_per_sec": 100, "extra": {"kernel_reads": 50, "kernel_cfl": 0.8}, "chunks": 10}`)
+
+	// Throughput down 30%: gated at 20, tolerated at 50.
+	slow := write(t, dir, "slow.json",
+		`{"restore_mb_per_sec": 70, "extra": {"kernel_reads": 50, "kernel_cfl": 0.8}, "chunks": 10}`)
+	if err := run([]string{"-fail-above", "20", oldP, slow}); err == nil {
+		t.Error("30% throughput drop passed a 20% gate")
+	}
+	if err := run([]string{"-fail-above", "50", oldP, slow}); err != nil {
+		t.Errorf("30%% drop failed a 50%% gate: %v", err)
+	}
+	// Report-only default never gates.
+	if err := run([]string{oldP, slow}); err != nil {
+		t.Errorf("report-only run failed: %v", err)
+	}
+
+	// Lower-better direction: read count up 50% is a regression; the
+	// same move down is an improvement.
+	reads := write(t, dir, "reads.json",
+		`{"restore_mb_per_sec": 100, "extra": {"kernel_reads": 75, "kernel_cfl": 0.8}, "chunks": 10}`)
+	if err := run([]string{"-fail-above", "20", oldP, reads}); err == nil {
+		t.Error("50% read-count rise passed a 20% gate")
+	}
+	better := write(t, dir, "better.json",
+		`{"restore_mb_per_sec": 180, "extra": {"kernel_reads": 20, "kernel_cfl": 0.99}, "chunks": 10}`)
+	if err := run([]string{"-fail-above", "20", oldP, better}); err != nil {
+		t.Errorf("improvements gated: %v", err)
+	}
+
+	// Undirected metrics move freely.
+	counts := write(t, dir, "counts.json",
+		`{"restore_mb_per_sec": 100, "extra": {"kernel_reads": 50, "kernel_cfl": 0.8}, "chunks": 900}`)
+	if err := run([]string{"-fail-above", "1", oldP, counts}); err != nil {
+		t.Errorf("undirected metric gated: %v", err)
+	}
+
+	// Missing baseline: nothing to regress from, even with the gate on.
+	if err := run([]string{"-fail-above", "1", filepath.Join(dir, "absent.json"), slow}); err != nil {
+		t.Errorf("missing baseline failed the gate: %v", err)
+	}
+
+	// Negative thresholds are a usage error.
+	if err := run([]string{"-fail-above", "-5", oldP, slow}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}

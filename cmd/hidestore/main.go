@@ -9,15 +9,21 @@
 //	hidestore -dir /backups delete  <version>
 //	hidestore -dir /backups versions
 //	hidestore -dir /backups stats
+//	hidestore -dir /backups analyze [version]      # layout/fragmentation report (-json for machines)
 //	hidestore trace <trace.jsonl>                  # summarize a JSONL trace
 //	hidestore checkmetrics <metrics.prom>          # validate an exposition dump
 //
 // Observability: -trace FILE appends JSONL spans for the invocation (the
-// file accumulates across invocations; summarize with `hidestore trace`),
-// -debug-addr ADDR serves /metrics, /metrics.json, /debug/vars and
-// /debug/pprof for the life of the command, and -metrics-out FILE dumps
-// the Prometheus exposition on exit. All three are off by default and add
-// no overhead when unset.
+// file accumulates across invocations; summarize with `hidestore trace`
+// or the richer `tracereport`), -debug-addr ADDR serves /metrics,
+// /metrics.json, /healthz, /debug/vars, /debug/pprof and /debug/layout
+// for the life of the command, and -metrics-out FILE dumps the
+// Prometheus exposition on exit. When either metrics consumer is active
+// a background sampler feeds runtime-health gauges (heap, goroutines,
+// GC pauses) into the registry. All switches are off by default and add
+// no overhead when unset. Interrupts (SIGINT/SIGTERM) cancel in-flight
+// work but still run the finalizers: the trace file gets its closing
+// anchor and the metrics dump is written.
 //
 // Directory backups serialize the tree (sorted walk, path+size headers +
 // file contents) into one stream, so adjacent snapshots of the same tree
@@ -27,6 +33,7 @@ package main
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -56,6 +63,16 @@ func main() {
 }
 
 func run(args []string) error {
+	// Interrupts cancel in-flight work (restores stop within one
+	// container read) instead of killing the process mid-write; the
+	// deferred finalizers in runCtx still run, so -trace and
+	// -metrics-out files are left complete and parseable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, args)
+}
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hidestore", flag.ContinueOnError)
 	var (
 		dir      = fs.String("dir", "", "storage directory (required)")
@@ -69,6 +86,8 @@ func run(args []string) error {
 		compress = fs.Bool("compress", false, "DEFLATE-compress containers at rest")
 		repair   = fs.Bool("repair", false, "fsck only: quarantine corrupt containers and name affected versions")
 		throttle = fs.Float64("scrub-throttle", 0, "scrub only: verification I/O cap in MB/s (0 = default 32, negative = unthrottled)")
+		jsonOut  = fs.Bool("json", false, "analyze only: emit the layout report as JSON instead of text")
+		policies = fs.String("policies", "", "analyze only: comma-separated cache policies to simulate (default all)")
 
 		tracePath  = fs.String("trace", "", "append JSONL spans for this invocation to FILE")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on ADDR for the life of the command")
@@ -84,7 +103,7 @@ func run(args []string) error {
 		backendCache = fs.Int("backend-cache-mb", 0, "remote backend: persistent local container-read cache size in MB (0 = off)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|scrub|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats> [args]")
+		fmt.Fprintln(os.Stderr, "usage: hidestore -dir DIR <fsck|scrub|verify|flatten|backup|backup-dir|restore|restore-dir|delete|versions|stats|analyze> [args]")
 		fmt.Fprintln(os.Stderr, "       hidestore trace <trace.jsonl> | hidestore checkmetrics <metrics.prom>")
 		fs.PrintDefaults()
 	}
@@ -150,13 +169,11 @@ func run(args []string) error {
 		_ = tracer.Close()
 		return err
 	}
-	// Interrupts cancel in-flight work (restores stop within one
-	// container read) instead of killing the process mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	if *debugAddr != "" {
-		srv, err := obs.StartDebugServer(*debugAddr, reg)
+		srv, err := obs.StartDebugServer(*debugAddr, reg,
+			obs.WithHandler("/healthz", sys.HealthHandler()),
+			obs.WithHandler("/debug/layout", sys.LayoutHandler()),
+		)
 		if err != nil {
 			//hidelint:ignore discarded-error tracer teardown on the listen error path; the listen failure is the error that matters
 			_ = tracer.Close()
@@ -187,6 +204,13 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "hidestore: metrics dump:", err)
 			}
 		}()
+	}
+	if reg != nil {
+		// Runtime-health gauges (heap, goroutines, GC pauses) for the
+		// life of the command. Registered after the -metrics-out defer so
+		// Stop's final sample lands before the dump is written.
+		sampler := obs.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
 	}
 	switch cmd := rest[0]; cmd {
 	case "backup":
@@ -400,6 +424,42 @@ func run(args []string) error {
 		for _, d := range st.Degraded {
 			fmt.Fprintln(os.Stderr, "WARNING: degraded:", d)
 		}
+	case "analyze":
+		version := 0
+		switch len(rest) {
+		case 1:
+			vs := sys.Versions()
+			if len(vs) == 0 {
+				return errors.New("analyze: no versions stored")
+			}
+			version = vs[len(vs)-1]
+		case 2:
+			v, err := strconv.Atoi(rest[1])
+			if err != nil {
+				return fmt.Errorf("bad version %q", rest[1])
+			}
+			version = v
+		default:
+			return errors.New("analyze takes at most one version")
+		}
+		var pols []string
+		if *policies != "" {
+			for _, p := range strings.Split(*policies, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					pols = append(pols, p)
+				}
+			}
+		}
+		rep, err := sys.AnalyzeLayout(ctx, version, pols)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		printLayoutReport(rep)
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -454,6 +514,26 @@ func parseVersion(rest []string) (int, error) {
 		return 0, fmt.Errorf("bad version %q", rest[1])
 	}
 	return v, nil
+}
+
+// printLayoutReport renders the layout profile: the fragmentation
+// block first (how the version is packed), then one line per simulated
+// cache policy (what restoring it would cost).
+func printLayoutReport(rep hidestore.LayoutReport) {
+	fmt.Printf("layout of v%d:\n", rep.Version)
+	fmt.Printf("  logical bytes:      %d (%d chunks)\n", rep.LogicalBytes, rep.Chunks)
+	fmt.Printf("  containers:         %d referenced, %d optimal\n", rep.UniqueContainers, rep.OptimalContainers)
+	fmt.Printf("  CFL:                %.3f (1.0 = perfectly packed)\n", rep.CFL)
+	fmt.Printf("  containers per MB:  %.3f\n", rep.ContainersPerMB)
+	fmt.Printf("  utilization:        %.2f%% (%d live of %d stored payload bytes)\n",
+		rep.Utilization*100, rep.ReferencedBytes, rep.ContainerBytes)
+	if len(rep.Policies) > 0 {
+		fmt.Println("  simulated restore cost (exact container reads, not an estimate):")
+		for _, p := range rep.Policies {
+			fmt.Printf("    %-14s %6d reads, %6d cache hits, speed factor %.2f MB/read\n",
+				p.Policy, p.ContainerReads, p.CacheHits, p.SpeedFactor)
+		}
+	}
 }
 
 func printBackupReport(rep hidestore.BackupReport) {

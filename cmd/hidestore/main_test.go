@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"hidestore"
+	"hidestore/internal/obs"
 )
 
 func writeFile(t *testing.T, path string, data []byte) {
@@ -145,5 +152,163 @@ func TestTreeRoundTripEmptyDir(t *testing.T) {
 	}
 	if err := readTree(&buf, t.TempDir()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCancelledRestoreFinalizesObservability is the interrupt
+// regression: a restore cancelled mid-flight must still leave a
+// parseable trace file (closing anchor written, spans balanced) and a
+// valid metrics snapshot, because the finalizers are deferred before
+// the command dispatch. The tiny container size gives the restore many
+// per-read cancellation points, so the cancelled context is observed.
+func TestCancelledRestoreFinalizesObservability(t *testing.T) {
+	store := t.TempDir()
+	srcFile := filepath.Join(t.TempDir(), "data.bin")
+	writeFile(t, srcFile, randBytes(9, 256<<10))
+	if err := run([]string{"-dir", store, "-container", "16384", "backup", srcFile}); err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	out := filepath.Join(t.TempDir(), "out.bin")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the interrupt lands before the restore makes progress
+	err := runCtx(ctx, []string{
+		"-dir", store, "-container", "16384",
+		"-trace", tracePath, "-metrics-out", metricsPath,
+		"-o", out, "restore", "1",
+	})
+	if err == nil {
+		t.Fatal("cancelled restore reported success")
+	}
+
+	// The trace must open with a wall-clock anchor and end with a
+	// balanced trace.close — exactly what tracereport enforces.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file missing after cancellation: %v", err)
+	}
+	var recs []obs.TraceRecord
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var rec obs.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("trace has %d records, want at least open+close anchors", len(recs))
+	}
+	if first := recs[0]; first.Name != "trace.open" || first.Unix == 0 {
+		t.Errorf("first record %+v, want a trace.open anchor with wall clock", first)
+	}
+	last := recs[len(recs)-1]
+	if last.Name != "trace.close" || last.Unix == 0 {
+		t.Fatalf("last record %+v, want a trace.close anchor", last)
+	}
+	if last.Attrs["open_spans"] != 0 {
+		t.Errorf("cancelled restore leaked %d open spans", last.Attrs["open_spans"])
+	}
+	if _, err := obs.SummarizeTrace(bytes.NewReader(data)); err != nil {
+		t.Errorf("trace summary rejects the cancelled-run trace: %v", err)
+	}
+
+	// The metrics snapshot must be a valid exposition and include the
+	// runtime-health gauges the sampler feeds.
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics dump missing after cancellation: %v", err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(prom)); err != nil {
+		t.Errorf("metrics dump malformed: %v", err)
+	}
+	if !bytes.Contains(prom, []byte("hidestore_runtime_heap_bytes")) {
+		t.Errorf("metrics dump missing runtime gauges:\n%.400s", prom)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, cpErr := buf.ReadFrom(r)
+		if cpErr != nil {
+			t.Error(cpErr)
+		}
+		done <- buf.String()
+	}()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	store := t.TempDir()
+	srcFile := filepath.Join(t.TempDir(), "data.bin")
+	payload := randBytes(11, 200<<10)
+	writeFile(t, srcFile, payload)
+	if err := run([]string{"-dir", store, "-container", "16384", "backup", srcFile}); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, srcFile, append(payload[:150<<10], randBytes(12, 60<<10)...))
+	if err := run([]string{"-dir", store, "-container", "16384", "backup", srcFile}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Text mode, defaulting to the newest version.
+	text, err := captureStdout(t, func() error {
+		return run([]string{"-dir", store, "analyze"})
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{"layout of v2", "CFL:", "utilization:", "simulated restore cost"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, text)
+		}
+	}
+
+	// JSON mode with an explicit version and a narrowed policy list.
+	js, err := captureStdout(t, func() error {
+		return run([]string{"-dir", store, "-json", "-policies", "faa", "analyze", "1"})
+	})
+	if err != nil {
+		t.Fatalf("analyze -json: %v", err)
+	}
+	var rep hidestore.LayoutReport
+	if err := json.Unmarshal([]byte(js), &rep); err != nil {
+		t.Fatalf("analyze -json output not JSON: %v\n%s", err, js)
+	}
+	if rep.Version != 1 || rep.UniqueContainers == 0 || rep.CFL <= 0 {
+		t.Errorf("report shape wrong: %+v", rep)
+	}
+	if len(rep.Policies) != 1 || rep.Policies[0].Policy != "faa" || rep.Policies[0].ContainerReads == 0 {
+		t.Errorf("policy estimates wrong: %+v", rep.Policies)
+	}
+
+	// Errors: empty store, bad version, excess arguments.
+	for _, args := range [][]string{
+		{"-dir", t.TempDir(), "analyze"},
+		{"-dir", store, "analyze", "nope"},
+		{"-dir", store, "analyze", "1", "2"},
+		{"-dir", store, "analyze", "99"},
+		{"-dir", store, "-policies", "bogus", "analyze"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
 	}
 }

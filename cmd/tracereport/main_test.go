@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hidestore/internal/obs"
+)
+
+// TestCommittedSmokeTrace reconstructs the balanced span tree from the
+// committed smoke trace (a real instrumented backup/restore run) — the
+// acceptance criterion for the trace format staying parseable.
+func TestCommittedSmokeTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fetches", "2", "testdata/smoke.jsonl"}, &out); err != nil {
+		t.Fatalf("committed smoke trace rejected: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"trace OK", "backup", "restore", "container.fetch",
+		"fetch timeline", "per-stage breakdown", "stage coverage",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// writeTrace writes a JSONL trace file and returns its path.
+func writeTrace(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMultiSegmentAppendMode: one file accumulating two invocations
+// (each with its own restarting ID sequence) validates as two
+// segments — duplicate IDs across segments are expected, not errors.
+func TestMultiSegmentAppendMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	for i := 0; i < 2; i++ {
+		tr, err := obs.OpenTraceFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tr.Start("restore", nil)
+		tr.EmitStage("container.fetch", s, time.Now(), time.Millisecond, map[string]int64{"cid": 7})
+		s.End()
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("append-mode trace rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 segment(s)") {
+		t.Errorf("expected two segments:\n%s", out.String())
+	}
+}
+
+// TestStallAttribution: a parallel-restore trace with assembly.stall
+// records gets the reorder-window attribution line.
+func TestStallAttribution(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := obs.OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Start("restore", nil)
+	now := time.Now()
+	tr.EmitStage("container.fetch", s, now, 2*time.Millisecond, map[string]int64{"cid": 1})
+	tr.EmitStage("container.fetch", s, now, 3*time.Millisecond, map[string]int64{"cid": 2})
+	tr.EmitStage("assembly.stall", s, now, time.Millisecond, map[string]int64{"parked": 2, "seq": 5})
+	s.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "reorder-window stalls: 1") {
+		t.Errorf("missing stall attribution:\n%s", text)
+	}
+	if !strings.Contains(text, "max overlap 2") {
+		t.Errorf("missing fetch-overlap estimate:\n%s", text)
+	}
+}
+
+func TestMalformedInputsExitNonzero(t *testing.T) {
+	cases := map[string][]string{
+		"garbage line": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0,"unix":1700000000}`,
+			`not json`,
+		},
+		"record before open anchor": {
+			`{"id":1,"span":"restore","start_ns":0,"dur_ns":5}`,
+		},
+		"missing close anchor": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0,"unix":1700000000}`,
+			`{"id":2,"span":"restore","start_ns":0,"dur_ns":5}`,
+		},
+		"unbalanced spans": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0,"unix":1700000000}`,
+			`{"id":3,"span":"trace.close","start_ns":9,"unix":1700000001,"attrs":{"open_spans":2}}`,
+		},
+		"duplicate span id": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0,"unix":1700000000}`,
+			`{"id":2,"span":"restore","start_ns":0,"dur_ns":5}`,
+			`{"id":2,"span":"backup","start_ns":6,"dur_ns":5}`,
+			`{"id":3,"span":"trace.close","start_ns":12,"unix":1700000001,"attrs":{"open_spans":0}}`,
+		},
+		"unknown parent": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0,"unix":1700000000}`,
+			`{"id":2,"par":99,"span":"container.fetch","start_ns":0,"dur_ns":5}`,
+			`{"id":3,"span":"trace.close","start_ns":9,"unix":1700000001,"attrs":{"open_spans":0}}`,
+		},
+		"open without wall clock": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0}`,
+		},
+		"record after close": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0,"unix":1700000000}`,
+			`{"id":2,"span":"trace.close","start_ns":5,"unix":1700000001,"attrs":{"open_spans":0}}`,
+			`{"id":3,"span":"restore","start_ns":6,"dur_ns":5}`,
+		},
+		"negative duration": {
+			`{"id":1,"span":"trace.open","start_ns":0,"dur_ns":0,"unix":1700000000}`,
+			`{"id":2,"span":"restore","start_ns":0,"dur_ns":-5}`,
+			`{"id":3,"span":"trace.close","start_ns":9,"unix":1700000001,"attrs":{"open_spans":0}}`,
+		},
+		"empty file": {``},
+	}
+	for name, lines := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			err := run([]string{writeTrace(t, lines...)}, &out)
+			if err == nil {
+				t.Fatalf("malformed input accepted:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no-argument invocation must fail")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -792,3 +792,119 @@ func (s *System) Stats() Stats {
 		Degraded:         st.Degraded,
 	}
 }
+
+// LayoutPolicyEstimate is one cache policy's simulated restore cost.
+type LayoutPolicyEstimate struct {
+	Policy         string  `json:"policy"`
+	ContainerReads uint64  `json:"container_reads"`
+	CacheHits      uint64  `json:"cache_hits"`
+	SpeedFactor    float64 `json:"speed_factor"`
+}
+
+// LayoutReport is the physical-locality profile of one stored version:
+// fragmentation (CFL: optimal over actual containers, 1.0 = perfectly
+// packed), container utilization (live over stored payload in the
+// referenced containers), the infinite-cache read cost per MB, and the
+// simulated restore cost under each cache policy. See
+// System.AnalyzeLayout.
+type LayoutReport struct {
+	Version           int                    `json:"version"`
+	LogicalBytes      uint64                 `json:"logical_bytes"`
+	Chunks            int                    `json:"chunks"`
+	UniqueContainers  int                    `json:"unique_containers"`
+	OptimalContainers int                    `json:"optimal_containers"`
+	CFL               float64                `json:"cfl"`
+	ContainersPerMB   float64                `json:"containers_per_mb"`
+	Utilization       float64                `json:"utilization"`
+	ReferencedBytes   uint64                 `json:"referenced_bytes"`
+	ContainerBytes    uint64                 `json:"container_bytes"`
+	Policies          []LayoutPolicyEstimate `json:"policies"`
+}
+
+// AnalyzeLayout analyzes a version's physical layout without restoring
+// it: it walks the recipe and the referenced containers' indexes, then
+// replays the container reference stream through the real cache-policy
+// implementations in memory. The per-policy ContainerReads therefore
+// equals what a real restore would measure — exactly, not
+// approximately. A nil policies slice analyzes every policy; an empty
+// one skips simulation and reports only the layout metrics. Read-only:
+// unlike Restore, recipe flattening is not persisted.
+func (s *System) AnalyzeLayout(ctx context.Context, version int, policies []string) (LayoutReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	an, ok := s.engine.(backup.LayoutAnalyzer)
+	if !ok {
+		return LayoutReport{}, errors.New("hidestore: engine does not support layout analysis")
+	}
+	rep, err := an.AnalyzeLayout(ctx, version, policies)
+	if err != nil {
+		return LayoutReport{}, err
+	}
+	out := LayoutReport{
+		Version:           rep.Version,
+		LogicalBytes:      rep.LogicalBytes,
+		Chunks:            rep.Chunks,
+		UniqueContainers:  rep.UniqueContainers,
+		OptimalContainers: rep.OptimalContainers,
+		CFL:               rep.CFL,
+		ContainersPerMB:   rep.ContainersPerMB,
+		Utilization:       rep.Utilization,
+		ReferencedBytes:   rep.ReferencedBytes,
+		ContainerBytes:    rep.ContainerBytes,
+	}
+	for _, p := range rep.Policies {
+		out.Policies = append(out.Policies, LayoutPolicyEstimate{
+			Policy:         p.Policy,
+			ContainerReads: p.ContainerReads,
+			CacheHits:      p.CacheHits,
+			SpeedFactor:    p.SpeedFactor,
+		})
+	}
+	return out, nil
+}
+
+// Health is the system's liveness/degradation snapshot served by the
+// ops server's /healthz endpoint.
+type Health struct {
+	// Status is "ok", or "degraded" when any stats field could not be
+	// computed or the scrubber has found damage (both surface through
+	// Degraded).
+	Status string `json:"status"`
+	// Degraded mirrors Stats().Degraded: unreadable snapshot fields and
+	// "scrub:"-prefixed damage findings.
+	Degraded []string `json:"degraded,omitempty"`
+	// Versions and Containers locate the store's size at a glance.
+	Versions   int `json:"versions"`
+	Containers int `json:"containers"`
+	// ScrubDone/ScrubTotal report the online scrubber's progress through
+	// its current pass's container snapshot; both are 0 when the engine
+	// does not scrub or no pass has started.
+	ScrubDone  int `json:"scrub_done"`
+	ScrubTotal int `json:"scrub_total"`
+}
+
+// OK reports whether the status is healthy.
+func (h Health) OK() bool { return h.Status == "ok" }
+
+// Health returns the degradation snapshot: Stats().Degraded decides
+// the status (any entry — an unreadable store, scrub-confirmed
+// corruption — marks the system degraded), and engines with an online
+// scrubber contribute pass progress.
+func (s *System) Health() Health {
+	st := s.Stats() // takes the lock itself
+	h := Health{
+		Status:     "ok",
+		Degraded:   st.Degraded,
+		Versions:   st.Versions,
+		Containers: st.Containers,
+	}
+	if len(st.Degraded) > 0 {
+		h.Status = "degraded"
+	}
+	s.mu.Lock()
+	if pr, ok := s.engine.(backup.ScrubProgressReporter); ok {
+		h.ScrubDone, h.ScrubTotal = pr.ScrubProgress()
+	}
+	s.mu.Unlock()
+	return h
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hidestore/internal/index"
+	"hidestore/internal/layout"
 	"hidestore/internal/restorecache"
 	"hidestore/internal/rewrite"
 )
@@ -192,6 +193,22 @@ type ScrubStepReport struct {
 // operations by the caller (engines are single-writer).
 type Scrubber interface {
 	ScrubStep(ctx context.Context) (ScrubStepReport, error)
+}
+
+// ScrubProgressReporter exposes the online scrubber's cursor: how many
+// containers of the current pass's snapshot have been verified. done
+// equals total between passes (or before the first step). Implemented
+// alongside Scrubber; the ops /healthz endpoint reads it.
+type ScrubProgressReporter interface {
+	ScrubProgress() (done, total int)
+}
+
+// LayoutAnalyzer is implemented by engines that can compute a
+// version's physical-locality profile — fragmentation, container
+// utilization, simulated per-policy restore cost — without performing
+// a restore and without mutating any stored state.
+type LayoutAnalyzer interface {
+	AnalyzeLayout(ctx context.Context, version int, policies []string) (*layout.Report, error)
 }
 
 // Engine is a deduplicating backup system.

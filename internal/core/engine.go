@@ -943,6 +943,8 @@ func (e *Engine) restoreWith(ctx context.Context, version int, w io.Writer, fetc
 		out = restorecache.NewParallelWriter(w, restorecache.ParallelOptions{
 			Workers: e.cfg.RestoreWorkers,
 			Metrics: e.rmx,
+			Tracer:  e.tracer,
+			Span:    span,
 		})
 	}
 	stats, err := e.cfg.RestoreCache.Restore(ctx, resolved, fetch, out)

@@ -12,6 +12,14 @@ import (
 )
 
 var _ backup.Scrubber = (*Engine)(nil)
+var _ backup.ScrubProgressReporter = (*Engine)(nil)
+
+// ScrubProgress implements backup.ScrubProgressReporter: the cursor's
+// position in the current pass's container snapshot. Before the first
+// step both are 0; between passes done equals total.
+func (e *Engine) ScrubProgress() (done, total int) {
+	return e.scrubPos, len(e.scrubQueue)
+}
 
 // scrubDamageMax bounds the scrub-damage list surfaced through
 // Stats().Degraded; damage beyond it is counted, not listed, so a

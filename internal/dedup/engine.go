@@ -483,6 +483,8 @@ func (e *Engine) Restore(ctx context.Context, version int, w io.Writer) (rep bac
 		out = restorecache.NewParallelWriter(w, restorecache.ParallelOptions{
 			Workers: e.cfg.RestoreWorkers,
 			Metrics: e.rmx,
+			Tracer:  e.tracer,
+			Span:    span,
 		})
 	}
 	stats, err := e.cfg.RestoreCache.Restore(ctx, rec.Entries, fetch, out)

@@ -9,7 +9,9 @@ import (
 
 	"hidestore/internal/backend"
 	"hidestore/internal/chunker"
+	"hidestore/internal/container"
 	"hidestore/internal/core"
+	"hidestore/internal/layout"
 	"hidestore/internal/metrics"
 	"hidestore/internal/recipe"
 	"hidestore/internal/restorecache"
@@ -76,6 +78,13 @@ type RestoreScaleResult struct {
 	// worker count, both at the deepest swept depth and Latencies[i] —
 	// the scale-out payoff curve.
 	Speedup []float64
+	// CFL, Utilization and ContainersPerMB profile the newest version's
+	// physical layout (internal/layout over an identically-built store),
+	// so the BENCH snapshot ties the speedup rows to the fragmentation
+	// state they were measured against.
+	CFL             float64
+	Utilization     float64
+	ContainersPerMB float64
 }
 
 // effectiveFetchParallelism mirrors the prefetcher's own bound: the
@@ -221,7 +230,47 @@ func RestoreScale(workloadName string, sleepScale float64, opts Options) (*Resto
 		}
 		res.Speedup = append(res.Speedup, one.ModeledMS/wide.ModeledMS)
 	}
+	prof, err := restoreLayoutProfile(opts, cfg, versions)
+	if err != nil {
+		return nil, err
+	}
+	// The layout analyzer replays the reference stream through the same
+	// FAA policy the cells restore with, so its read count must equal
+	// every cell's — a cheap re-check of the exactness guarantee from a
+	// second, independently-built store.
+	if got := int64(prof.Policies[0].ContainerReads); got != res.Cells[0].Reads {
+		return nil, fmt.Errorf("experiments: layout analyzer simulated %d container reads, restores measured %d — the exact-identity guarantee broke",
+			got, res.Cells[0].Reads)
+	}
+	res.CFL = prof.CFL
+	res.Utilization = prof.Utilization
+	res.ContainersPerMB = prof.ContainersPerMB
 	return res, nil
+}
+
+// restoreLayoutProfile rebuilds the backup chain on a plain in-memory
+// store (deterministic chunking makes it byte-identical to every
+// cell's store) and profiles the newest version's layout, simulating
+// only the FAA policy the sweep restores with.
+func restoreLayoutProfile(o Options, w workload.Config, versions [][]byte) (*layout.Report, error) {
+	e, err := core.New(core.Config{
+		Store:             container.NewMemStore(),
+		Recipes:           recipe.NewMemStore(),
+		ContainerCapacity: o.ContainerCapacity,
+		Window:            cacheWindow(w),
+		ChunkParams:       o.ChunkParams,
+		Chunker:           chunker.FastCDC,
+		RestoreCache:      restorecache.NewFAA(0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v, data := range versions {
+		if _, err := e.Backup(context.Background(), bytes.NewReader(data)); err != nil {
+			return nil, fmt.Errorf("layout profile backup v%d: %w", v+1, err)
+		}
+	}
+	return e.AnalyzeLayout(context.Background(), len(versions), []string{"faa"})
 }
 
 // Cell returns the cell for (workers, depth, latency), or nil.
@@ -244,6 +293,9 @@ func (r *RestoreScaleResult) Extras() map[string]float64 {
 	for i, g := range r.Latencies {
 		out[fmt.Sprintf("speedup_us%d", g.Microseconds())] = r.Speedup[i]
 	}
+	out["cfl"] = r.CFL
+	out["utilization"] = r.Utilization
+	out["containers_per_mb"] = r.ContainersPerMB
 	for _, c := range r.Cells {
 		key := fmt.Sprintf("w%d_depth%d_us%d", c.Workers, c.Depth, c.LatencyUS)
 		out["modeled_ms_"+key] = c.ModeledMS
@@ -272,5 +324,7 @@ func (r *RestoreScaleResult) Render() string {
 	for i, g := range r.Latencies {
 		s += fmt.Sprintf(" %s=%.2fx", g, r.Speedup[i])
 	}
-	return s + "\n"
+	s += fmt.Sprintf("\nnewest-version layout: CFL %.3f, utilization %.1f%%, %.3f containers/MB\n",
+		r.CFL, r.Utilization*100, r.ContainersPerMB)
+	return s
 }

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeMetrics is the runtime-health bundle: Go memory, GC and
+// scheduler gauges sampled in the background while a long-running
+// command (a server with -debug-addr, a large restore) is in flight.
+// Like every bundle, a nil registry yields a nil bundle.
+type RuntimeMetrics struct {
+	HeapBytes   *Gauge // live heap allocation (MemStats.HeapAlloc)
+	HeapObjects *Gauge // live heap objects
+	Goroutines  *Gauge // runtime.NumGoroutine
+	GCCycles    *Gauge // completed GC cycles (MemStats.NumGC)
+	GCPauseNS   *Histogram
+}
+
+// NewRuntimeMetrics registers the runtime-health instruments; nil
+// registry yields a nil bundle.
+func NewRuntimeMetrics(r *Registry) *RuntimeMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RuntimeMetrics{
+		HeapBytes:   r.Gauge("hidestore_runtime_heap_bytes", "live heap bytes (MemStats.HeapAlloc)"),
+		HeapObjects: r.Gauge("hidestore_runtime_heap_objects", "live heap objects"),
+		Goroutines:  r.Gauge("hidestore_runtime_goroutines", "current goroutine count"),
+		GCCycles:    r.Gauge("hidestore_runtime_gc_cycles", "completed GC cycles"),
+		GCPauseNS:   r.Histogram("hidestore_runtime_gc_pause_ns", "stop-the-world GC pause latency (ns)"),
+	}
+}
+
+// RuntimeSampler periodically reads runtime.MemStats into a
+// RuntimeMetrics bundle. Each sample drains the GC pause ring
+// (MemStats.PauseNs) of pauses that completed since the previous
+// sample, so the pause histogram sees every pause exactly once as long
+// as fewer than 256 GC cycles elapse between samples; past that the
+// ring has wrapped and only the newest 256 are observable.
+type RuntimeSampler struct {
+	mx       *RuntimeMetrics
+	interval time.Duration
+	lastGC   uint32
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// DefaultSampleInterval is used when StartRuntimeSampler is given a
+// non-positive interval.
+const DefaultSampleInterval = 5 * time.Second
+
+// StartRuntimeSampler registers the runtime bundle on r and starts a
+// background goroutine sampling it every interval (non-positive means
+// DefaultSampleInterval). One sample is taken synchronously before
+// returning so short-lived commands still export a snapshot. Returns
+// nil — no goroutine, nothing registered — when r is nil; Stop is safe
+// on a nil sampler.
+func StartRuntimeSampler(r *Registry, interval time.Duration) *RuntimeSampler {
+	mx := NewRuntimeMetrics(r)
+	if mx == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &RuntimeSampler{
+		mx:       mx,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.sample()
+	go s.loop()
+	return s
+}
+
+// Stop halts the sampler, takes one final sample so the exported
+// snapshot reflects process exit, and waits for the goroutine to
+// finish. Idempotent and safe on nil.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.sample()
+	})
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.sample()
+		}
+	}
+}
+
+// sample reads MemStats once and updates the bundle. ReadMemStats
+// stops the world briefly, which is why sampling is periodic rather
+// than per-scrape.
+func (s *RuntimeSampler) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.mx.HeapBytes.Set(int64(m.HeapAlloc))
+	s.mx.HeapObjects.Set(int64(m.HeapObjects))
+	s.mx.Goroutines.Set(int64(runtime.NumGoroutine()))
+	s.mx.GCCycles.Set(int64(m.NumGC))
+	// Drain pauses completed since the last sample from the 256-entry
+	// ring; if more than 256 cycles elapsed, the older ones are gone.
+	first := s.lastGC
+	if m.NumGC > first+uint32(len(m.PauseNs)) {
+		first = m.NumGC - uint32(len(m.PauseNs))
+	}
+	for i := first; i < m.NumGC; i++ {
+		s.mx.GCPauseNS.Observe(m.PauseNs[i%uint32(len(m.PauseNs))])
+	}
+	s.lastGC = m.NumGC
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, 10*time.Millisecond)
+	if s == nil {
+		t.Fatal("sampler nil on live registry")
+	}
+	// Force GC cycles so the pause histogram has something to drain.
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	time.Sleep(50 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+
+	mx := NewRuntimeMetrics(reg) // same names resolve to the same instruments
+	if mx.HeapBytes.Value() <= 0 {
+		t.Fatalf("heap bytes gauge = %d, want > 0", mx.HeapBytes.Value())
+	}
+	if mx.Goroutines.Value() <= 0 {
+		t.Fatalf("goroutines gauge = %d, want > 0", mx.Goroutines.Value())
+	}
+	if mx.GCCycles.Value() < 3 {
+		t.Fatalf("gc cycles gauge = %d, want >= 3", mx.GCCycles.Value())
+	}
+	if mx.GCPauseNS.Count() == 0 {
+		t.Fatal("gc pause histogram empty after forced GCs")
+	}
+	text := reg.PrometheusText()
+	if !strings.Contains(text, "hidestore_runtime_heap_bytes") {
+		t.Fatal("runtime gauges missing from exposition")
+	}
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition with runtime bundle invalid: %v", err)
+	}
+}
+
+func TestRuntimeSamplerDrainsEachPauseOnce(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Hour) // only explicit samples
+	runtime.GC()
+	s.sample()
+	mx := NewRuntimeMetrics(reg)
+	n := mx.GCPauseNS.Count()
+	s.sample() // no GC in between: nothing new to drain
+	if got := mx.GCPauseNS.Count(); got != n {
+		t.Fatalf("pause count changed without GC: %d -> %d", n, got)
+	}
+	runtime.GC()
+	s.sample()
+	if got := mx.GCPauseNS.Count(); got <= n {
+		t.Fatalf("pause count did not grow after GC: %d -> %d", n, got)
+	}
+	s.Stop()
+}
+
+func TestRuntimeSamplerNil(t *testing.T) {
+	if s := StartRuntimeSampler(nil, time.Second); s != nil {
+		t.Fatal("sampler on nil registry should be nil")
+	}
+	var s *RuntimeSampler
+	s.Stop() // must not panic
+	if mx := NewRuntimeMetrics(nil); mx != nil {
+		t.Fatal("bundle on nil registry should be nil")
+	}
+}
+
+func TestRuntimeSamplerStopsGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, 5*time.Millisecond)
+	s.Stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+}

@@ -29,10 +29,23 @@ type DebugServer struct {
 	done chan error
 }
 
+// ServerOption customizes the debug server's mux before it starts
+// serving. Options run after the built-in routes are installed, so a
+// pattern that collides with a built-in panics per net/http rules —
+// callers mount new endpoints, they don't replace the core ones.
+type ServerOption func(mux *http.ServeMux)
+
+// WithHandler mounts h at pattern on the debug server's mux. The CLI
+// uses this to expose application-level endpoints (/healthz,
+// /debug/layout) that need state the obs package cannot know about.
+func WithHandler(pattern string, h http.Handler) ServerOption {
+	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
+}
+
 // StartDebugServer listens on addr (e.g. "127.0.0.1:6060", or ":0" for
 // an ephemeral port) and serves reg. The caller must Shutdown it; wire
 // that to ctx cancellation to satisfy clean-exit on SIGINT.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+func StartDebugServer(addr string, reg *Registry, opts ...ServerOption) (*DebugServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
@@ -57,6 +70,9 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	d := &DebugServer{
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		lis:  lis,

@@ -71,7 +71,7 @@ func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
 		if end := rec.Start + rec.Dur; end > maxEnd {
 			maxEnd = end
 		}
-		if rec.Name == "trace.open" {
+		if rec.Name == "trace.open" || rec.Name == "trace.close" {
 			continue
 		}
 		a := accs[rec.Name]

@@ -27,7 +27,7 @@ type TraceRecord struct {
 	Start int64 `json:"start_ns"`
 	// Dur is the span's duration in nanoseconds; 0 for events.
 	Dur int64 `json:"dur_ns"`
-	// Unix is set only on the "trace.open" anchor record.
+	// Unix is set only on the "trace.open" and "trace.close" anchors.
 	Unix int64 `json:"unix,omitempty"`
 	// Attrs carries small span-scoped values (version, cid, bytes).
 	Attrs map[string]int64 `json:"attrs,omitempty"`
@@ -46,6 +46,7 @@ type Tracer struct {
 	anchor time.Time
 	nextID atomic.Uint64
 	open   atomic.Int64 // spans started but not yet ended
+	closed bool         // trace.close anchor already written
 	err    error        // sticky: first write failure, reported by Close
 }
 
@@ -219,11 +220,30 @@ func (t *Tracer) emit(rec TraceRecord) {
 	}
 }
 
-// Close flushes and closes the underlying stream and reports the first
-// write error, if any. Safe on a nil tracer.
+// Close writes the "trace.close" anchor, then flushes and closes the
+// underlying stream and reports the first write error, if any. The
+// anchor carries the wall clock (like "trace.open") and an
+// "open_spans" attribute with the balance counter at close time, so
+// offline tools can verify a finalized segment without replaying it:
+// a segment whose close anchor reads open_spans 0 had every span
+// ended. Close is idempotent — the anchor is written once — and safe
+// on a nil tracer.
 func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
+	}
+	t.mu.Lock()
+	already := t.closed
+	t.closed = true
+	t.mu.Unlock()
+	if !already {
+		t.emit(TraceRecord{
+			ID:    t.nextID.Add(1),
+			Name:  "trace.close",
+			Start: int64(time.Since(t.anchor)),
+			Unix:  time.Now().Unix(),
+			Attrs: map[string]int64{"open_spans": t.open.Load()},
+		})
 	}
 	t.mu.Lock()
 	err := t.err

@@ -46,13 +46,16 @@ func TestSpanNestingAndOrdering(t *testing.T) {
 	}
 
 	recs := decodeTrace(t, buf.String())
-	if len(recs) != 4 {
-		t.Fatalf("got %d records, want 4 (anchor, child, event, root)", len(recs))
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5 (open, child, event, root, close)", len(recs))
 	}
 	anchor, childRec, eventRec, rootRec := recs[0], recs[1], recs[2], recs[3]
 
 	if anchor.Name != "trace.open" || anchor.Unix == 0 {
 		t.Errorf("first record must be the trace.open anchor with a wall clock, got %+v", anchor)
+	}
+	if closing := recs[4]; closing.Name != "trace.close" || closing.Unix == 0 || closing.Attrs["open_spans"] != 0 {
+		t.Errorf("last record must be a balanced trace.close anchor, got %+v", closing)
 	}
 	if childRec.Name != "container.fetch" || rootRec.Name != "restore" {
 		t.Errorf("completion order violated: %q before %q", childRec.Name, rootRec.Name)
@@ -88,7 +91,7 @@ func TestEmitStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	recs := decodeTrace(t, buf.String())
-	st := recs[len(recs)-1]
+	st := recs[1] // after the trace.open anchor, before trace.close
 	if st.Name != "stage.chunking" || st.Dur != int64(123*time.Millisecond) {
 		t.Errorf("stage record wrong: %+v", st)
 	}
@@ -172,6 +175,46 @@ func TestSummarizeTrace(t *testing.T) {
 	out := sum.Render()
 	if !strings.Contains(out, "container.fetch") || !strings.Contains(out, "restore") {
 		t.Errorf("render missing stages:\n%s", out)
+	}
+}
+
+// TestTraceCloseAnchor: Close writes exactly one closing anchor even
+// when called twice, and the anchor reports the open-span imbalance at
+// close time so offline validators can flag leaked spans.
+func TestTraceCloseAnchor(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	leaked := tr.Start("op", nil)
+	_ = leaked // never ended: simulates an abandoned span
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, buf.String())
+	var closes []TraceRecord
+	for _, rec := range recs {
+		if rec.Name == "trace.close" {
+			closes = append(closes, rec)
+		}
+	}
+	if len(closes) != 1 {
+		t.Fatalf("got %d trace.close anchors, want exactly 1", len(closes))
+	}
+	if closes[0].Attrs["open_spans"] != 1 {
+		t.Errorf("close anchor open_spans = %d, want 1 (leaked span)", closes[0].Attrs["open_spans"])
+	}
+	if closes[0].Unix == 0 {
+		t.Error("close anchor must carry the wall clock")
+	}
+	// The summary must tolerate both anchors without counting them.
+	sum, err := SummarizeTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SpanCount("trace.close") != 0 || sum.SpanCount("trace.open") != 0 {
+		t.Error("anchors must be excluded from stage aggregation")
 	}
 }
 

@@ -134,6 +134,14 @@ type ParallelOptions struct {
 	// Metrics, when set, exposes the pool's occupancy, span count and
 	// the writer's in-order stall latency.
 	Metrics *obs.RestoreMetrics
+	// Tracer and Span, when set, mirror each writer stall as an
+	// "assembly.stall" trace record under Span (the restore span), so
+	// offline reports can attribute reorder-window time: how long the
+	// in-order writer sat blocked while out-of-order spans waited. The
+	// writer goroutine is joined by finish before the restore span
+	// ends, so every stall record lands inside its parent's interval.
+	Tracer *obs.Tracer
+	Span   *obs.Span
 }
 
 // ParallelWriter marks a restore destination as eligible for parallel
@@ -194,9 +202,11 @@ type spanItem struct {
 // no code here calls a Fetcher — so worker count can never change
 // which containers are read, or how often.
 type parallelAssembler struct {
-	pw    *ParallelWriter
-	stats *Stats
-	mx    *obs.RestoreMetrics
+	pw     *ParallelWriter
+	stats  *Stats
+	mx     *obs.RestoreMetrics
+	tracer *obs.Tracer
+	span   *obs.Span
 
 	cur     *spanItem
 	seq     int
@@ -220,6 +230,8 @@ func newParallelAssembler(pw *ParallelWriter, stats *Stats) *parallelAssembler {
 		pw:         pw,
 		stats:      stats,
 		mx:         pw.opts.Metrics,
+		tracer:     pw.opts.Tracer,
+		span:       pw.opts.Span,
 		credits:    make(chan struct{}, window),
 		work:       make(chan *spanItem),
 		filled:     make(chan *spanItem, window),
@@ -321,7 +333,8 @@ func (a *parallelAssembler) writer() {
 		// stall: the pipeline produced work but not the span the output
 		// needs next.
 		var stalled time.Time
-		if a.mx != nil && len(park) > 0 {
+		parked := len(park)
+		if (a.mx != nil || a.tracer != nil) && parked > 0 {
 			stalled = time.Now()
 		}
 		it, ok := <-a.filled
@@ -329,7 +342,15 @@ func (a *parallelAssembler) writer() {
 			return
 		}
 		if !stalled.IsZero() {
-			a.mx.AssemblyStallNS.Observe(uint64(time.Since(stalled)))
+			d := time.Since(stalled)
+			if a.mx != nil {
+				a.mx.AssemblyStallNS.Observe(uint64(d))
+			}
+			// One record per stall interval: offline reports sum these
+			// against the restore's container.fetch time to attribute
+			// where a parallel restore's wall clock went.
+			a.tracer.EmitStage("assembly.stall", a.span, stalled, d,
+				map[string]int64{"parked": int64(parked), "seq": int64(next)})
 		}
 		park[it.seq] = it
 		for {

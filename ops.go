@@ -1,0 +1,86 @@
+package hidestore
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HealthHandler serves the Health snapshot as JSON. A degraded system
+// answers 503 so load-balancer and uptime probes fail over without
+// parsing the body; the body is identical either way. Mount it on the
+// ops server with obs.WithHandler("/healthz", sys.HealthHandler()).
+func (s *System) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		h := s.Health()
+		body, err := json.MarshalIndent(h, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if _, err := w.Write(append(body, '\n')); err != nil {
+			return // client went away; nothing to recover
+		}
+	})
+}
+
+// LayoutHandler serves AnalyzeLayout as JSON: ?version=N picks the
+// version (default newest), ?policies=a,b,c narrows the simulated
+// cache policies (default all). Analysis replays the full container
+// reference stream, so this endpoint costs real I/O — it is mounted
+// under /debug/ for a reason.
+func (s *System) LayoutHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		version := 0
+		if q := r.URL.Query().Get("version"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad version "+strconv.Quote(q), http.StatusBadRequest)
+				return
+			}
+			version = v
+		} else {
+			vs := s.Versions()
+			if len(vs) == 0 {
+				http.Error(w, "no versions stored", http.StatusNotFound)
+				return
+			}
+			version = vs[len(vs)-1]
+		}
+		var policies []string
+		if q := r.URL.Query().Get("policies"); q != "" {
+			policies = splitPolicies(q)
+		}
+		rep, err := s.AnalyzeLayout(r.Context(), version, policies)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		body, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(append(body, '\n')); err != nil {
+			return // client went away; nothing to recover
+		}
+	})
+}
+
+// splitPolicies parses a comma-separated policy list, dropping empty
+// elements so trailing commas don't turn into unknown-policy errors.
+func splitPolicies(q string) []string {
+	var out []string
+	for _, p := range strings.Split(q, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
