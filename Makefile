@@ -19,7 +19,7 @@ race:
 #   $(GO) run ./cmd/benchdiff BENCH_backup_pre.json BENCH_backup.json
 # (report-only: deltas inform review, they do not gate).
 bench:
-	$(GO) run ./cmd/bench -exp backup -workloads kernel -scale 8 -versions 8 -json .
+	$(GO) run ./cmd/bench -exp backup -workloads kernel,gcc -scale 8 -versions 8 -json .
 	$(GO) run ./cmd/bench -exp chunkers -scale 8 -json .
 
 # Go micro-benchmarks: raw chunker scan loops, the pooled chunk path,

@@ -16,6 +16,12 @@
 // Pick a threshold well above runner noise (the CI wiring uses
 // deliberately loose ones).
 //
+// -deterministic-only narrows the gate to metrics that are pure
+// functions of code and input — currently the allocs/chunk family —
+// so wall-time metrics (MB/s, latencies) remain report-only however
+// noisy the runner. This is how CI gates the backup hot path: an
+// allocation regression fails the build, a slow runner does not.
+//
 // By default the stage-latency subtree is summarized along with the
 // top-level throughput numbers and the experiment's extra metrics;
 // -all includes every numeric leaf.
@@ -44,11 +50,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	all := fs.Bool("all", false, "include every numeric leaf (histogram percentiles, counts)")
 	failAbove := fs.Float64("fail-above", 0, "exit nonzero when a direction-classified metric regresses by more than PCT percent (0 = report only)")
+	detOnly := fs.Bool("deterministic-only", false, "with -fail-above, gate only deterministic metrics (allocs/chunk); wall-time metrics stay report-only, so runner noise cannot fail the build")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: benchdiff [-all] [-fail-above PCT] OLD.json NEW.json")
+		return fmt.Errorf("usage: benchdiff [-all] [-fail-above PCT] [-deterministic-only] OLD.json NEW.json")
 	}
 	if *failAbove < 0 {
 		return fmt.Errorf("-fail-above %v: threshold must be positive", *failAbove)
@@ -104,7 +111,7 @@ func run(args []string) error {
 			row("%s\t%s\t-\tgone\t\n", k, num(ov))
 		default:
 			row("%s\t%s\t%s\t%s\t\n", k, num(ov), num(nv), delta(ov, nv))
-			if *failAbove > 0 {
+			if *failAbove > 0 && (!*detOnly || deterministic(k)) {
 				if worse, pct := regressed(k, ov, nv); worse && pct > *failAbove {
 					regressions = append(regressions, fmt.Sprintf(
 						"REGRESSION: %s: %s -> %s (%.1f%% worse, threshold %.1f%%)",
@@ -147,10 +154,22 @@ func direction(key string) int {
 		strings.HasSuffix(key, "_ms"),
 		strings.HasSuffix(key, "wall_seconds"),
 		strings.HasSuffix(key, "reads"),
-		strings.HasSuffix(key, "containers_per_mb"):
+		strings.HasSuffix(key, "containers_per_mb"),
+		strings.Contains(key, "allocs_per_chunk"):
 		return -1
 	}
 	return 0
+}
+
+// deterministic reports whether a key's value is a pure function of
+// the code and inputs, independent of runner speed and load. Only
+// these keys are safe to hard-gate in CI: allocs/chunk counts exactly
+// what the allocator did, while MB/s and latency keys measure the
+// machine as much as the code. Matched by substring because the
+// per-scheme variants append the scheme name after the metric
+// (…_allocs_per_chunk_hidestore-l4w4).
+func deterministic(key string) bool {
+	return strings.Contains(key, "allocs_per_chunk")
 }
 
 // regressed reports whether new moved the wrong way relative to old

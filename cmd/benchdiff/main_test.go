@@ -162,3 +162,33 @@ func TestFailAboveGates(t *testing.T) {
 		t.Error("negative threshold accepted")
 	}
 }
+
+func TestDeterministicOnlyGates(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json",
+		`{"backup_mb_per_sec": 100, "extra": {"kernel_allocs_per_chunk_hidestore-l4w4": 2.0}}`)
+
+	// Wall time tanks but allocs hold: deterministic-only tolerates it,
+	// the plain gate does not.
+	slow := write(t, dir, "slow.json",
+		`{"backup_mb_per_sec": 40, "extra": {"kernel_allocs_per_chunk_hidestore-l4w4": 2.0}}`)
+	if err := run([]string{"-fail-above", "20", "-deterministic-only", oldP, slow}); err != nil {
+		t.Errorf("wall-time drop gated under -deterministic-only: %v", err)
+	}
+	if err := run([]string{"-fail-above", "20", oldP, slow}); err == nil {
+		t.Error("wall-time drop passed the plain gate")
+	}
+
+	// Allocs regress: deterministic-only must fail.
+	leaky := write(t, dir, "leaky.json",
+		`{"backup_mb_per_sec": 100, "extra": {"kernel_allocs_per_chunk_hidestore-l4w4": 3.0}}`)
+	if err := run([]string{"-fail-above", "20", "-deterministic-only", oldP, leaky}); err == nil {
+		t.Error("50% allocs/chunk rise passed the deterministic gate")
+	}
+	// Allocs improving never gates.
+	lean := write(t, dir, "lean.json",
+		`{"backup_mb_per_sec": 100, "extra": {"kernel_allocs_per_chunk_hidestore-l4w4": 1.0}}`)
+	if err := run([]string{"-fail-above", "20", "-deterministic-only", oldP, lean}); err != nil {
+		t.Errorf("allocs improvement gated: %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"hidestore/internal/chunker"
+	"hidestore/internal/metrics"
+	"hidestore/internal/workload"
+)
+
+// The -lanes mode reports the multi-lane chunker's behavior on a
+// stream: per-lane throughput, speculative-cut agreement (how many of a
+// lane's speculative cuts survived the stitch), and a sequential
+// cross-check that the stitched chunk sequence is bit-identical.
+
+// laneReport is the result of one multi-lane chunking run. The render
+// is a pure function of the fields, so golden tests can pin it without
+// re-running the chunkers.
+type laneReport struct {
+	Name      string
+	Alg       string
+	Bytes     int64
+	Chunks    int
+	Identical bool // stitched sequence matches the sequential chunker
+	ElapsedNS int64
+	Lanes     []chunker.LaneStat
+}
+
+// Render formats the report as a table plus a summary line.
+func (r laneReport) Render() string {
+	var b bytes.Buffer
+	t := metrics.NewTable(fmt.Sprintf("%s · %s · %d lanes", r.Name, r.Alg, len(r.Lanes)),
+		"lane", "MB", "cuts", "adopted", "agree", "resyncs", "MB/s")
+	for i, st := range r.Lanes {
+		agree := "-"
+		if st.Cuts > 0 {
+			agree = fmt.Sprintf("%.1f%%", 100*float64(st.Adopted)/float64(st.Cuts))
+		}
+		mbps := "-"
+		if st.BusyNS > 0 {
+			mbps = fmt.Sprintf("%.0f", float64(st.Bytes)/(1<<20)/(float64(st.BusyNS)/1e9))
+		}
+		t.AddRow(strconv.Itoa(i),
+			fmt.Sprintf("%.1f", float64(st.Bytes)/(1<<20)),
+			strconv.FormatInt(st.Cuts, 10),
+			strconv.FormatInt(st.Adopted, 10),
+			agree,
+			strconv.FormatInt(st.Resyncs, 10),
+			mbps)
+	}
+	b.WriteString(t.Render())
+	b.WriteByte('\n')
+	streamMBps := "-"
+	if r.ElapsedNS > 0 {
+		streamMBps = fmt.Sprintf("%.0f MB/s", float64(r.Bytes)/(1<<20)/(float64(r.ElapsedNS)/1e9))
+	}
+	verdict := "IDENTICAL to sequential"
+	if !r.Identical {
+		verdict = "MISMATCH vs sequential"
+	}
+	fmt.Fprintf(&b, "stream: %d chunks over %.1f MB at %s; cut sequence %s\n",
+		r.Chunks, float64(r.Bytes)/(1<<20), streamMBps, verdict)
+	return b.String()
+}
+
+// chunkSizes drains a chunker into its chunk-length sequence.
+func chunkSizes(ch chunker.Chunker) ([]int, error) {
+	var sizes []int
+	for {
+		data, err := ch.Next()
+		if errors.Is(err, io.EOF) {
+			return sizes, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		sizes = append(sizes, len(data))
+	}
+}
+
+// runLaneReport chunks data with lanes workers, cross-checks the cut
+// sequence against the sequential chunker, and builds the report.
+func runLaneReport(name string, data []byte, alg chunker.Algorithm, p chunker.Params, lanes int) (laneReport, error) {
+	seqCh, err := chunker.New(alg, bytes.NewReader(data), p)
+	if err != nil {
+		return laneReport{}, err
+	}
+	seqSizes, err := chunkSizes(seqCh)
+	if err != nil {
+		return laneReport{}, err
+	}
+
+	parCh, err := chunker.NewParallel(alg, bytes.NewReader(data), p, lanes)
+	if err != nil {
+		return laneReport{}, err
+	}
+	start := time.Now()
+	parSizes, err := chunkSizes(parCh)
+	if err != nil {
+		return laneReport{}, err
+	}
+	elapsed := time.Since(start)
+
+	identical := len(seqSizes) == len(parSizes)
+	if identical {
+		for i := range seqSizes {
+			if seqSizes[i] != parSizes[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	rep := laneReport{
+		Name:      name,
+		Alg:       alg.String(),
+		Bytes:     int64(len(data)),
+		Chunks:    len(parSizes),
+		Identical: identical,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if lr, ok := parCh.(chunker.LaneReporter); ok {
+		rep.Lanes = lr.LaneStats()
+	}
+	return rep, nil
+}
+
+// runLanes is the -lanes entry point: report on the preset's versions,
+// or on each explicit version file.
+func runLanes(lanes int, preset string, scale, versions int, files []string) error {
+	params := chunker.DefaultParams()
+	if preset != "" {
+		cfg, err := workload.Preset(preset, scale)
+		if err != nil {
+			return err
+		}
+		if versions > 0 && versions < cfg.Versions {
+			cfg.Versions = versions
+		}
+		g, err := workload.New(cfg)
+		if err != nil {
+			return err
+		}
+		for g.HasNext() {
+			r, err := g.NextVersion()
+			if err != nil {
+				return err
+			}
+			data, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			rep, err := runLaneReport(fmt.Sprintf("%s v%d", preset, g.Version()), data, chunker.TTTD, params, lanes)
+			if err != nil {
+				return err
+			}
+			fmt.Println(rep.Render())
+			if !rep.Identical {
+				return fmt.Errorf("lane chunking diverged from sequential on %s v%d", preset, g.Version())
+			}
+		}
+		return nil
+	}
+	if len(files) == 0 {
+		return errors.New("-lanes needs -preset or version files")
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rep, err := runLaneReport(path, data, chunker.TTTD, params, lanes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if !rep.Identical {
+			return fmt.Errorf("lane chunking diverged from sequential on %s", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hidestore/internal/chunker"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestLaneReportGolden pins the report rendering on fixed inputs (the
+// render is a pure function of the struct, so timing never leaks in).
+func TestLaneReportGolden(t *testing.T) {
+	rep := laneReport{
+		Name:      "kernel v1",
+		Alg:       "tttd",
+		Bytes:     8 << 20,
+		Chunks:    2048,
+		Identical: true,
+		ElapsedNS: 20e6,
+		Lanes: []chunker.LaneStat{
+			{Bytes: 4 << 20, Cuts: 1030, Adopted: 1030, Resyncs: 0, BusyNS: 10e6},
+			{Bytes: 4 << 20, Cuts: 1022, Adopted: 1018, Resyncs: 4, BusyNS: 11e6},
+		},
+	}
+	got := rep.Render()
+	golden := filepath.Join("testdata", "lanes.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Fatalf("report drifted from %s (re-run with -update-golden to accept):\n%s", golden, got)
+	}
+}
+
+// TestLaneReportMismatchRender covers the divergence wording.
+func TestLaneReportMismatchRender(t *testing.T) {
+	rep := laneReport{Name: "x", Alg: "rabin", Identical: false}
+	if !bytes.Contains([]byte(rep.Render()), []byte("MISMATCH")) {
+		t.Fatal("mismatch report lacks MISMATCH marker")
+	}
+}
+
+// TestRunLanesPreset drives the full -lanes path over a synthetic
+// preset, which also asserts the stitched sequence is identical
+// (runLanes fails otherwise).
+func TestRunLanesPreset(t *testing.T) {
+	if err := run([]string{"-lanes", "4", "-preset", "kernel", "-scale", "2", "-versions", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLanesFiles(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 256<<10)
+	rng.Read(data)
+	path := filepath.Join(dir, "v1.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-lanes", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-lanes", "2"}); err == nil {
+		t.Fatal("no input should fail")
+	}
+	if err := run([]string{"-lanes", "2", filepath.Join(dir, "missing.bin")}); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

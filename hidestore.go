@@ -47,6 +47,7 @@ import (
 	"hidestore/internal/index"
 	"hidestore/internal/index/ddfs"
 	"hidestore/internal/index/extbin"
+	"hidestore/internal/index/sharded"
 	"hidestore/internal/index/silo"
 	"hidestore/internal/index/sparse"
 	"hidestore/internal/obs"
@@ -90,6 +91,19 @@ type Config struct {
 	// construction — parallelism only changes wall time. 0 or 1 selects
 	// the serial path.
 	RestoreWorkers int
+	// ChunkLanes parallelizes chunking: the input stream is split into
+	// per-batch lane segments, chunked speculatively by that many
+	// workers, and re-stitched so the emitted chunk sequence — and with
+	// it every downstream artifact — is bit-identical to single-lane
+	// chunking. 0 or 1 chunks sequentially.
+	ChunkLanes int
+	// IndexShards shards the fingerprint index across a power-of-two
+	// number of lock domains keyed by fingerprint prefix, so concurrent
+	// lookups don't serialize on one lock. 0 selects the default (16
+	// for HiDeStore's cache; unwrapped for baselines). For baselines
+	// only exact per-chunk indexes ("ddfs") shard semantically; sampling
+	// indexes get an exclusive-lock wrapper instead.
+	IndexShards int
 	// MergeUtilization is the active-container utilization below which
 	// containers are merged after each version (default 0.5).
 	MergeUtilization float64
@@ -421,6 +435,8 @@ func Open(cfg Config) (*System, error) {
 		RestoreCache:      rc,
 		PrefetchDepth:     cfg.PrefetchDepth,
 		RestoreWorkers:    cfg.RestoreWorkers,
+		ChunkLanes:        cfg.ChunkLanes,
+		IndexShards:       cfg.IndexShards,
 		StatePath:         set.statePath,
 		WriteState:        set.writeState,
 		ReadState:         set.readState,
@@ -478,6 +494,37 @@ func OpenBaseline(cfg BaselineConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.IndexShards > 0 {
+		// Only exact per-chunk schemes shard semantically; sampling
+		// indexes make segment-scoped decisions, so they get the
+		// single-shard exclusive-lock wrapper regardless of the knob.
+		shards := cfg.IndexShards
+		if cfg.Index != "" && cfg.Index != "ddfs" {
+			shards = 1
+		}
+		// A failed inner build surfaces as a nil shard, which
+		// sharded.New rejects; mkErr preserves the root cause.
+		var mkErr error
+		mk := func(int) index.Index {
+			inner, e := ddfs.New(ddfs.Options{})
+			if e != nil {
+				mkErr = e
+				return nil
+			}
+			return inner
+		}
+		if shards == 1 {
+			first := ix
+			mk = func(int) index.Index { return first }
+		}
+		ix, err = sharded.New(shards, mk)
+		if mkErr != nil {
+			err = mkErr
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 	rw, err := rewrite.New(cfg.Rewriter)
 	if err != nil {
 		return nil, err
@@ -493,6 +540,7 @@ func OpenBaseline(cfg BaselineConfig) (*System, error) {
 		ContainerCapacity: cfg.ContainerSize,
 		PrefetchDepth:     cfg.PrefetchDepth,
 		RestoreWorkers:    cfg.RestoreWorkers,
+		ChunkLanes:        cfg.ChunkLanes,
 		Metrics:           cfg.Metrics,
 		Tracer:            cfg.Tracer,
 	})

@@ -1,30 +1,16 @@
 package chunker
 
-import "io"
-
-// ae implements the Asymmetric Extremum algorithm (Zhang et al.,
-// INFOCOM'15). A cut is declared when a local-maximum byte value is
-// followed by a full window of w bytes none of which exceeds it. AE needs
-// no rolling hash and touches each byte once; byte values are mixed through
-// the gear table so that low-entropy data (runs of equal bytes) still
+// AE is the Asymmetric Extremum algorithm (Zhang et al., INFOCOM'15).
+// A cut is declared when a local-maximum byte value is followed by a
+// full window of w bytes none of which exceeds it. AE needs no rolling
+// hash and touches each byte once; byte values are mixed through the
+// gear table so that low-entropy data (runs of equal bytes) still
 // produces well-distributed extrema.
 //
 // The expected chunk size of pure AE is roughly w·(e−1)/1 ≈ 1.72·w; we
-// derive w from Params.Avg accordingly and additionally enforce the
-// Min/Max bounds for parity with the other chunkers.
-type ae struct {
-	s      *scanner
-	p      Params
-	window int
-}
-
-func newAE(s *scanner, p Params) *ae {
-	w := int(float64(p.Avg) / 1.72)
-	if w < 1 {
-		w = 1
-	}
-	return &ae{s: s, p: p, window: w}
-}
+// derive w from Params.Avg accordingly (in newDecider, decide.go) and
+// additionally enforce the Min/Max bounds for parity with the other
+// chunkers.
 
 // aeScan returns the cut offset in win. The reference loop (kept in
 // reference_test.go) scans from 0 but ignores every byte before Min, so
@@ -54,16 +40,3 @@ func aeScan(win []byte, min, window int) int {
 	return n
 }
 
-func (c *ae) Next() ([]byte, error) {
-	win := c.s.window(c.p.Max)
-	if err := c.s.failed(); err != nil {
-		return nil, err
-	}
-	if len(win) == 0 {
-		return nil, io.EOF
-	}
-	if len(win) <= c.p.Min {
-		return c.s.take(len(win)), nil
-	}
-	return c.s.take(aeScan(win, c.p.Min, c.window)), nil
-}

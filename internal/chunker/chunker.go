@@ -125,22 +125,31 @@ func NewPooled(alg Algorithm, r io.Reader, p Params, pool *bufpool.Pool) (Chunke
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	s := newScanner(r, p.Max)
-	s.pool = pool
-	switch alg {
-	case Fixed:
-		return newFixed(s, p), nil
-	case Rabin:
-		return newRabin(s, p), nil
-	case TTTD:
-		return newTTTD(s, p), nil
-	case FastCDC:
-		return newFastCDC(s, p), nil
-	case AE:
-		return newAE(s, p), nil
-	default:
-		return nil, fmt.Errorf("chunker: unknown algorithm %v", alg)
+	d, err := newDecider(alg, p)
+	if err != nil {
+		return nil, err
 	}
+	s := newScanner(r, d.winBytes())
+	s.pool = pool
+	return &seq{s: s, d: d}, nil
+}
+
+// seq is the sequential chunker: one decision window at a time, cut
+// decided by the shared decider, chunk copied out by the scanner.
+type seq struct {
+	s *scanner
+	d decider
+}
+
+func (c *seq) Next() ([]byte, error) {
+	win := c.s.window(c.d.winBytes())
+	if err := c.s.failed(); err != nil {
+		return nil, err
+	}
+	if len(win) == 0 {
+		return nil, io.EOF
+	}
+	return c.s.take(c.d.cutLen(win)), nil
 }
 
 // Split is a convenience that chunks an entire byte slice in memory and
@@ -241,28 +250,6 @@ func (s *scanner) failed() error {
 		return s.err
 	}
 	return nil
-}
-
-// fixed cuts the stream into Max-agnostic, constant-size chunks of Avg
-// bytes. It ignores Min/Max other than using Avg as the block size.
-type fixed struct {
-	s    *scanner
-	size int
-}
-
-func newFixed(s *scanner, p Params) *fixed {
-	return &fixed{s: s, size: p.Avg}
-}
-
-func (f *fixed) Next() ([]byte, error) {
-	win := f.s.window(f.size)
-	if err := f.s.failed(); err != nil {
-		return nil, err
-	}
-	if len(win) == 0 {
-		return nil, io.EOF
-	}
-	return f.s.take(len(win)), nil
 }
 
 // nextPow2 rounds v up to the next power of two.

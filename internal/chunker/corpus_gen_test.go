@@ -1,0 +1,40 @@
+package chunker
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenParallelFuzzCorpus rewrites the committed seed corpus for
+// FuzzParallelDifferential under testdata/fuzz from seamCorpus, so the
+// segment-boundary adversarial shapes run on plain `go test` (the go
+// tool executes testdata seeds as regular test cases without -fuzz).
+// Skipped unless CHUNKER_REGEN_CORPUS is set; rerun after changing
+// seamCorpus or the fuzz target's argument list.
+func TestRegenParallelFuzzCorpus(t *testing.T) {
+	if os.Getenv("CHUNKER_REGEN_CORPUS") == "" {
+		t.Skip("set CHUNKER_REGEN_CORPUS=1 to rewrite the committed fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzParallelDifferential")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Small decision windows keep the committed files compact while
+	// still crossing several lane seams and batch boundaries.
+	for _, p := range []Params{{Min: 48, Avg: 64, Max: 129}, {Min: 1000, Avg: 1024, Max: 1025}} {
+		for _, lanes := range diffLanes {
+			for name, data := range seamCorpus(p, lanes) {
+				// Raw values invert the fuzz target's parameter
+				// derivation (Min = 1 + raw%2048, lanes = 2 + raw%7).
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nuint16(%d)\nuint16(%d)\nuint16(%d)\nuint8(%d)\n",
+					data, p.Min-1, p.Avg-p.Min, p.Max-p.Avg, lanes-2)
+				file := filepath.Join(dir, fmt.Sprintf("seam-%s-max%d-l%d", name, p.Max, lanes))
+				if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}

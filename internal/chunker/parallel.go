@@ -1,0 +1,305 @@
+package chunker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"hidestore/internal/bufpool"
+)
+
+// The parallel chunker exploits that every cut decision is local: the
+// chunk starting at position p is fully determined by the next
+// winBytes() bytes (decider.cutLen is a pure function of that window).
+// A batch of input is split into one contiguous segment per lane; each
+// lane speculatively chunks its segment as if the segment base were a
+// true chunk start. The stitch pass then walks the lanes in stream
+// order: when the true position entering a lane equals the lane's
+// base, every speculative cut is correct and is adopted wholesale;
+// otherwise cuts are re-derived sequentially from the true position
+// until one coincides with a speculative cut — from that point on the
+// lane's remaining cuts are the true cuts, because the decision
+// process restarts identically at every cut. Decisions are only made
+// at positions with a full lookahead window (or at EOF), so the
+// emitted chunk sequence is bit-identical to the sequential chunker.
+
+// _laneSegWindows sizes each lane's segment in decision windows per
+// batch. Larger segments amortize the per-batch fan-out; smaller ones
+// bound the carry and the re-scan cost after a stitch miss.
+const _laneSegWindows = 4
+
+// LaneStat reports one lane's activity, for throughput and
+// stitch-agreement inspection (cmd/chunkstat -lanes).
+type LaneStat struct {
+	Bytes   int64 // bytes speculatively scanned
+	Cuts    int64 // speculative cuts produced
+	Adopted int64 // speculative cuts adopted into the true sequence
+	Resyncs int64 // batches needing a sequential re-scan in this lane
+	BusyNS  int64 // time spent scanning in this lane
+}
+
+// LaneReporter is implemented by chunkers that run multiple lanes.
+type LaneReporter interface {
+	// LaneStats returns a snapshot of per-lane statistics.
+	LaneStats() []LaneStat
+}
+
+// NewParallel constructs a multi-lane chunker over r: the stream is
+// chunked by lanes workers and re-stitched so the emitted chunk
+// sequence is bit-identical to New's for the same algorithm and
+// parameters. lanes <= 1 degrades to the sequential chunker.
+func NewParallel(alg Algorithm, r io.Reader, p Params, lanes int) (Chunker, error) {
+	return NewParallelPooled(alg, r, p, lanes, nil)
+}
+
+// NewParallelPooled is NewParallel with chunk buffers drawn from pool,
+// under the same ownership contract as NewPooled.
+func NewParallelPooled(alg Algorithm, r io.Reader, p Params, lanes int, pool *bufpool.Pool) (Chunker, error) {
+	if lanes < 0 {
+		return nil, fmt.Errorf("chunker: lanes %d: must be >= 0", lanes)
+	}
+	if lanes <= 1 {
+		return NewPooled(alg, r, p, pool)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := newDecider(alg, p)
+	if err != nil {
+		return nil, err
+	}
+	win := d.winBytes()
+	c := &parallel{
+		r:     r,
+		pool:  pool,
+		d:     d,
+		lanes: lanes,
+		win:   win,
+		// One extra window of lookahead past the lane segments so every
+		// in-batch decision sees a full window.
+		buf:      make([]byte, lanes*_laneSegWindows*win+win),
+		bounds:   make([]int, lanes+1),
+		laneCuts: make([][]int, lanes),
+		stats:    make([]LaneStat, lanes),
+	}
+	return c, nil
+}
+
+// parallel is the multi-lane chunker. It is not safe for concurrent
+// Next calls; the lanes parallelize work inside one Next.
+type parallel struct {
+	r     io.Reader
+	pool  *bufpool.Pool
+	d     decider
+	lanes int
+	win   int // decision-window bytes
+
+	buf []byte // current batch
+	n   int    // valid bytes in buf
+	pos int    // emit cursor (start of the next chunk)
+	err error  // terminal reader state (io.EOF included)
+
+	cuts    []int // stitched true cut offsets for the current batch
+	nextCut int   // next index in cuts to emit
+
+	bounds   []int   // lane segment bounds for the current batch
+	laneCuts [][]int // per-lane speculative cut offsets
+	stats    []LaneStat
+
+	mu sync.Mutex // guards stats against concurrent LaneStats snapshots
+}
+
+// LaneStats implements LaneReporter.
+func (c *parallel) LaneStats() []LaneStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LaneStat, len(c.stats))
+	copy(out, c.stats)
+	return out
+}
+
+func (c *parallel) Next() ([]byte, error) {
+	if c.nextCut >= len(c.cuts) {
+		if err := c.refill(); err != nil {
+			return nil, err
+		}
+	}
+	cut := c.cuts[c.nextCut]
+	c.nextCut++
+	return c.take(cut - c.pos), nil
+}
+
+// take consumes n bytes from the batch buffer as a fresh copy — pooled
+// when the chunker has a pool (the caller then owns the buffer until
+// Release), plain-allocated otherwise.
+func (c *parallel) take(n int) []byte {
+	var out []byte
+	if c.pool != nil {
+		out = c.pool.Get(n)
+	} else {
+		out = make([]byte, n)
+	}
+	copy(out, c.buf[c.pos:c.pos+n])
+	c.pos += n
+	return out
+}
+
+// refill reads the next batch, chunks it across the lanes, and
+// stitches the speculative cuts into the true sequence. On return
+// either c.cuts holds at least one cut or the stream is done.
+func (c *parallel) refill() error {
+	// Carry the undecided suffix (past the last emitted cut) to the
+	// front. The batch base is always a true chunk start.
+	copy(c.buf, c.buf[c.pos:c.n])
+	c.n -= c.pos
+	c.pos = 0
+	c.cuts = c.cuts[:0]
+	c.nextCut = 0
+
+	for c.n < len(c.buf) && c.err == nil {
+		var m int
+		m, c.err = c.r.Read(c.buf[c.n:])
+		c.n += m
+	}
+	if c.err != nil && !errors.Is(c.err, io.EOF) {
+		// Reader failure: surface it, matching the sequential chunker,
+		// which drops buffered-but-unchunked bytes on error too.
+		return c.err
+	}
+	if c.n == 0 {
+		return io.EOF
+	}
+	eof := c.err != nil
+
+	// Decisions are only allowed where a full window is buffered; at
+	// EOF the short tail window is the true stream tail, so everything
+	// is decidable.
+	limit := c.n
+	if !eof {
+		limit = c.n - c.win
+	}
+	c.split(limit)
+	c.scatter()
+	c.stitch()
+	return nil
+}
+
+// split computes the lane segment bounds over [0, limit).
+func (c *parallel) split(limit int) {
+	seg := (limit + c.lanes - 1) / c.lanes
+	if c.d.alg == Fixed {
+		// Align lane bases to the fixed block grid so speculative cuts
+		// always coincide with the true ones.
+		if r := seg % c.d.p.Avg; r != 0 {
+			seg += c.d.p.Avg - r
+		}
+	}
+	if seg < 1 {
+		seg = 1
+	}
+	for k := 0; k <= c.lanes; k++ {
+		b := k * seg
+		if b > limit {
+			b = limit
+		}
+		c.bounds[k] = b
+	}
+}
+
+// scatter runs the speculative per-lane scans for the current batch.
+// Lanes 1..n-1 fan out to goroutines; lane 0 runs on the calling
+// goroutine, which saves one scheduling hop per batch.
+func (c *parallel) scatter() {
+	var wg sync.WaitGroup
+	for k := c.lanes - 1; k >= 0; k-- {
+		base, end := c.bounds[k], c.bounds[k+1]
+		c.laneCuts[k] = c.laneCuts[k][:0]
+		if base >= end {
+			continue
+		}
+		if k == 0 {
+			c.scanLane(0, base, end)
+			continue
+		}
+		wg.Add(1)
+		go func(k, base, end int) {
+			defer wg.Done()
+			c.scanLane(k, base, end)
+		}(k, base, end)
+	}
+	wg.Wait()
+}
+
+// scanLane speculatively chunks [base, end) as if base were a true
+// chunk start, recording the cuts and the lane's activity.
+func (c *parallel) scanLane(k, base, end int) {
+	start := time.Now()
+	cuts := c.laneCuts[k]
+	p := base
+	for p < end {
+		p += c.d.cutLen(c.window(p))
+		cuts = append(cuts, p)
+	}
+	c.laneCuts[k] = cuts
+	c.mu.Lock()
+	st := &c.stats[k]
+	st.BusyNS += time.Since(start).Nanoseconds()
+	st.Bytes += int64(p - base)
+	st.Cuts += int64(len(cuts))
+	c.mu.Unlock()
+}
+
+// window returns the decision window for a chunk starting at p.
+func (c *parallel) window(p int) []byte {
+	w := p + c.win
+	if w > c.n {
+		w = c.n
+	}
+	return c.buf[p:w]
+}
+
+// stitch merges the speculative lane cuts into the true cut sequence.
+func (c *parallel) stitch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	truePos := 0
+	for k := 0; k < c.lanes; k++ {
+		base, end := c.bounds[k], c.bounds[k+1]
+		if base >= end || truePos >= end {
+			// Empty lane, or a previous lane's adopted tail already
+			// crossed this whole segment.
+			continue
+		}
+		lc := c.laneCuts[k]
+		if truePos == base {
+			// The lane's speculative start was a true chunk start, so
+			// every one of its cuts is correct.
+			c.cuts = append(c.cuts, lc...)
+			c.stats[k].Adopted += int64(len(lc))
+			truePos = lc[len(lc)-1]
+			continue
+		}
+		// The true position entered mid-segment: re-derive cuts until
+		// one lands on a speculative cut, then adopt the rest — the
+		// decision process restarts identically at every cut, so from
+		// the first coincidence on, the lane's cuts are the true cuts.
+		c.stats[k].Resyncs++
+		for truePos < end {
+			truePos += c.d.cutLen(c.window(truePos))
+			c.cuts = append(c.cuts, truePos)
+			j := sort.SearchInts(lc, truePos)
+			if j < len(lc) && lc[j] == truePos {
+				rest := lc[j+1:]
+				c.cuts = append(c.cuts, rest...)
+				c.stats[k].Adopted += int64(len(rest) + 1)
+				if len(rest) > 0 {
+					truePos = rest[len(rest)-1]
+				}
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package chunker
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hidestore/internal/bufpool"
+)
+
+// diffLanes are the lane counts the acceptance criteria pin.
+var diffLanes = []int{2, 4, 8}
+
+// splitParallel chunks data through the multi-lane chunker and returns
+// the chunks.
+func splitParallel(tb testing.TB, alg Algorithm, data []byte, p Params, lanes int) [][]byte {
+	tb.Helper()
+	ch, err := NewParallel(alg, bytes.NewReader(data), p, lanes)
+	if err != nil {
+		tb.Fatalf("%v %+v lanes=%d: %v", alg, p, lanes, err)
+	}
+	var out [][]byte
+	for {
+		chunk, err := ch.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			tb.Fatalf("%v %+v lanes=%d: Next: %v", alg, p, lanes, err)
+		}
+		out = append(out, chunk)
+	}
+}
+
+// assertParallelIdentical chunks data sequentially and with lanes
+// workers and fails on the first divergence.
+func assertParallelIdentical(t *testing.T, alg Algorithm, data []byte, p Params, lanes int) {
+	t.Helper()
+	want, err := Split(alg, data, p)
+	if err != nil {
+		t.Fatalf("%v %+v: Split: %v", alg, p, err)
+	}
+	got := splitParallel(t, alg, data, p, lanes)
+	if len(got) != len(want) {
+		t.Fatalf("%v %+v lanes=%d: %d chunks, sequential %d", alg, p, lanes, len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("%v %+v lanes=%d: chunk %d diverges (len %d vs %d)",
+				alg, p, lanes, i, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the multi-lane pin: for every
+// algorithm, boundary-stressing parameter set, corpus shape, and lane
+// count the stitched chunk sequence must be bit-identical to the
+// sequential chunker's.
+func TestParallelMatchesSequential(t *testing.T) {
+	corpus := diffCorpus()
+	for _, alg := range diffAlgorithms {
+		for _, p := range diffParams() {
+			for name, data := range corpus {
+				for _, lanes := range diffLanes {
+					t.Run(fmt.Sprintf("%v/%d-%d-%d/%s/l%d", alg, p.Min, p.Avg, p.Max, name, lanes), func(t *testing.T) {
+						assertParallelIdentical(t, alg, data, p, lanes)
+					})
+				}
+			}
+		}
+	}
+}
+
+// seamCorpus builds inputs adversarial to the lane-stitching rule for
+// a given geometry: cut points exactly at, one byte before, and
+// straddling a lane boundary, plus min- and max-size chunks at the
+// seam. The lane segment for a single-batch input of n bytes is
+// ceil(n/lanes), so the shapes below position their content runs
+// relative to that.
+func seamCorpus(p Params, lanes int) map[string][]byte {
+	rng := rand.New(rand.NewSource(1337))
+	random := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	seg := _laneSegWindows * p.Max
+	out := map[string][]byte{
+		// Zeros produce forced max-size cuts on the Max grid; a batch of
+		// exactly lanes segments puts every lane boundary on that grid:
+		// cut exactly at the seam.
+		"cut-at-seam": make([]byte, lanes*seg),
+		// One byte short per lane: every boundary lands one byte before
+		// a forced cut, so each lane's first cut straddles its seam.
+		"cut-just-before-seam": make([]byte, lanes*seg-lanes),
+		// A random prefix shifts the zero run's forced-cut grid by an
+		// arbitrary offset: cuts straddle every boundary.
+		"cut-straddling-seam": append(random(p.Max/3+7), make([]byte, (lanes-1)*seg)...),
+		// Random data right at the seam makes content-defined (often
+		// min-adjacent) cuts there instead of forced max-size ones.
+		"random-at-seam": append(append(make([]byte, seg-p.Min), random(2*p.Max)...), make([]byte, (lanes-1)*seg)...),
+		// Multiple batches with a misaligned tail: the carry across the
+		// batch boundary is itself a straddling chunk.
+		"multi-batch-straddle": append(random(2*lanes*seg+p.Max/2), make([]byte, seg)...),
+	}
+	return out
+}
+
+// TestParallelSeamAdversarial exercises the stitch edge cases the
+// fuzz corpus seeds pin: boundary-aligned, boundary-adjacent, and
+// boundary-straddling cut points for every algorithm and lane count.
+func TestParallelSeamAdversarial(t *testing.T) {
+	for _, p := range []Params{DefaultParams(), {Min: 48, Avg: 64, Max: 129}} {
+		for _, lanes := range diffLanes {
+			for name, data := range seamCorpus(p, lanes) {
+				for _, alg := range diffAlgorithms {
+					t.Run(fmt.Sprintf("%v/%d-%d-%d/%s/l%d", alg, p.Min, p.Avg, p.Max, name, lanes), func(t *testing.T) {
+						assertParallelIdentical(t, alg, data, p, lanes)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPooled pins that the pooled parallel chunker returns the
+// same chunks and leaks no pooled buffers.
+func TestParallelPooled(t *testing.T) {
+	data := diffCorpus()["rand-1M"]
+	p := DefaultParams()
+	for _, alg := range diffAlgorithms {
+		pool := bufpool.New(p.Max)
+		plain, err := Split(alg, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := NewParallelPooled(alg, bytes.NewReader(data), p, 4, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for {
+			chunk, err := ch.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i >= len(plain) || !bytes.Equal(chunk, plain[i]) {
+				t.Fatalf("%v: pooled parallel chunk %d diverges", alg, i)
+			}
+			pool.Release(chunk)
+			i++
+		}
+		if i != len(plain) {
+			t.Fatalf("%v: pooled parallel produced %d chunks, plain %d", alg, i, len(plain))
+		}
+		if st := pool.Stats(); st.InUse != 0 {
+			t.Errorf("%v: %d pooled buffers leaked", alg, st.InUse)
+		}
+	}
+}
+
+// TestParallelLaneStats checks the LaneReporter surface: every lane
+// reports activity on a large stream, adopted cuts never exceed
+// produced cuts, and snapshots are safe to take while chunking runs
+// (the race tier makes that guarantee meaningful).
+func TestParallelLaneStats(t *testing.T) {
+	data := diffCorpus()["rand-1M"]
+	p := DefaultParams()
+	ch, err := NewParallel(FastCDC, bytes.NewReader(data), p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := ch.(LaneReporter)
+	if !ok {
+		t.Fatal("parallel chunker does not implement LaneReporter")
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				rep.LaneStats()
+			}
+		}
+	}()
+	for {
+		if _, err := ch.Next(); err != nil {
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	stats := rep.LaneStats()
+	if len(stats) != 4 {
+		t.Fatalf("LaneStats returned %d lanes, want 4", len(stats))
+	}
+	for k, st := range stats {
+		if st.Bytes == 0 || st.Cuts == 0 {
+			t.Errorf("lane %d: no activity recorded: %+v", k, st)
+		}
+		if st.Adopted > st.Cuts {
+			t.Errorf("lane %d: adopted %d > produced %d", k, st.Adopted, st.Cuts)
+		}
+	}
+	if stats[0].Adopted == 0 {
+		t.Error("lane 0 adopted no cuts; its base is always a true chunk start")
+	}
+}
+
+// TestParallelDegenerate covers the lanes<=1 and error paths.
+func TestParallelDegenerate(t *testing.T) {
+	if _, err := NewParallel(Rabin, bytes.NewReader(nil), DefaultParams(), -1); err == nil {
+		t.Error("negative lanes accepted")
+	}
+	ch, err := NewParallel(Rabin, bytes.NewReader([]byte("abc")), DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ch.(LaneReporter); ok {
+		t.Error("single-lane chunker should be the sequential implementation")
+	}
+	if _, err := NewParallel(Algorithm(99), bytes.NewReader(nil), DefaultParams(), 4); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := NewParallel(Rabin, bytes.NewReader(nil), Params{Min: -1, Avg: 4, Max: 8}, 4); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// failReader yields n bytes, then a non-EOF error.
+type failReader struct {
+	rest []byte
+	err  error
+}
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if len(r.rest) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.rest)
+	r.rest = r.rest[n:]
+	return n, nil
+}
+
+// TestParallelReaderError pins that a reader failure surfaces as-is,
+// matching the sequential chunker's contract.
+func TestParallelReaderError(t *testing.T) {
+	boom := errors.New("boom")
+	ch, err := NewParallel(FastCDC, &failReader{rest: make([]byte, 1000), err: boom}, DefaultParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := ch.Next()
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("got %v, want the reader's error", err)
+			}
+			return
+		}
+	}
+}
+
+// FuzzParallelDifferential lets the fuzzer hunt for inputs where the
+// lane stitching diverges from the sequential chunker. The committed
+// corpus under testdata/fuzz seeds the segment-boundary adversarial
+// shapes (cut exactly at / just before / straddling a lane seam) so
+// plain `go test` exercises them without -fuzz.
+func FuzzParallelDifferential(f *testing.F) {
+	f.Add([]byte("hello world, hello world, hello world"), uint16(4), uint16(4), uint16(6), uint8(2))
+	f.Add(make([]byte, 8192), uint16(48), uint16(16), uint16(64), uint8(3))
+	p := Params{Min: 48, Avg: 64, Max: 129}
+	for _, lanes := range diffLanes {
+		for _, data := range seamCorpus(p, lanes) {
+			// Raw values invert the parameter derivation below
+			// (Min = 1 + raw%2048, lanes = 2 + raw%7).
+			f.Add(data, uint16(p.Min-1), uint16(p.Avg-p.Min), uint16(p.Max-p.Avg), uint8(lanes-2))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, minRaw, avgSpread, maxSpread uint16, laneRaw uint8) {
+		p := Params{
+			Min: 1 + int(minRaw)%2048,
+		}
+		p.Avg = p.Min + int(avgSpread)%2048
+		p.Max = p.Avg + int(maxSpread)%4096
+		if p.Validate() != nil {
+			t.Skip()
+		}
+		lanes := 2 + int(laneRaw)%7
+		if len(data) > 1<<20 {
+			data = data[:1<<20]
+		}
+		for _, alg := range diffAlgorithms {
+			assertParallelIdentical(t, alg, data, p, lanes)
+		}
+	})
+}
+
+// BenchmarkParallelChunkers measures multi-lane throughput against the
+// single-lane baseline for each algorithm (make microbench).
+func BenchmarkParallelChunkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	data := make([]byte, 8<<20)
+	rng.Read(data)
+	p := DefaultParams()
+	for _, alg := range []Algorithm{Rabin, TTTD, FastCDC} {
+		for _, lanes := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%v/l%d", alg, lanes), func(b *testing.B) {
+				pool := bufpool.New(p.Max)
+				b.SetBytes(int64(len(data)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ch, err := NewParallelPooled(alg, bytes.NewReader(data), p, lanes, pool)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for {
+						chunk, err := ch.Next()
+						if err != nil {
+							break
+						}
+						pool.Release(chunk)
+					}
+				}
+			})
+		}
+	}
+}

@@ -118,14 +118,14 @@ func BenchmarkScan(b *testing.B) {
 			}
 		})
 	}
-	rb := newRabin(newScanner(nil, p.Max), p)
-	run("rabin", func(win []byte) int { return rabinScan(rb.tab, win, p.Min, rb.mask) })
-	tt := newTTTD(newScanner(nil, p.Max), p)
+	rb, _ := newDecider(Rabin, p)
+	run("rabin", func(win []byte) int { return rabinScan(_rabinTab, win, p.Min, rb.mask) })
+	tt, _ := newDecider(TTTD, p)
 	run("tttd", func(win []byte) int {
-		return tttdScan(tt.tab, win, p.Min, tt.mainDiv, tt.backDiv, len(win) == p.Max)
+		return tttdScan(_rabinTab, win, p.Min, tt.mainDiv, tt.backDiv, len(win) == p.Max)
 	})
-	fc := newFastCDC(newScanner(nil, p.Max), p)
+	fc, _ := newDecider(FastCDC, p)
 	run("fastcdc", func(win []byte) int { return fastcdcScan(win, p.Min, p.Avg, fc.maskS, fc.maskL) })
-	ar := newAE(newScanner(nil, p.Max), p)
-	run("ae", func(win []byte) int { return aeScan(win, p.Min, ar.window) })
+	ar, _ := newDecider(AE, p)
+	run("ae", func(win []byte) int { return aeScan(win, p.Min, ar.aeWindow) })
 }

@@ -1,7 +1,7 @@
 package chunker
 
 import (
-	"io"
+	"encoding/binary"
 	"math/bits"
 )
 
@@ -96,6 +96,9 @@ var _rabinSeed = func() Poly {
 //	phase 2, i == window-1: the 0x01 guard byte leaves;
 //	phase 3, i >= window: win[i-window] leaves.
 func rabinScan(tab *rabinTables, win []byte, min int, mask Poly) int {
+	if min > _rabinWindow {
+		return rabinScanSkip(tab, win, min, mask)
+	}
 	n := len(win)
 	shift := tab.shift
 	digest := _rabinSeed
@@ -134,33 +137,68 @@ func rabinScan(tab *rabinTables, win []byte, min int, mask Poly) int {
 	return n
 }
 
-// rabin is the Rabin-based content-defined chunker.
-type rabin struct {
-	s    *scanner
-	tab  *rabinTables
-	p    Params
-	mask Poly
+// rabinScanSkip is rabinScan for min > window, the production
+// configuration (2 KB min, 48-byte window). Because the fold-out in
+// phase 3 is exact, the digest at any position i >= window-1 is a
+// pure function of the trailing window bytes, so the scan starts a
+// window before the first tested position instead of at 0 — the
+// cut-point-skip trick fastcdcScan uses, transplanted to the rolling
+// Rabin hash. Two further restructurings over rabinScan:
+//
+//   - the i+1 >= min test is hoisted out entirely: the warm-up prefix
+//     tests nothing, and every position from the guard step on is
+//     >= min by construction;
+//   - the steady-state loop strides 8 bytes: one 64-bit load each for
+//     the incoming and outgoing bytes replaces 16 bounds-checked byte
+//     loads, and the 8 steps consume the loaded words from registers.
+//
+// Bit-identical to rabinScan by the differential fuzz harness.
+func rabinScanSkip(tab *rabinTables, win []byte, min int, mask Poly) int {
+	n := len(win)
+	shift := tab.shift
+	digest := _rabinSeed
+	// Warm the hash over the window preceding the first tested
+	// position; no cut tests happen here.
+	i := min - _rabinWindow
+	for e := min - 1; i < e; i++ {
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+	}
+	// Guard step: the 0x01 reset byte leaves; the first tested cut is
+	// min itself.
+	digest ^= tab.out[1]
+	idx := byte(digest >> shift)
+	digest = digest<<8 | Poly(win[i])
+	digest ^= tab.mod[idx]
+	if digest&mask == mask {
+		return i + 1
+	}
+	i++
+	for ; i+8 <= n; i += 8 {
+		in := binary.LittleEndian.Uint64(win[i:])
+		out := binary.LittleEndian.Uint64(win[i-_rabinWindow:])
+		for k := 0; k < 8; k++ {
+			digest ^= tab.out[byte(out)]
+			out >>= 8
+			idx := byte(digest >> shift)
+			digest = digest<<8 | Poly(byte(in))
+			in >>= 8
+			digest ^= tab.mod[idx]
+			if digest&mask == mask {
+				return i + k + 1
+			}
+		}
+	}
+	for ; i < n; i++ {
+		digest ^= tab.out[win[i-_rabinWindow]]
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if digest&mask == mask {
+			return i + 1
+		}
+	}
+	return n
 }
 
-func newRabin(s *scanner, p Params) *rabin {
-	return &rabin{
-		s:    s,
-		tab:  _rabinTab,
-		p:    p,
-		mask: Poly(nextPow2(p.Avg) - 1),
-	}
-}
-
-func (c *rabin) Next() ([]byte, error) {
-	win := c.s.window(c.p.Max)
-	if err := c.s.failed(); err != nil {
-		return nil, err
-	}
-	if len(win) == 0 {
-		return nil, io.EOF
-	}
-	if len(win) <= c.p.Min {
-		return c.s.take(len(win)), nil
-	}
-	return c.s.take(rabinScan(c.tab, win, c.p.Min, c.mask)), nil
-}

@@ -1,38 +1,15 @@
 package chunker
 
-import "io"
+import "encoding/binary"
 
-// tttd implements the Two Thresholds, Two Divisors algorithm (Eshghi &
+// TTTD implements the Two Thresholds, Two Divisors algorithm (Eshghi &
 // Tang, HP Labs), the chunker HiDeStore's prototype uses (§5.1). It scans
 // with a rolling Rabin fingerprint and keeps two divisors: the main divisor
 // D yields the target average size; the backup divisor D' = D/2 fires twice
 // as often and records a fallback cut point. If no main cut appears before
 // the maximum threshold, the most recent backup cut is used, which keeps
-// forced cuts content-defined instead of positional.
-type tttd struct {
-	s       *scanner
-	tab     *rabinTables
-	p       Params
-	mainDiv Poly
-	backDiv Poly
-}
-
-func newTTTD(s *scanner, p Params) *tttd {
-	// Divisors derived from the target average: with min-size skipping, the
-	// expected chunk size is roughly Min + D, so choose D = Avg - Min
-	// (rounded to a power of two for cheap masking).
-	d := nextPow2(p.Avg - p.Min)
-	if d < 2 {
-		d = 2
-	}
-	return &tttd{
-		s:       s,
-		tab:     _rabinTab,
-		p:       p,
-		mainDiv: Poly(d - 1),
-		backDiv: Poly(d/2 - 1),
-	}
-}
+// forced cuts content-defined instead of positional. Divisor derivation
+// lives in newDecider (decide.go).
 
 // tttdScan returns the cut offset in win: the first position >= min
 // matching the main divisor; failing that, the last position matching
@@ -41,6 +18,9 @@ func newTTTD(s *scanner, p Params) *tttd {
 // outgoing window byte is derived positionally); bit-identical to the
 // reference implementation by the differential fuzz harness.
 func tttdScan(tab *rabinTables, win []byte, min int, mainDiv, backDiv Poly, isMaxWindow bool) int {
+	if min > _rabinWindow {
+		return tttdScanSkip(tab, win, min, mainDiv, backDiv, isMaxWindow)
+	}
 	n := len(win)
 	shift := tab.shift
 	digest := _rabinSeed
@@ -98,17 +78,68 @@ func tttdScan(tab *rabinTables, win []byte, min int, mainDiv, backDiv Poly, isMa
 	return n
 }
 
-func (c *tttd) Next() ([]byte, error) {
-	win := c.s.window(c.p.Max)
-	if err := c.s.failed(); err != nil {
-		return nil, err
+// tttdScanSkip is tttdScan for min > window: same restructurings as
+// rabinScanSkip (start a window before the first tested position,
+// hoist the min test, 8-byte strides in the steady state). The backup
+// divisor fires often — roughly every D/2 bytes — so its tracking is
+// written as a plain conditional assignment, which the compiler turns
+// into a branch-free conditional move. Bit-identical to tttdScan by
+// the differential fuzz harness.
+func tttdScanSkip(tab *rabinTables, win []byte, min int, mainDiv, backDiv Poly, isMaxWindow bool) int {
+	n := len(win)
+	shift := tab.shift
+	digest := _rabinSeed
+	backup := 0
+	i := min - _rabinWindow
+	for e := min - 1; i < e; i++ {
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
 	}
-	if len(win) == 0 {
-		return nil, io.EOF
+	digest ^= tab.out[1]
+	idx := byte(digest >> shift)
+	digest = digest<<8 | Poly(win[i])
+	digest ^= tab.mod[idx]
+	if digest&backDiv == backDiv {
+		backup = i + 1
 	}
-	if len(win) <= c.p.Min {
-		return c.s.take(len(win)), nil
+	if digest&mainDiv == mainDiv {
+		return i + 1
 	}
-	cut := tttdScan(c.tab, win, c.p.Min, c.mainDiv, c.backDiv, len(win) == c.p.Max)
-	return c.s.take(cut), nil
+	i++
+	for ; i+8 <= n; i += 8 {
+		in := binary.LittleEndian.Uint64(win[i:])
+		out := binary.LittleEndian.Uint64(win[i-_rabinWindow:])
+		for k := 0; k < 8; k++ {
+			digest ^= tab.out[byte(out)]
+			out >>= 8
+			idx := byte(digest >> shift)
+			digest = digest<<8 | Poly(byte(in))
+			in >>= 8
+			digest ^= tab.mod[idx]
+			if digest&backDiv == backDiv {
+				backup = i + k + 1
+			}
+			if digest&mainDiv == mainDiv {
+				return i + k + 1
+			}
+		}
+	}
+	for ; i < n; i++ {
+		digest ^= tab.out[win[i-_rabinWindow]]
+		idx := byte(digest >> shift)
+		digest = digest<<8 | Poly(win[i])
+		digest ^= tab.mod[idx]
+		if digest&backDiv == backDiv {
+			backup = i + 1
+		}
+		if digest&mainDiv == mainDiv {
+			return i + 1
+		}
+	}
+	if isMaxWindow && backup > 0 {
+		return backup
+	}
+	return n
 }
+

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sort"
 	"strconv"
+	"sync"
 	"testing"
 
 	"hidestore/internal/container"
@@ -188,5 +190,136 @@ func TestLookupOneMatchesDedup(t *testing.T) {
 	sa, sb := a.Stats(), b.Stats()
 	if sa.Duplicates != sb.Duplicates || sa.Uniques != sb.Uniques {
 		t.Fatalf("stats diverge: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestIndexViewShardHammer drives the sharded cache the way the backup
+// pipeline does — HashWorkers×4 goroutines probing speculatively while
+// a sink goroutine classifies and commits — with a concurrent Stats and
+// TransientBytes scrape. Run under -race, this is the shard-contention
+// safety proof for the core cache.
+func TestIndexViewShardHammer(t *testing.T) {
+	v := NewIndexViewSharded(1, 8)
+	const probers = 16 // HashWorkers (4) × 4
+	seg := refs("hammer", 2000)
+
+	var wg, scrape sync.WaitGroup
+	stop := make(chan struct{})
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				v.Stats()
+				v.TransientBytes()
+			}
+		}
+	}()
+	for w := 0; w < probers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				for _, c := range seg {
+					v.probe(c.FP)
+				}
+			}
+		}(w)
+	}
+	// The sink: in-order classification and commit, concurrent with the
+	// probers — exactly the engine's arrangement.
+	var next container.ID
+	for round := 0; round < 3; round++ {
+		for _, c := range seg {
+			if _, hit := v.probe(c.FP); hit {
+				v.touch(c.FP, c.Size)
+				continue
+			}
+			if _, dup := v.lookupOne(c.FP, c.Size); !dup {
+				next++
+				v.commitOne(c.FP, next)
+			}
+		}
+	}
+	wg.Wait()
+	close(stop)
+	scrape.Wait()
+
+	st := v.Stats()
+	if want := uint64(3 * len(seg)); st.Lookups != want {
+		t.Fatalf("Lookups = %d, want %d (probes must not count as lookups)", st.Lookups, want)
+	}
+	if want := uint64(2 * len(seg)); st.Duplicates != want {
+		t.Fatalf("Duplicates = %d, want %d", st.Duplicates, want)
+	}
+	if want := uint64(len(seg)); st.Uniques != want {
+		t.Fatalf("Uniques = %d, want %d", st.Uniques, want)
+	}
+}
+
+// TestIndexViewShardedMatchesSingle pins shard transparency: the same
+// classification sequence against a 1-shard and a 16-shard cache must
+// produce identical verdicts, stats, and eviction sets.
+func TestIndexViewShardedMatchesSingle(t *testing.T) {
+	one := NewIndexViewSharded(1, 1)
+	many := NewIndexViewSharded(1, 16)
+	var n1, n2 container.ID
+	for ver := 0; ver < 3; ver++ {
+		seg := refs("match"+strconv.Itoa(ver%2), 300) // alternate so evictions happen
+		r1 := one.Dedup(seg)
+		r2 := many.Dedup(seg)
+		for i := range seg {
+			if r1[i].Duplicate != r2[i].Duplicate || r1[i].CID != r2[i].CID {
+				t.Fatalf("v%d chunk %d: 1-shard %+v, 16-shard %+v", ver, i, r1[i], r2[i])
+			}
+		}
+		commit(one, seg, r1, &n1)
+		commit(many, seg, r2, &n2)
+		e1, e2 := one.Evicted(), many.Evicted()
+		sort.Slice(e1, func(i, j int) bool { return e1[i].Less(e1[j]) })
+		sort.Slice(e2, func(i, j int) bool { return e2[i].Less(e2[j]) })
+		if len(e1) != len(e2) {
+			t.Fatalf("v%d: eviction sets differ in size: %d vs %d", ver, len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("v%d: eviction sets differ at %d", ver, i)
+			}
+		}
+		one.EndVersion()
+		many.EndVersion()
+	}
+	if s1, s2 := one.Stats(), many.Stats(); s1 != s2 {
+		t.Fatalf("stats diverge:\n1-shard  %+v\n16-shard %+v", s1, s2)
+	}
+	if one.TransientBytes() != many.TransientBytes() {
+		t.Fatal("transient footprint diverges between shard counts")
+	}
+}
+
+// BenchmarkIndexViewProbe measures the concurrent read fast path at
+// increasing shard counts (make microbench).
+func BenchmarkIndexViewProbe(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run("shards"+strconv.Itoa(shards), func(b *testing.B) {
+			v := NewIndexViewSharded(1, shards)
+			seg := refs("bench", 4096)
+			var next container.ID
+			for _, c := range seg {
+				next++
+				v.commitOne(c.FP, next)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					v.probe(seg[i%len(seg)].FP)
+					i++
+				}
+			})
+		})
 	}
 }

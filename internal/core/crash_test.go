@@ -74,6 +74,41 @@ func TestCrashMatrixBackup(t *testing.T) {
 		[]fault.Kind{fault.Fail, fault.Torn, fault.NoSpace})
 }
 
+// crashOpenLanes is crashOpen with multi-lane chunking and a sharded
+// fingerprint cache, so the matrix also proves the parallel ingest path
+// commits exactly what the sequential path does at every crash point.
+func crashOpenLanes(dir string, inj *fault.Injector) (backup.Engine, error) {
+	cs, err := container.NewFileStore(filepath.Join(dir, "containers"))
+	if err != nil {
+		return nil, err
+	}
+	rs, err := recipe.NewFileStore(filepath.Join(dir, "recipes"))
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{
+		Store:             fault.NewStore(cs, inj, cs.Path),
+		Recipes:           fault.NewRecipeStore(rs, inj, rs.Path),
+		ContainerCapacity: 16 << 10,
+		Window:            1,
+		ChunkParams:       chunker.Params{Min: 1024, Avg: 2048, Max: 8192},
+		ChunkLanes:        2,
+		IndexShards:       4,
+		RestoreCache:      restorecache.NewFAA(1 << 20),
+		StatePath:         filepath.Join(dir, "state.hds"),
+		WriteState:        inj.WrapWrite(durable.WriteFileAtomic),
+	})
+}
+
+// TestCrashMatrixBackupLanes re-runs the backup crash matrix with
+// ChunkLanes > 1 and a sharded cache: committed versions must restore
+// byte-identically however the parallel pipeline was cut down.
+func TestCrashMatrixBackupLanes(t *testing.T) {
+	versions := backuptest.Materialize(t, crashWorkload(3))
+	backuptest.CrashMatrix(t, crashOpenLanes, backuptest.BackupSteps(versions),
+		[]fault.Kind{fault.Fail, fault.Torn, fault.NoSpace})
+}
+
 // TestCrashMatrixDelete adds an expiry to the script: backups, a
 // delete of the oldest version, and one more backup — so every crash
 // point of the Delete commit order (recipe → state → containers) and

@@ -60,6 +60,16 @@ type Config struct {
 	RestoreWorkers int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
+	// ChunkLanes parallelizes content-defined chunking: the stream is
+	// speculatively chunked by this many lanes and re-stitched, with a
+	// chunk sequence bit-identical to the sequential chunker's. 0 or 1
+	// chunks sequentially (the default).
+	ChunkLanes int
+	// IndexShards is the fingerprint cache's shard count (rounded up to
+	// a power of two, max 256). Shards bound lock contention between
+	// the hash workers' speculative index probes; they never change
+	// dedup decisions. 0 selects DefaultIndexShards.
+	IndexShards int
 	// AsyncCommitDepth bounds the asynchronous container-commit queue:
 	// sealed containers are committed by a background writer while
 	// chunking continues, and a barrier before the recipe write
@@ -120,6 +130,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.HashWorkers <= 0 {
 		c.HashWorkers = 4
+	}
+	if c.ChunkLanes <= 0 {
+		c.ChunkLanes = 1
 	}
 	if c.WriteState == nil {
 		c.WriteState = durable.WriteFileAtomic
@@ -222,7 +235,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:              cfg,
-		cache:            NewIndexView(cfg.Window),
+		cache:            NewIndexViewSharded(cfg.Window, cfg.IndexShards),
 		activeByFP:       make(map[fp.FP]container.ID),
 		activeContainers: make(map[container.ID]*container.Container),
 		batches:          make(map[int]*archivalBatch),
@@ -269,6 +282,13 @@ type hashedChunk struct {
 	seq  int
 	fp   fp.FP
 	data []byte
+	// probeHit is the hash worker's speculative cache probe: true means
+	// the fingerprint was already active when the worker saw it, which
+	// stays true for the rest of the version (entries are never removed
+	// mid-pipeline), so the in-order sink can trust it. False is only a
+	// hint — an identical chunk earlier in the same version may commit
+	// between the probe and the sink — and is re-probed in order.
+	probeHit bool
 }
 
 // Backup implements backup.Engine.
@@ -315,14 +335,14 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.Back
 		}
 		span.End()
 	}()
-	var chunkNS, lookupNS int64 // single-goroutine stages
-	var fpNS atomic.Int64       // fingerprinting runs on HashWorkers goroutines
+	var chunkNS int64           // single-goroutine stage (the producer)
+	var fpNS, lookupNS atomic.Int64 // fingerprint and probe run on HashWorkers goroutines
 	var mxChunk, mxFP, mxLookup *obs.Histogram
 	if e.mx != nil {
 		mxChunk, mxFP, mxLookup = e.mx.ChunkingNS, e.mx.FingerprintNS, e.mx.IndexLookupNS
 	}
 
-	ch, err := chunker.NewPooled(e.cfg.Chunker, version, e.cfg.ChunkParams, e.pool)
+	ch, err := chunker.NewParallelPooled(e.cfg.Chunker, version, e.cfg.ChunkParams, e.cfg.ChunkLanes, e.pool)
 	if err != nil {
 		return backup.BackupReport{}, err
 	}
@@ -403,6 +423,18 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.Back
 			fpNS.Add(int64(d))
 			mxFP.Observe(uint64(d))
 		}
+		// Speculative index probe: a sharded read that overlaps the
+		// expensive map lookup with the other workers instead of
+		// serializing it behind the sink. The sink confirms hits and
+		// re-probes misses, so classification and statistics are
+		// identical to a sink-only lookup.
+		if obsOn {
+			t0 = time.Now()
+		}
+		_, c.probeHit = e.cache.probe(c.fp)
+		if obsOn {
+			lookupNS.Add(int64(time.Since(t0)))
+		}
 		return c, nil
 	})
 	process := func(item hashedChunk) error {
@@ -413,10 +445,17 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.Back
 		if obsOn {
 			t0 = time.Now()
 		}
-		_, dup := e.cache.lookupOne(item.fp, size)
+		dup := item.probeHit
+		if dup {
+			e.cache.touch(item.fp, size)
+		} else {
+			// The probe may have raced an identical chunk earlier in
+			// this version; only a miss needs the in-order re-probe.
+			_, dup = e.cache.lookupOne(item.fp, size)
+		}
 		if obsOn {
 			d := time.Since(t0)
-			lookupNS += int64(d)
+			lookupNS.Add(int64(d))
 			mxLookup.Observe(uint64(d))
 		}
 		if !dup {
@@ -537,11 +576,23 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.Back
 	if e.tracer != nil {
 		// Chunking and fingerprinting run interleaved with the dedup
 		// sink, so their cost is the per-item sum, not a wall interval.
-		e.tracer.EmitStage("stage.chunking", span, start, time.Duration(chunkNS),
-			map[string]int64{"chunks": int64(chunks), "bytes": int64(logical)})
+		chunkAttrs := map[string]int64{"chunks": int64(chunks), "bytes": int64(logical)}
+		if rep, ok := ch.(chunker.LaneReporter); ok {
+			// Multi-lane chunking: chunkNS is the producer's wall time in
+			// Next (stitch + copy + waiting on the slowest lane); the
+			// lanes' aggregate scan work runs concurrently and is
+			// reported separately so the span still sums correctly.
+			var busy int64
+			for _, st := range rep.LaneStats() {
+				busy += st.BusyNS
+			}
+			chunkAttrs["lanes"] = int64(e.cfg.ChunkLanes)
+			chunkAttrs["lane_busy_ns"] = busy
+		}
+		e.tracer.EmitStage("stage.chunking", span, start, time.Duration(chunkNS), chunkAttrs)
 		e.tracer.EmitStage("stage.fingerprint", span, start, time.Duration(fpNS.Load()),
 			map[string]int64{"chunks": int64(chunks), "bytes": int64(logical)})
-		e.tracer.EmitStage("stage.index_lookup", span, start, time.Duration(lookupNS),
+		e.tracer.EmitStage("stage.index_lookup", span, start, time.Duration(lookupNS.Load()),
 			map[string]int64{"chunks": int64(chunks)})
 		span.SetAttr("version", int64(v))
 		span.SetAttr("bytes", int64(logical))
@@ -641,7 +692,7 @@ func (e *Engine) migrateCold(v int) (map[fp.FP]container.ID, error) {
 	}
 	var victims []coldChunk
 	for f, cid := range e.activeByFP {
-		if _, hot := e.cache.active[f]; !hot {
+		if _, hot := e.cache.cidOf(f); !hot {
 			victims = append(victims, coldChunk{f: f, from: cid})
 		}
 	}
@@ -732,7 +783,7 @@ func (e *Engine) migrateCold(v int) (map[fp.FP]container.ID, error) {
 		e.activeContainers[e.nextCID] = src
 		for _, f := range src.Fingerprints() {
 			e.activeByFP[f] = e.nextCID
-			e.cache.active[f] = e.nextCID
+			e.cache.setCID(f, e.nextCID)
 		}
 		if err := e.cfg.Store.Put(src); err != nil {
 			return nil, err
@@ -789,7 +840,7 @@ func (e *Engine) mergeSparseActives() error {
 				return err
 			}
 			e.activeByFP[f] = merged.ID()
-			e.cache.active[f] = merged.ID()
+			e.cache.setCID(f, merged.ID())
 		}
 		delete(e.activeContainers, src.ID())
 		// Deferred: the source image may be referenced by the previous
@@ -846,7 +897,7 @@ func (e *Engine) patchDepartingRecipe(v int, coldLocs map[fp.FP]container.ID) er
 			changed = true
 			continue
 		}
-		if seen, ok := e.cache.lastSeen[entry.FP]; ok {
+		if seen, ok := e.cache.lastSeenOf(entry.FP); ok {
 			entry.CID = -int32(seen)
 			changed = true
 			continue

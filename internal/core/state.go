@@ -37,7 +37,8 @@ func (e *Engine) marshalState() []byte {
 	}
 	hots := make([]hot, 0, len(e.activeByFP))
 	for f, cid := range e.activeByFP {
-		hots = append(hots, hot{f: f, cid: cid, seen: e.cache.lastSeen[f]})
+		seen, _ := e.cache.lastSeenOf(f)
+		hots = append(hots, hot{f: f, cid: cid, seen: seen})
 	}
 	sort.Slice(hots, func(i, j int) bool { return hots[i].f.Less(hots[j].f) })
 	batchVersions := make([]int, 0, len(e.batches))
@@ -122,8 +123,8 @@ func (e *Engine) unmarshalState(buf []byte) error {
 	}
 	e.version = int(binary.BigEndian.Uint32(buf[12:]))
 	e.nextCID = container.ID(binary.BigEndian.Uint32(buf[16:]))
-	e.cache = NewIndexView(e.cfg.Window)
-	e.cache.version = e.version
+	e.cache = NewIndexViewSharded(e.cfg.Window, e.cfg.IndexShards)
+	e.cache.setVersion(e.version)
 	e.activeByFP = make(map[fp.FP]container.ID)
 	e.activeContainers = make(map[container.ID]*container.Container)
 	e.batches = make(map[int]*archivalBatch)
@@ -161,8 +162,7 @@ func (e *Engine) unmarshalState(buf []byte) error {
 		seen := int(binary.BigEndian.Uint32(buf[off+fp.Size+4:]))
 		off += fp.Size + 8
 		e.activeByFP[f] = cid
-		e.cache.active[f] = cid
-		e.cache.lastSeen[f] = seen
+		e.cache.insertEntry(f, cid, seen)
 	}
 	nBatches, err := read32()
 	if err != nil {

@@ -60,6 +60,11 @@ type Config struct {
 	RestoreWorkers int
 	// HashWorkers parallelize fingerprinting (default 4).
 	HashWorkers int
+	// ChunkLanes parallelize chunking itself: the input is split into
+	// per-batch lane segments, chunked speculatively, and re-stitched so
+	// the chunk sequence is bit-identical to single-lane chunking. 0 or
+	// 1 chunks sequentially.
+	ChunkLanes int
 	// AsyncCommitDepth bounds the asynchronous container-commit queue:
 	// sealed containers are committed by a background writer while
 	// chunking continues, with a barrier before the recipe write. 0
@@ -106,6 +111,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.HashWorkers <= 0 {
 		c.HashWorkers = 4
+	}
+	if c.ChunkLanes <= 0 {
+		c.ChunkLanes = 1
 	}
 	return nil
 }
@@ -178,7 +186,7 @@ func (e *Engine) Backup(ctx context.Context, version io.Reader) (rep backup.Back
 	rec := recipe.New(v)
 	session := &backupSession{engine: e, recipe: rec}
 
-	ch, err := chunker.NewPooled(e.cfg.Chunker, version, e.cfg.ChunkParams, e.pool)
+	ch, err := chunker.NewParallelPooled(e.cfg.Chunker, version, e.cfg.ChunkParams, e.cfg.ChunkLanes, e.pool)
 	if err != nil {
 		return backup.BackupReport{}, err
 	}

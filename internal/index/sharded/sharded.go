@@ -1,0 +1,184 @@
+// Package sharded wraps a fingerprint index in a sharded concurrent
+// front: the fingerprint space is split across a power-of-two number of
+// inner index instances (selected by the fingerprint's leading byte),
+// each behind its own lock, so classification requests from concurrent
+// goroutines — the backup pipeline's hash workers, or many tenants in
+// the daemon — only contend when they touch the same shard.
+//
+// The front is semantically transparent only for indexes whose
+// classification is a per-chunk function of the fingerprint alone —
+// exact schemes like DDFS, where shard-routing a chunk to a smaller
+// full index cannot change its duplicate/unique verdict. Sampling-based
+// segment indexes (Sparse Indexing, SiLo) make segment-scoped decisions
+// — champion manifests, representative fingerprints — so splitting
+// their segments across shards changes what they sample; for those,
+// use Shards: 1, which degrades to a plain exclusive-lock wrapper and
+// still makes the index safe to call from concurrent goroutines.
+package sharded
+
+import (
+	"fmt"
+	"sync"
+
+	"hidestore/internal/container"
+	"hidestore/internal/index"
+)
+
+// MaxShards caps the shard count: the selector is the fingerprint's
+// leading byte, so more than 256 shards cannot be addressed.
+const MaxShards = 256
+
+// Front is the sharded index wrapper. It implements index.Index and is
+// safe for concurrent use (unlike most inner indexes).
+type Front struct {
+	mask   uint8
+	shards []shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	ix index.Index
+}
+
+var _ index.Index = (*Front)(nil)
+
+// New builds a front over shards inner indexes, one per shard, created
+// by mk (called once per shard with the shard number). shards is
+// rounded up to a power of two and capped at MaxShards; 0 and 1 both
+// yield a single-shard front — an exclusive-lock wrapper.
+func New(shards int, mk func(shard int) index.Index) (*Front, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("sharded: shard count %d: must be >= 0", shards)
+	}
+	if shards == 0 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	f := &Front{mask: uint8(n - 1), shards: make([]shard, n)}
+	for i := range f.shards {
+		ix := mk(i)
+		if ix == nil {
+			return nil, fmt.Errorf("sharded: mk(%d) returned nil", i)
+		}
+		f.shards[i].ix = ix
+	}
+	return f, nil
+}
+
+// shardOf selects the lock domain for one chunk.
+func (f *Front) shardOf(c index.ChunkRef) *shard {
+	return &f.shards[c.FP[0]&f.mask]
+}
+
+// Name implements index.Index: the inner scheme's name passes through
+// so experiment labels stay stable when an index is wrapped.
+func (f *Front) Name() string { return f.shards[0].ix.Name() }
+
+// Dedup implements index.Index. The segment is partitioned by shard,
+// each partition classified by its inner index under the shard lock,
+// and the results scattered back into segment order.
+func (f *Front) Dedup(seg []index.ChunkRef) []index.Result {
+	if len(f.shards) == 1 {
+		s := &f.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.ix.Dedup(seg)
+	}
+	parts, order := f.partition(seg)
+	results := make([]index.Result, len(seg))
+	for k, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		s := &f.shards[k]
+		s.mu.Lock()
+		res := s.ix.Dedup(part)
+		s.mu.Unlock()
+		for i, r := range res {
+			results[order[k][i]] = r
+		}
+	}
+	return results
+}
+
+// Commit implements index.Index, partitioned identically to Dedup.
+func (f *Front) Commit(seg []index.ChunkRef, cids []container.ID) {
+	if len(f.shards) == 1 {
+		s := &f.shards[0]
+		s.mu.Lock()
+		s.ix.Commit(seg, cids)
+		s.mu.Unlock()
+		return
+	}
+	parts, order := f.partition(seg)
+	for k, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		partCIDs := make([]container.ID, len(part))
+		for i, at := range order[k] {
+			if at < len(cids) {
+				partCIDs[i] = cids[at]
+			}
+		}
+		s := &f.shards[k]
+		s.mu.Lock()
+		s.ix.Commit(part, partCIDs)
+		s.mu.Unlock()
+	}
+}
+
+// partition splits seg into per-shard sub-segments, preserving the
+// in-segment order within each shard, and records each sub-segment
+// entry's position in the original segment.
+func (f *Front) partition(seg []index.ChunkRef) ([][]index.ChunkRef, [][]int) {
+	parts := make([][]index.ChunkRef, len(f.shards))
+	order := make([][]int, len(f.shards))
+	for i, c := range seg {
+		k := c.FP[0] & f.mask
+		parts[k] = append(parts[k], c)
+		order[k] = append(order[k], i)
+	}
+	return parts, order
+}
+
+// EndVersion implements index.Index.
+func (f *Front) EndVersion() {
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		s.ix.EndVersion()
+		s.mu.Unlock()
+	}
+}
+
+// Stats implements index.Index: the per-shard counters summed at
+// snapshot time. Safe to call concurrently with classification.
+func (f *Front) Stats() index.Stats {
+	var st index.Stats
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		st.Add(s.ix.Stats())
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// MemoryBytes implements index.Index: the shards' footprints summed.
+func (f *Front) MemoryBytes() int64 {
+	var n int64
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		n += s.ix.MemoryBytes()
+		s.mu.Unlock()
+	}
+	return n
+}

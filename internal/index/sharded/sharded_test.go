@@ -1,0 +1,190 @@
+package sharded
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hidestore/internal/container"
+	"hidestore/internal/index"
+	"hidestore/internal/index/ddfs"
+)
+
+// newDDFS builds a default DDFS index, panicking on the (impossible
+// with default options) construction error.
+func newDDFS() index.Index {
+	ix, err := ddfs.New(ddfs.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// mkSeg builds a deterministic segment: n chunks drawn from a pool of
+// uniq distinct fingerprints, so re-feeding it produces duplicates.
+func mkSeg(r *rand.Rand, n, uniq int) []index.ChunkRef {
+	seg := make([]index.ChunkRef, n)
+	for i := range seg {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(r.Intn(uniq)))
+		seg[i] = index.ChunkRef{FP: sha1.Sum(b[:]), Size: uint32(1000 + r.Intn(4000))}
+	}
+	return seg
+}
+
+// TestFrontMatchesPlainDDFS pins the front's transparency claim for an
+// exact index: sharded DDFS must classify every chunk of every segment
+// exactly as unsharded DDFS does.
+func TestFrontMatchesPlainDDFS(t *testing.T) {
+	plain := newDDFS()
+	front, err := New(8, func(int) index.Index { return newDDFS() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := front.Name(), plain.Name(); got != want {
+		t.Fatalf("Name() = %q, want passthrough %q", got, want)
+	}
+
+	r := rand.New(rand.NewSource(7))
+	nextCID := container.ID(0)
+	for ver := 0; ver < 4; ver++ {
+		for s := 0; s < 6; s++ {
+			seg := mkSeg(r, 500, 800)
+			rp := plain.Dedup(seg)
+			rf := front.Dedup(seg)
+			if len(rp) != len(seg) || len(rf) != len(seg) {
+				t.Fatalf("result lengths %d/%d, want %d", len(rp), len(rf), len(seg))
+			}
+			cids := make([]container.ID, len(seg))
+			for i := range seg {
+				if rp[i].Duplicate != rf[i].Duplicate || rp[i].CID != rf[i].CID {
+					t.Fatalf("v%d seg%d chunk %d: plain %+v, sharded %+v", ver, s, i, rp[i], rf[i])
+				}
+				if rp[i].Duplicate && rp[i].CID != 0 {
+					cids[i] = rp[i].CID
+				} else {
+					nextCID++
+					cids[i] = nextCID
+				}
+			}
+			plain.Commit(seg, cids)
+			front.Commit(seg, cids)
+		}
+		plain.EndVersion()
+		front.EndVersion()
+	}
+
+	sp, sf := plain.Stats(), front.Stats()
+	// Classification counters must agree exactly. Disk-lookup and
+	// cache-hit counters may differ: sharding splits the Bloom filter
+	// and locality cache, which changes which lookups are free.
+	if sp.Lookups != sf.Lookups || sp.Duplicates != sf.Duplicates || sp.Uniques != sf.Uniques ||
+		sp.DuplicateBytes != sf.DuplicateBytes || sp.UniqueBytes != sf.UniqueBytes {
+		t.Fatalf("classification stats diverge:\nplain   %+v\nsharded %+v", sp, sf)
+	}
+}
+
+func TestFrontShardCounts(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 200, 1000} {
+		f, err := New(n, func(int) index.Index { return newDDFS() })
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		got := len(f.shards)
+		if got&(got-1) != 0 || got < 1 || got > MaxShards {
+			t.Fatalf("New(%d): %d shards, want a power of two in [1, %d]", n, got, MaxShards)
+		}
+	}
+	if _, err := New(-1, func(int) index.Index { return newDDFS() }); err == nil {
+		t.Fatal("New(-1) accepted")
+	}
+	if _, err := New(4, func(int) index.Index { return nil }); err == nil {
+		t.Fatal("nil inner index accepted")
+	}
+}
+
+// TestFrontConcurrentHammer drives Dedup/Commit from many goroutines
+// while a concurrent Stats scrape runs — the -race tier's shard
+// contention check for the baseline front.
+func TestFrontConcurrentHammer(t *testing.T) {
+	front, err := New(8, func(int) index.Index { return newDDFS() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg, scrape sync.WaitGroup
+	stop := make(chan struct{})
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				front.Stats()
+				front.MemoryBytes()
+			}
+		}
+	}()
+	var cid container.ID
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for iter := 0; iter < 30; iter++ {
+				seg := mkSeg(r, 100, 400)
+				res := front.Dedup(seg)
+				cids := make([]container.ID, len(seg))
+				for i := range seg {
+					if res[i].Duplicate && res[i].CID != 0 {
+						cids[i] = res[i].CID
+						continue
+					}
+					mu.Lock()
+					cid++
+					cids[i] = cid
+					mu.Unlock()
+				}
+				front.Commit(seg, cids)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrape.Wait()
+	st := front.Stats()
+	if st.Lookups != workers*30*100 {
+		t.Fatalf("Lookups = %d, want %d", st.Lookups, workers*30*100)
+	}
+}
+
+// BenchmarkShardedDedup measures the front's classification throughput
+// at increasing shard counts under concurrent callers (make microbench).
+func BenchmarkShardedDedup(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "shards1", 4: "shards4", 16: "shards16"}[shards], func(b *testing.B) {
+			front, err := New(shards, func(int) index.Index { return newDDFS() })
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(1))
+			seg := mkSeg(r, 1024, 2048)
+			cids := make([]container.ID, len(seg))
+			for i := range cids {
+				cids[i] = container.ID(i + 1)
+			}
+			front.Commit(seg, cids)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					front.Dedup(seg)
+				}
+			})
+		})
+	}
+}

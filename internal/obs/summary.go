@@ -26,6 +26,11 @@ type StageSummary struct {
 	// Bytes over Total when both are present.
 	Bytes    int64
 	MBPerSec float64
+	// Chunks sums the records' "chunks" attributes — the per-stage
+	// chunk accounting the identity tests check against engine reports
+	// (it must be exact however many chunking lanes or index shards
+	// contributed to a stage).
+	Chunks int64
 }
 
 // TraceSummary is the per-stage aggregation of one JSONL trace.
@@ -46,10 +51,11 @@ type TraceSummary struct {
 // descending. Unparsable lines abort with a line-numbered error.
 func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
 	type acc struct {
-		durs  []time.Duration
-		total time.Duration
-		bytes int64
-		count int
+		durs   []time.Duration
+		total  time.Duration
+		bytes  int64
+		chunks int64
+		count  int
 	}
 	accs := make(map[string]*acc)
 	sum := &TraceSummary{}
@@ -90,13 +96,16 @@ func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
 		if b, ok := rec.Attrs["bytes"]; ok {
 			a.bytes += b
 		}
+		if c, ok := rec.Attrs["chunks"]; ok {
+			a.chunks += c
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("obs: trace: %w", err)
 	}
 	sum.Wall = time.Duration(maxEnd)
 	for name, a := range accs {
-		st := StageSummary{Name: name, Count: a.count, Total: a.total, Bytes: a.bytes}
+		st := StageSummary{Name: name, Count: a.count, Total: a.total, Bytes: a.bytes, Chunks: a.chunks}
 		if len(a.durs) > 0 {
 			sort.Slice(a.durs, func(i, j int) bool { return a.durs[i] < a.durs[j] })
 			st.Min = a.durs[0]
